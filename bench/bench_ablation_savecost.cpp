@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the §3.2.2 cost model: saving
+// and restoring states that carry dynamic memory is substantially more
+// expensive than scalar-only states, which is why the paper recommends
+// static-mode analysis for heap-heavy specifications. Also measures the
+// generate operation's dependence on the number of transition
+// declarations (the §4 transitions/second observation).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/dfs.hpp"
+#include "core/executor.hpp"
+#include "core/generator.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace tango;
+
+est::Spec& spec_of(const char* name) {
+  static std::map<std::string, est::Spec> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name,
+                      est::compile_spec(specs::builtin_spec(name)))
+             .first;
+  }
+  return it->second;
+}
+
+/// Builds a TP0 search state whose buffers hold `cells` heap cells.
+core::SearchState tp0_state_with_heap(int cells) {
+  est::Spec& spec = spec_of("tp0");
+  rt::Interp interp(spec);
+  tr::Trace trace(static_cast<int>(spec.ips.size()));
+  trace.mark_eof();
+  core::ResolvedOptions ro(spec, core::Options::none());
+  core::Stats stats;
+  core::InitResult init = core::apply_initializer(interp, trace, ro, 0,
+                                                  stats);
+  // Drive t13 by hand: enqueue `cells` data values through the interpreter.
+  const est::Transition* t13 = nullptr;
+  for (const est::Transition& t : spec.body().transitions) {
+    if (t.name == "t13") t13 = &t;
+  }
+  init.state.machine.fsm_state = spec.state_ordinal("data_state");
+  rt::NullSink sink;
+  for (int i = 0; i < cells; ++i) {
+    interp.fire(init.state.machine, *t13, {rt::Value::make_int(i)}, sink);
+  }
+  return std::move(init.state);
+}
+
+void BM_SaveRestore_HeapState(benchmark::State& state) {
+  core::SearchState st = tp0_state_with_heap(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::SearchState saved = st;  // save
+    benchmark::DoNotOptimize(saved);
+    st = std::move(saved);  // restore
+  }
+  state.SetLabel(std::to_string(st.machine.heap.live_cells()) +
+                 " heap cells");
+}
+BENCHMARK(BM_SaveRestore_HeapState)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SaveRestore_ScalarState(benchmark::State& state) {
+  // LAPD: arrays and scalars, no dynamic memory.
+  est::Spec& spec = spec_of("lapd");
+  rt::Interp interp(spec);
+  tr::Trace trace(static_cast<int>(spec.ips.size()));
+  trace.mark_eof();
+  core::ResolvedOptions ro(spec, core::Options::none());
+  core::Stats stats;
+  core::InitResult init =
+      core::apply_initializer(interp, trace, ro, 0, stats);
+  core::SearchState st = std::move(init.state);
+  for (auto _ : state) {
+    core::SearchState saved = st;
+    benchmark::DoNotOptimize(saved);
+    st = std::move(saved);
+  }
+}
+BENCHMARK(BM_SaveRestore_ScalarState);
+
+void BM_Generate(benchmark::State& state, const char* name,
+                 const char* trace_text) {
+  est::Spec& spec = spec_of(name);
+  rt::Interp interp(spec);
+  tr::Trace trace = tr::parse_trace(spec, trace_text);
+  core::ResolvedOptions ro(spec, core::Options::none());
+  core::Stats stats;
+  core::InitResult init =
+      core::apply_initializer(interp, trace, ro, 0, stats);
+  for (auto _ : state) {
+    core::GenResult g =
+        core::generate(interp, trace, ro, init.state, stats);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetLabel(std::to_string(spec.body().transitions.size()) +
+                 " transition declarations");
+}
+BENCHMARK_CAPTURE(BM_Generate, ack, "ack", "in a.x\n");
+BENCHMARK_CAPTURE(BM_Generate, tp0, "tp0", "in u.tconreq\nout n.cr\n");
+BENCHMARK_CAPTURE(BM_Generate, lapd, "lapd", "in u.dl_establish_req\n");
+
+void BM_AnalyzeValidLapd(benchmark::State& state) {
+  est::Spec& spec = spec_of("lapd");
+  tr::Trace trace =
+      sim::lapd_trace(spec, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::DfsResult r = core::analyze(spec, trace, core::Options::full());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnalyzeValidLapd)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Complexity(benchmark::oN);
+
+void BM_AnalyzeValidTp0(benchmark::State& state) {
+  est::Spec& spec = spec_of("tp0");
+  tr::Trace trace = sim::tp0_trace(
+      spec, static_cast<int>(state.range(0)),
+      static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    core::DfsResult r = core::analyze(spec, trace, core::Options::full());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnalyzeValidTp0)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// On-line (MDFS) benchmarks: the paper's Figure 1/2 scenarios as
+// regression workloads, plus the §3.1.3 dynamic node-reordering ablation —
+// reordering searches freshly re-enabled PG nodes first instead of
+// re-exploring the rest of the tree.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/mdfs.hpp"
+#include "sim/workloads.hpp"
+#include "trace/dynamic_source.hpp"
+
+namespace {
+
+using namespace tango;
+
+struct OnlineRun {
+  core::OnlineStatus status;
+  core::Stats stats;
+  double seconds = 0;
+};
+
+/// Streams the trace into the analyzer in `chunk`-event slices.
+OnlineRun stream(const est::Spec& spec, const tr::Trace& trace,
+                 const core::Options& opts, std::size_t chunk) {
+  tr::MemoryFeed feed(spec);
+  core::OnlineConfig config;
+  config.options = opts;
+  core::OnlineAnalyzer analyzer(spec, feed, config);
+  core::CpuTimer timer;
+  std::size_t next = 0;
+  while (next < trace.events().size()) {
+    for (std::size_t i = 0; i < chunk && next < trace.events().size(); ++i) {
+      feed.push(trace.events()[next++]);
+    }
+    analyzer.step_round(1 << 16);
+  }
+  feed.push_eof();
+  core::OnlineStatus status = analyzer.run(1 << 16, 3);
+  return {status, analyzer.stats(), timer.elapsed()};
+}
+
+void print_run(const char* label, const OnlineRun& r) {
+  std::printf("%-28s %8.3fs  TE=%-9llu GE=%-9llu SA=%-9llu %s\n", label,
+              r.seconds,
+              static_cast<unsigned long long>(r.stats.transitions_executed),
+              static_cast<unsigned long long>(r.stats.generates),
+              static_cast<unsigned long long>(r.stats.saves),
+              std::string(to_string(r.status)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace tango;
+
+  std::printf("On-line analysis (MDFS) — paper §3 scenarios\n\n");
+
+  {  // Figure 1 `ack`: the deadlock example, streamed one event at a time.
+    est::Spec spec = bench::load("ack");
+    tr::Trace t = tr::parse_trace(
+        spec, "in a.x\nin a.x\nin a.x\nin b.y\nout a.ack\n",
+        /*assume_eof=*/false);
+    print_run("fig1 ack (event-by-event)",
+              stream(spec, t, core::Options::none(), 1));
+  }
+
+  {  // Figure 2 ip3: the finished interaction unlocks the o output.
+    est::Spec spec = bench::load("ip3");
+    tr::Trace t = tr::parse_trace(spec,
+                                  "in b.data\nout c.data\nin c.data\n"
+                                  "out b.data\nin b.finished\nin a.x\n"
+                                  "out a.o\n",
+                                  false);
+    print_run("fig2 ip3 (event-by-event)",
+              stream(spec, t, core::Options::none(), 1));
+  }
+
+  std::printf("\nDynamic node reordering ablation (§3.1.3) — streamed LAPD "
+              "and TP0 traces\n\n");
+  struct Work {
+    const char* label;
+    const char* spec_name;
+    int size;
+  } works[] = {
+      {"lapd DI=10", "lapd", 10},
+      {"lapd DI=25", "lapd", 25},
+      {"tp0 n=6", "tp0", 6},
+  };
+  for (const Work& w : works) {
+    est::Spec spec = bench::load(w.spec_name);
+    tr::Trace trace =
+        std::string_view(w.spec_name) == "lapd"
+            ? sim::lapd_trace(spec, w.size)
+            : sim::tp0_trace(spec, w.size, w.size, false);
+    for (bool reorder : {true, false}) {
+      core::Options opts = core::Options::io();
+      opts.reorder_pg_nodes = reorder;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s %s", w.label,
+                    reorder ? "[reorder]" : "[basic]  ");
+      print_run(label, stream(spec, trace, opts, 2));
+    }
+  }
+
+  // The §3.1.3 motivating case: a highly nondeterministic specification
+  // (ack's T1/T2 choice gives a 2^N tree) with a long valid trace streamed
+  // event by event. The deepest parked PG node is the partial solution;
+  // reordering resumes it immediately, while basic MDFS re-searches the
+  // old tree first.
+  std::printf("\nHighly nondeterministic spec (fig1 ack, N x inputs)\n\n");
+  {
+    est::Spec spec = bench::load("ack");
+    for (int n : {8, 12, 14}) {
+      std::string text;
+      for (int i = 0; i < n; ++i) text += "in a.x\n";
+      text += "in b.y\nout a.ack\n";
+      tr::Trace trace = tr::parse_trace(spec, text, false);
+      for (bool reorder : {true, false}) {
+        core::Options opts = core::Options::none();
+        opts.reorder_pg_nodes = reorder;
+        char label[64];
+        std::snprintf(label, sizeof(label), "ack N=%-3d %s", n,
+                      reorder ? "[reorder]" : "[basic]  ");
+        print_run(label, stream(spec, trace, opts, 1));
+      }
+    }
+  }
+
+  // §3.2.1 degenerate case: an ip that never receives input makes every
+  // node PG; disable_ip prevents the memory blowup.
+  std::printf("\nDegenerate PG growth (§3.2.1): ip3 with ips A and C silent\n\n");
+  {
+    est::Spec spec = bench::load("ip3");
+    std::string text;
+    for (int i = 0; i < 40; ++i) text += "in b.data\nout c.data\n";
+    tr::Trace trace = tr::parse_trace(spec, text, false);
+    for (bool disable : {false, true}) {
+      tr::MemoryFeed feed(spec);
+      core::OnlineConfig config;
+      config.options = core::Options::io();
+      // A never sees traffic; C sees outputs but never inputs. Without
+      // disable_ip their empty input queues turn EVERY searched state into
+      // a parked PG node (§3.2.1's degenerate memory growth).
+      if (disable) config.options.disabled_ips = {"a", "c"};
+      core::OnlineAnalyzer analyzer(spec, feed, config);
+      for (const tr::TraceEvent& e : trace.events()) {
+        feed.push(e);
+        analyzer.step_round(1 << 14);
+      }
+      std::printf("%-28s parked PG nodes = %zu (status: %s)\n",
+                  disable ? "ip A disabled" : "ip A enabled",
+                  analyzer.pg_count(),
+                  std::string(to_string(analyzer.status())).c_str());
+    }
+  }
+  return 0;
+}

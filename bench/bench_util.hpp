@@ -1,0 +1,34 @@
+// Shared helpers for the paper-table benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/dfs.hpp"
+#include "estelle/spec.hpp"
+#include "specs/builtin_specs.hpp"
+
+namespace tango::bench {
+
+inline est::Spec load(const char* name) {
+  return est::compile_spec(specs::builtin_spec(name));
+}
+
+/// Prints one row in the style of the paper's Figures 3/4 tables.
+inline void print_row(int key, const core::DfsResult& r) {
+  std::printf("%5d  %8.3f  %9llu  %9llu  %9llu  %9llu  %6.2f  %s\n", key,
+              r.stats.cpu_seconds,
+              static_cast<unsigned long long>(r.stats.transitions_executed),
+              static_cast<unsigned long long>(r.stats.generates),
+              static_cast<unsigned long long>(r.stats.restores),
+              static_cast<unsigned long long>(r.stats.saves),
+              r.stats.average_fanout(),
+              std::string(core::to_string(r.verdict)).c_str());
+}
+
+inline void print_header(const char* key_name) {
+  std::printf("%5s  %8s  %9s  %9s  %9s  %9s  %6s  %s\n", key_name, "CPUT",
+              "TE", "GE", "RE", "SA", "FAN", "verdict");
+}
+
+}  // namespace tango::bench

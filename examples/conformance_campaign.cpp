@@ -1,0 +1,62 @@
+// A conformance-testing campaign, end to end:
+//   1. lint the specification (§2.1 hygiene: non-progress cycles,
+//      unreachable states);
+//   2. run a batch of traces collected from the IUT through the analyzer;
+//   3. report transition coverage — which parts of the specification the
+//      campaign actually exercised (the "test verdict checker" use case of
+//      the paper's §1, third bullet).
+#include <iostream>
+
+#include "analysis/coverage.hpp"
+#include "analysis/lint.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+int main() {
+  using namespace tango;
+  est::Spec spec = est::compile_spec(specs::lapd());
+
+  std::cout << "== step 1: lint the specification ==\n";
+  analysis::LintReport lint = analysis::lint(spec);
+  std::cout << lint.render();
+  if (lint.has_errors()) {
+    std::cout << "specification is unsuitable for DFS trace analysis\n";
+    return 2;
+  }
+
+  std::cout << "\n== step 2+3: analyze the campaign, report coverage ==\n";
+  std::vector<tr::Trace> campaign;
+  // Data transfer at three sizes (simulated IUT runs)...
+  for (int di : {2, 5, 9}) campaign.push_back(sim::lapd_trace(spec, di));
+  // ... plus hand-collected establishment/release and error-path traces.
+  campaign.push_back(tr::parse_trace(spec,
+                                     "in  u.dl_establish_req\n"
+                                     "out l.sabme\n"
+                                     "in  l.ua\n"
+                                     "out u.dl_establish_cnf\n"
+                                     "in  u.dl_release_req\n"
+                                     "out l.disc\n"
+                                     "in  l.ua\n"
+                                     "out u.dl_release_cnf\n"));
+  campaign.push_back(tr::parse_trace(spec,
+                                     "in  l.sabme\n"
+                                     "out l.ua\n"
+                                     "out u.dl_establish_ind\n"
+                                     "in  l.iframe(3, 0, 9)\n"
+                                     "out l.rej(0)\n"));
+  // One corrupted trace slipped into the campaign.
+  campaign.push_back(tr::parse_trace(spec,
+                                     "in  u.dl_establish_req\n"
+                                     "out l.ua\n"));  // must be sabme
+
+  analysis::CoverageReport report =
+      analysis::coverage(spec, campaign, core::Options::io());
+  std::cout << report.render();
+
+  std::cout << "\nverdict: " << report.traces_valid << "/"
+            << report.traces_total << " traces conform; "
+            << report.uncovered.size()
+            << " transition(s) still need test cases\n";
+  return 0;
+}

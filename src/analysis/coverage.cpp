@@ -1,0 +1,59 @@
+#include "analysis/coverage.hpp"
+
+#include <set>
+
+namespace tango::analysis {
+
+std::string CoverageReport::render() const {
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "coverage: %zu/%zu transitions (%.0f%%), %zu/%zu traces "
+                "valid\n",
+                hits.size(), hits.size() + uncovered.size(), ratio() * 100.0,
+                traces_valid, traces_total);
+  std::string out = head;
+  for (const auto& [name, count] : hits) {
+    out += "  " + name + ": " + std::to_string(count) + "\n";
+  }
+  for (const std::string& name : uncovered) {
+    out += "  " + name + ": NEVER COVERED\n";
+  }
+  for (const std::string& note : invalid_notes) {
+    out += "  (non-valid trace: " + note + ")\n";
+  }
+  return out;
+}
+
+CoverageReport coverage(const est::Spec& spec,
+                        const std::vector<tr::Trace>& traces,
+                        const core::Options& options) {
+  CoverageReport report;
+  report.traces_total = traces.size();
+
+  std::set<std::string> declared;
+  for (const est::Transition& tr : spec.body().transitions) {
+    declared.insert(tr.name);
+  }
+
+  for (const tr::Trace& trace : traces) {
+    core::DfsResult r = core::analyze(spec, trace, options);
+    if (r.verdict != core::Verdict::Valid) {
+      report.invalid_notes.push_back(
+          std::string(core::to_string(r.verdict)) +
+          (r.note.empty() ? "" : ": " + r.note));
+      continue;
+    }
+    ++report.traces_valid;
+    // solution[0] is the initialize label; the rest are transition names.
+    for (std::size_t i = 1; i < r.solution.size(); ++i) {
+      ++report.hits[r.solution[i]];
+    }
+  }
+
+  for (const std::string& name : declared) {
+    if (!report.hits.count(name)) report.uncovered.push_back(name);
+  }
+  return report;
+}
+
+}  // namespace tango::analysis

@@ -1,0 +1,39 @@
+// Transition coverage over a set of valid traces — a conformance-testing
+// campaign view: which transitions of the specification did the observed
+// behaviour actually exercise (as witnessed by the analyzer's solution
+// paths), and which were never seen. Exposed through `tango coverage`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dfs.hpp"
+
+namespace tango::analysis {
+
+struct CoverageReport {
+  /// transition name -> number of firings across all witness paths.
+  std::map<std::string, std::size_t> hits;
+  std::vector<std::string> uncovered;  // declared but never witnessed
+  std::size_t traces_total = 0;
+  std::size_t traces_valid = 0;
+  std::vector<std::string> invalid_notes;  // one per non-valid trace
+
+  [[nodiscard]] double ratio() const {
+    const std::size_t total = hits.size() + uncovered.size();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits.size()) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] std::string render() const;
+};
+
+/// Analyzes every trace (with `options`) and accumulates witness-path
+/// coverage. Invalid/inconclusive traces contribute no coverage but are
+/// counted and annotated.
+[[nodiscard]] CoverageReport coverage(const est::Spec& spec,
+                                      const std::vector<tr::Trace>& traces,
+                                      const core::Options& options);
+
+}  // namespace tango::analysis

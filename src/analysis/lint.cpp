@@ -1,0 +1,222 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace tango::analysis {
+
+namespace {
+
+using est::Spec;
+using est::Stmt;
+using est::StmtKind;
+using est::Transition;
+
+bool block_has_output(const Stmt& s) {
+  if (s.kind == StmtKind::Output) return true;
+  for (const est::StmtPtr& c : s.body) {
+    if (c && block_has_output(*c)) return true;
+  }
+  for (const est::StmtPtr& c : s.otherwise) {
+    if (c && block_has_output(*c)) return true;
+  }
+  for (const est::CaseArm& arm : s.arms) {
+    if (arm.body && block_has_output(*arm.body)) return true;
+  }
+  if (s.s0 && block_has_output(*s.s0)) return true;
+  if (s.s1 && block_has_output(*s.s1)) return true;
+  return false;
+}
+
+/// States reachable from the initializers' target states over the
+/// transition graph (conservative: provided clauses ignored).
+std::vector<char> reachable_states(const Spec& spec) {
+  std::vector<char> seen(spec.states.size(), 0);
+  std::deque<int> work;
+  for (const est::Initializer& init : spec.body().initializers) {
+    if (!seen[static_cast<std::size_t>(init.to_ordinal)]) {
+      seen[static_cast<std::size_t>(init.to_ordinal)] = 1;
+      work.push_back(init.to_ordinal);
+    }
+  }
+  while (!work.empty()) {
+    const int s = work.front();
+    work.pop_front();
+    for (const Transition& tr : spec.body().transitions) {
+      if (!std::binary_search(tr.from_ordinals.begin(),
+                              tr.from_ordinals.end(), s)) {
+        continue;
+      }
+      const int to = tr.to_ordinal >= 0 ? tr.to_ordinal : s;  // `same`
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        work.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+void check_reachability(const Spec& spec, LintReport& report) {
+  const std::vector<char> seen = reachable_states(spec);
+  for (std::size_t s = 0; s < spec.states.size(); ++s) {
+    if (!seen[s]) {
+      report.findings.push_back(
+          {Severity::Warning, {},
+           "state '" + spec.states[s] +
+               "' is unreachable from every initial state"});
+    }
+  }
+  for (const Transition& tr : spec.body().transitions) {
+    const bool fireable_somewhere = std::any_of(
+        tr.from_ordinals.begin(), tr.from_ordinals.end(),
+        [&](int s) { return seen[static_cast<std::size_t>(s)] != 0; });
+    if (!fireable_somewhere) {
+      report.findings.push_back(
+          {Severity::Warning, tr.loc,
+           "transition '" + tr.name +
+               "' can never fire: all of its source states are "
+               "unreachable"});
+    }
+  }
+}
+
+/// §2.1 footnote 1: cycles of spontaneous transitions that consume no
+/// input and produce no output. Detected structurally over the graph of
+/// spontaneous, output-free transitions; a cycle with no provided guard
+/// anywhere is certain to foil DFS (error), a guarded one may (warning).
+void check_non_progress_cycles(const Spec& spec, LintReport& report) {
+  struct Edge {
+    int to;
+    bool guarded;
+    const Transition* tr;
+  };
+  const auto n = spec.states.size();
+  std::vector<std::vector<Edge>> graph(n);
+  for (const Transition& tr : spec.body().transitions) {
+    if (tr.when) continue;                     // consumes input: progress
+    if (block_has_output(*tr.block)) continue; // produces output: progress
+    for (int from : tr.from_ordinals) {
+      const int to = tr.to_ordinal >= 0 ? tr.to_ordinal : from;
+      graph[static_cast<std::size_t>(from)].push_back(
+          Edge{to, tr.provided != nullptr, &tr});
+    }
+  }
+
+  // DFS cycle detection; report each state that can re-reach itself.
+  std::set<const Transition*> reported;
+  for (std::size_t start = 0; start < n; ++start) {
+    // BFS from each successor of `start` back to `start`.
+    for (const Edge& first : graph[start]) {
+      std::vector<char> seen(n, 0);
+      std::deque<int> work{first.to};
+      bool all_unguarded = !first.guarded;
+      bool closes = first.to == static_cast<int>(start);
+      while (!work.empty() && !closes) {
+        const int s = work.front();
+        work.pop_front();
+        if (seen[static_cast<std::size_t>(s)]) continue;
+        seen[static_cast<std::size_t>(s)] = 1;
+        for (const Edge& e : graph[static_cast<std::size_t>(s)]) {
+          if (e.to == static_cast<int>(start)) {
+            closes = true;
+            all_unguarded = all_unguarded && !e.guarded;
+            break;
+          }
+          work.push_back(e.to);
+        }
+      }
+      if (closes && reported.insert(first.tr).second) {
+        report.findings.push_back(
+            {all_unguarded ? Severity::Error : Severity::Warning,
+             first.tr->loc,
+             "transition '" + first.tr->name +
+                 "' starts a non-progress cycle (spontaneous, no output, "
+                 "returns to state '" + spec.states[start] + "')" +
+                 (all_unguarded
+                      ? " with no provided guard anywhere: depth-first "
+                        "trace analysis WILL diverge (paper §2.1)"
+                      : "; a provided guard may bound it, but the cycle "
+                        "can foil depth-first trace analysis (paper §2.1)")});
+      }
+    }
+  }
+}
+
+void check_dead_interactions(const Spec& spec, LintReport& report) {
+  std::vector<char> consumed(spec.interactions.size(), 0);
+  std::vector<char> produced(spec.interactions.size(), 0);
+
+  for (const Transition& tr : spec.body().transitions) {
+    if (tr.when) {
+      consumed[static_cast<std::size_t>(tr.when->interaction_id)] = 1;
+    }
+  }
+  auto scan_outputs = [&](const Stmt& s, auto&& self) -> void {
+    if (s.kind == StmtKind::Output) {
+      produced[static_cast<std::size_t>(s.interaction_id)] = 1;
+    }
+    for (const est::StmtPtr& c : s.body) {
+      if (c) self(*c, self);
+    }
+    for (const est::StmtPtr& c : s.otherwise) {
+      if (c) self(*c, self);
+    }
+    for (const est::CaseArm& arm : s.arms) {
+      if (arm.body) self(*arm.body, self);
+    }
+    if (s.s0) self(*s.s0, self);
+    if (s.s1) self(*s.s1, self);
+  };
+  for (const Transition& tr : spec.body().transitions) {
+    scan_outputs(*tr.block, scan_outputs);
+  }
+  for (const est::Routine& r : spec.body().routines) {
+    scan_outputs(*r.body, scan_outputs);
+  }
+  for (const est::Initializer& init : spec.body().initializers) {
+    if (init.block) scan_outputs(*init.block, scan_outputs);
+  }
+
+  for (const est::IpInfo& ip : spec.ips) {
+    for (const auto& [name, id] : ip.inputs) {
+      if (!consumed[static_cast<std::size_t>(id)]) {
+        report.findings.push_back(
+            {Severity::Warning, {},
+             "input interaction '" + ip.name + "." + name +
+                 "' is never consumed by any transition"});
+      }
+    }
+    for (const auto& [name, id] : ip.outputs) {
+      if (!produced[static_cast<std::size_t>(id)]) {
+        report.findings.push_back(
+            {Severity::Warning, {},
+             "output interaction '" + ip.name + "." + name +
+                 "' is never produced by any transition"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string LintReport::render() const {
+  std::string out;
+  for (const Diagnostic& d : findings) {
+    out += d.render();
+    out += '\n';
+  }
+  if (findings.empty()) out = "no findings\n";
+  return out;
+}
+
+LintReport lint(const est::Spec& spec) {
+  LintReport report;
+  check_reachability(spec, report);
+  check_non_progress_cycles(spec, report);
+  check_dead_interactions(spec, report);
+  return report;
+}
+
+}  // namespace tango::analysis

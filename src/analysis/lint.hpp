@@ -1,0 +1,32 @@
+// Static specification checks beyond type correctness — the properties the
+// paper asks specifiers to guarantee by hand:
+//  - §2.1: the TAM "should be free of non-progress cycles ... as these can
+//    foil DFS algorithms, yielding search trees of infinite depth";
+//  - unreachable states and transitions that can therefore never fire;
+//  - channel interactions never consumed or produced by any transition.
+// Exposed through `tango lint`.
+#pragma once
+
+#include <vector>
+
+#include "estelle/spec.hpp"
+#include "support/diagnostics.hpp"
+
+namespace tango::analysis {
+
+struct LintReport {
+  std::vector<Diagnostic> findings;
+
+  [[nodiscard]] bool has_errors() const {
+    for (const Diagnostic& d : findings) {
+      if (d.severity == Severity::Error) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::string render() const;
+};
+
+/// Runs all lint passes over a compiled specification.
+[[nodiscard]] LintReport lint(const est::Spec& spec);
+
+}  // namespace tango::analysis

@@ -1,0 +1,440 @@
+// tango — trace analysis tool generator for Estelle specifications.
+//
+//   tango check <spec>                      syntax/semantic check
+//   tango analyze <spec> <trace> [opts]     batch (static) trace analysis
+//   tango online <spec> <trace> [opts]      on-line analysis, following the
+//                                           file as it grows (MDFS)
+//   tango simulate <spec> --script <file>   implementation-generation mode
+//   tango generate-cpp <spec> [-o out.cpp]  emit a standalone C++ TAM
+//   tango normal-form <spec>                §5.3 transformation, to stdout
+//   tango workload <lapd|tp0> [--size=N]    emit a benchmark workload trace
+//   tango lint <spec>                       reachability / non-progress checks
+//   tango coverage <spec> <trace...>        transition coverage of a campaign
+//   tango print <spec>                      parse + pretty-print round trip
+//   tango specs                             list built-in specifications
+//   tango cat <builtin>                     dump a built-in specification
+//
+// <spec> is a file path or `builtin:<name>` (see `tango specs`).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/lint.hpp"
+#include "codegen/cpp_generator.hpp"
+#include "core/dfs.hpp"
+#include "core/mdfs.hpp"
+#include "estelle/parser.hpp"
+#include "estelle/printer.hpp"
+#include "sim/mutate.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "support/text.hpp"
+#include "trace/dynamic_source.hpp"
+#include "trace/trace_io.hpp"
+#include "transform/normal_form.hpp"
+
+namespace {
+
+using namespace tango;
+
+int usage() {
+  std::cerr << "usage: tango <check|analyze|online|simulate|normal-form|"
+               "print|specs|cat> ...\n"
+               "run `tango help` for details\n";
+  return 2;
+}
+
+int help() {
+  std::cout <<
+      R"(tango — trace analysis tool generator for Estelle specifications
+
+commands:
+  check <spec>                      compile the specification, report errors
+  analyze <spec> <trace> [options]  static trace analysis (DFS)
+  online <spec> <trace> [options]   on-line analysis following a growing file
+  simulate <spec> --script <file> [--seed N] [-o <trace>]
+                                    execute the spec, record the trace
+  generate-cpp <spec> [-o out.cpp]  emit a standalone C++ trace analyzer
+                                    (compile with tam_runtime.hpp on the
+                                    include path; see src/codegen/)
+  normal-form <spec>                print the normal-form transformation
+  workload <lapd|tp0> [--size=N] [--invalid] [--seed=N] [-o <trace>]
+                                    emit the paper's evaluation workloads
+                                    (Figure 3 / Figure 4 traces)
+  lint <spec>                       unreachable states, non-progress cycles,
+                                    dead interactions (paper 2.1 hygiene)
+  coverage <spec> <trace...>        transition coverage over valid traces
+  print <spec>                      parse and pretty-print
+  specs                             list built-in specifications
+  cat <builtin>                     print a built-in specification
+
+<spec> is a file path or builtin:<name> (ack, ip3, ip3prime, abp, inres, tp0, lapd).
+
+analysis options:
+  --order=none|io|ip|full           relative order checking mode (default io)
+  --disable-ip=<name>               do not check outputs at this ip (§2.4.3)
+  --unobservable-ip=<name>          partial trace: no inputs at this ip (§5)
+  --partial                         undefined-tolerant partial-trace mode
+  --initial-state-search            try all initial FSM states (§2.4.1)
+  --hash-states                     prune revisited states (hash table)
+  --no-reorder                      disable MDFS dynamic node reordering
+  --max-transitions=<n>             search budget
+  --max-depth=<n>                   depth bound
+  --all-orders                      analyze under all four order modes and
+                                    print a Figure-3-style comparison row
+  --size=<n>                        workload size (data interactions)
+  --invalid                         mutate the workload's last data parameter
+  --verbose                         print the solution path / failure notes
+
+simulate script lines:  <step> <ip>.<msg>(<params>)   (and # comments)
+)";
+  return 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CompileError({}, "cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string load_spec_text(const std::string& arg) {
+  if (starts_with(arg, "builtin:")) {
+    std::string_view text = specs::builtin_spec(arg.substr(8));
+    if (text.empty()) {
+      throw CompileError({}, "unknown built-in spec '" + arg.substr(8) + "'");
+    }
+    return std::string(text);
+  }
+  return read_file(arg);
+}
+
+struct Cli {
+  core::Options options = core::Options::io();
+  bool verbose = false;
+  bool all_orders = false;
+  bool invalid = false;  // workload: mutate the last data parameter
+  int size = 10;
+  std::string script;
+  std::string output;
+  std::uint32_t seed = 1;
+  std::vector<std::string> positional;
+};
+
+Cli parse_cli(int argc, char** argv, int first) {
+  Cli cli;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return a.substr(prefix.size());
+    };
+    if (a == "--verbose") {
+      cli.verbose = true;
+    } else if (a == "--all-orders") {
+      cli.all_orders = true;
+    } else if (a == "--invalid") {
+      cli.invalid = true;
+    } else if (starts_with(a, "--size=")) {
+      cli.size = std::stoi(value("--size="));
+    } else if (starts_with(a, "--order=")) {
+      std::string m = value("--order=");
+      if (m == "none") cli.options = core::Options::none();
+      else if (m == "io") cli.options = core::Options::io();
+      else if (m == "ip") cli.options = core::Options::ip();
+      else if (m == "full") cli.options = core::Options::full();
+      else throw CompileError({}, "bad --order value '" + m + "'");
+    } else if (starts_with(a, "--disable-ip=")) {
+      cli.options.disabled_ips.push_back(to_lower(value("--disable-ip=")));
+    } else if (starts_with(a, "--unobservable-ip=")) {
+      cli.options.unobservable_ips.push_back(
+          to_lower(value("--unobservable-ip=")));
+      cli.options.partial = true;
+    } else if (a == "--partial") {
+      cli.options.partial = true;
+    } else if (a == "--initial-state-search") {
+      cli.options.initial_state_search = true;
+    } else if (a == "--hash-states") {
+      cli.options.hash_states = true;
+    } else if (a == "--no-reorder") {
+      cli.options.reorder_pg_nodes = false;
+    } else if (starts_with(a, "--max-transitions=")) {
+      cli.options.max_transitions =
+          std::stoull(value("--max-transitions="));
+    } else if (starts_with(a, "--max-depth=")) {
+      cli.options.max_depth = std::stoi(value("--max-depth="));
+    } else if (starts_with(a, "--script")) {
+      cli.script = a == "--script" ? argv[++i] : value("--script=");
+    } else if (starts_with(a, "--seed=")) {
+      cli.seed = static_cast<std::uint32_t>(std::stoul(value("--seed=")));
+    } else if (a == "-o") {
+      if (i + 1 >= argc) throw CompileError({}, "-o needs a file name");
+      cli.output = argv[++i];
+    } else if (starts_with(a, "--")) {
+      throw CompileError({}, "unknown option '" + a + "'");
+    } else {
+      cli.positional.push_back(a);
+    }
+  }
+  return cli;
+}
+
+est::Spec compile_with_warnings(const std::string& text) {
+  DiagnosticSink sink;
+  est::Spec spec = est::compile_spec(text, sink);
+  if (!sink.all().empty()) std::cerr << sink.render();
+  return spec;
+}
+
+int cmd_check(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  std::cout << "ok: specification '" << spec.name << "' — "
+            << spec.states.size() << " states, " << spec.ips.size()
+            << " ips, " << spec.body().transitions.size()
+            << " transitions, " << spec.module_vars.size()
+            << " module variables\n";
+  return 0;
+}
+
+int cmd_analyze(const Cli& cli) {
+  if (cli.positional.size() < 2) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  tr::Trace trace = tr::parse_trace(spec, read_file(cli.positional[1]));
+  if (cli.all_orders) {
+    std::printf("%-6s %-12s %10s %10s %10s %10s %8s\n", "mode", "verdict",
+                "TE", "GE", "RE", "SA", "cpu(ms)");
+    for (const auto& [name, opts] :
+         {std::pair{"NR", core::Options::none()},
+          std::pair{"IO", core::Options::io()},
+          std::pair{"IP", core::Options::ip()},
+          std::pair{"FULL", core::Options::full()}}) {
+      core::Options o = opts;
+      o.max_transitions = cli.options.max_transitions;
+      core::DfsResult r = core::analyze(spec, trace, o);
+      std::printf("%-6s %-12s %10llu %10llu %10llu %10llu %8.2f\n", name,
+                  std::string(core::to_string(r.verdict)).c_str(),
+                  static_cast<unsigned long long>(
+                      r.stats.transitions_executed),
+                  static_cast<unsigned long long>(r.stats.generates),
+                  static_cast<unsigned long long>(r.stats.restores),
+                  static_cast<unsigned long long>(r.stats.saves),
+                  r.stats.cpu_seconds * 1e3);
+    }
+    return 0;
+  }
+  core::DfsResult result = core::analyze(spec, trace, cli.options);
+  std::cout << "verdict: " << core::to_string(result.verdict) << "\n"
+            << "stats:   " << result.stats.summary() << "\n";
+  if (cli.verbose) {
+    if (!result.solution.empty()) {
+      std::cout << "solution:";
+      for (const std::string& t : result.solution) std::cout << ' ' << t;
+      std::cout << "\n";
+    }
+    if (!result.note.empty()) std::cout << "note:    " << result.note << "\n";
+  }
+  return result.verdict == core::Verdict::Valid ? 0 : 1;
+}
+
+int cmd_online(const Cli& cli) {
+  if (cli.positional.size() < 2) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  tr::FileFollower follower(spec, cli.positional[1]);
+  core::OnlineConfig config;
+  config.options = cli.options;
+  core::OnlineAnalyzer analyzer(spec, follower, config);
+  core::OnlineStatus last = core::OnlineStatus::Searching;
+  while (!analyzer.conclusive()) {
+    core::OnlineStatus s = analyzer.step_round(8192);
+    if (s != last && cli.verbose) {
+      std::cerr << "status: " << core::to_string(s) << " (events so far: "
+                << analyzer.trace().events().size() << ")\n";
+      last = s;
+    }
+    if (analyzer.conclusive()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "verdict: " << core::to_string(analyzer.status()) << "\n"
+            << "stats:   " << analyzer.stats().summary() << "\n";
+  return analyzer.status() == core::OnlineStatus::Valid ? 0 : 1;
+}
+
+int cmd_simulate(const Cli& cli) {
+  if (cli.positional.empty() || cli.script.empty()) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+
+  std::vector<sim::Feed> feeds;
+  std::uint32_t line_no = 0;
+  for (std::string_view raw : split(read_file(cli.script), '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    // "<step> <ip>.<msg>(params)" — reuse the trace-event parser by
+    // prefixing the direction keyword.
+    std::size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) {
+      throw CompileError({line_no, 1}, "script: expected '<step> <event>'");
+    }
+    const std::uint64_t step = std::stoull(std::string(line.substr(0, sp)));
+    tr::TraceEvent e = tr::parse_event_line(
+        spec, "in " + std::string(trim(line.substr(sp))), line_no);
+    sim::Feed f;
+    f.at_step = step;
+    f.ip = e.ip;
+    f.interaction = e.interaction;
+    f.params = std::move(e.params);
+    feeds.push_back(std::move(f));
+  }
+
+  sim::SimOptions so;
+  so.seed = cli.seed;
+  sim::SimResult result = sim::simulate(spec, std::move(feeds), so);
+  const std::string text = tr::to_text(spec, result.trace);
+  if (cli.output.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(cli.output, std::ios::binary);
+    out << text;
+  }
+  std::cerr << "simulated " << result.steps << " steps, final state "
+            << (result.final_state >= 0
+                    ? spec.states[static_cast<std::size_t>(result.final_state)]
+                    : std::string("?"))
+            << (result.completed ? "" : " (incomplete: " + result.note + ")")
+            << "\n";
+  return result.completed ? 0 : 1;
+}
+
+int cmd_generate_cpp(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  const std::string code = codegen::generate_cpp(spec);
+  if (cli.output.empty()) {
+    std::cout << code;
+  } else {
+    std::ofstream out(cli.output, std::ios::binary);
+    out << code;
+    std::cerr << "wrote " << cli.output
+              << " (build with -I pointing at tam_runtime.hpp)\n";
+  }
+  return 0;
+}
+
+int cmd_normal_form(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  std::vector<std::string> residual;
+  std::cout << transform::normal_form_source(
+      load_spec_text(cli.positional[0]), &residual);
+  for (const std::string& r : residual) {
+    std::cerr << "warning: transition '" << r
+              << "' still contains control statements (not liftable)\n";
+  }
+  return 0;
+}
+
+int cmd_workload(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  const std::string which = cli.positional[0];
+  est::Spec spec = compile_with_warnings(load_spec_text("builtin:" + which));
+  tr::Trace trace(0);
+  if (which == "lapd") {
+    trace = sim::lapd_trace(spec, cli.size, cli.seed);
+  } else if (which == "tp0") {
+    trace = cli.invalid ? sim::tp0_paper_trace(spec, cli.size)
+                        : sim::tp0_trace(spec, cli.size, cli.size, true,
+                                         cli.seed);
+  } else {
+    throw CompileError({}, "workload must be 'lapd' or 'tp0'");
+  }
+  if (cli.invalid) trace = sim::mutate_last_output_param(trace);
+  const std::string text = tr::to_text(spec, trace);
+  if (cli.output.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(cli.output, std::ios::binary);
+    out << text;
+  }
+  return 0;
+}
+
+int cmd_lint(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  analysis::LintReport report = analysis::lint(spec);
+  std::cout << report.render();
+  return report.has_errors() ? 1 : 0;
+}
+
+int cmd_coverage(const Cli& cli) {
+  if (cli.positional.size() < 2) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+  std::vector<tr::Trace> traces;
+  for (std::size_t i = 1; i < cli.positional.size(); ++i) {
+    traces.push_back(tr::parse_trace(spec, read_file(cli.positional[i])));
+  }
+  analysis::CoverageReport report =
+      analysis::coverage(spec, traces, cli.options);
+  std::cout << report.render();
+  return report.traces_valid == report.traces_total ? 0 : 1;
+}
+
+int cmd_print(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  std::cout << est::print_spec(est::parse(load_spec_text(cli.positional[0])));
+  return 0;
+}
+
+int cmd_specs() {
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    est::Spec spec = est::compile_spec(text);
+    std::cout << name << " — " << spec.body().transitions.size()
+              << " transitions, " << spec.states.size() << " states, "
+              << spec.ips.size() << " ips\n";
+  }
+  return 0;
+}
+
+int cmd_cat(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  std::string_view text = specs::builtin_spec(cli.positional[0]);
+  if (text.empty()) {
+    std::cerr << "unknown built-in spec '" << cli.positional[0] << "'\n";
+    return 2;
+  }
+  std::cout << text;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    Cli cli = parse_cli(argc, argv, 2);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return help();
+    if (cmd == "check") return cmd_check(cli);
+    if (cmd == "analyze") return cmd_analyze(cli);
+    if (cmd == "online") return cmd_online(cli);
+    if (cmd == "simulate") return cmd_simulate(cli);
+    if (cmd == "generate-cpp") return cmd_generate_cpp(cli);
+    if (cmd == "normal-form") return cmd_normal_form(cli);
+    if (cmd == "workload") return cmd_workload(cli);
+    if (cmd == "lint") return cmd_lint(cli);
+    if (cmd == "coverage") return cmd_coverage(cli);
+    if (cmd == "print") return cmd_print(cli);
+    if (cmd == "specs") return cmd_specs();
+    if (cmd == "cat") return cmd_cat(cli);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "tango: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,33 @@
+// Estelle-to-C++ code generator (the Dingo heritage): translates a
+// compiled specification into a standalone C++ translation unit that,
+// together with tam_runtime.hpp, builds into a batch-mode trace analyzer
+// for that protocol — the "tool generator" half of Tango.
+//
+// Scope: static (batch) analysis in strict mode. Interaction parameters
+// must be scalars (integer/boolean/char/enum); record- or array-valued
+// parameters are rejected with a diagnostic. Undefined-use and subrange
+// checks of the interpreter are elided in generated code (module variables
+// start zero-initialized), matching what a Dingo-produced implementation
+// would do.
+#pragma once
+
+#include <string>
+
+#include "estelle/spec.hpp"
+
+namespace tango::codegen {
+
+struct GenOptions {
+  /// Include directive used for the runtime header.
+  std::string runtime_header = "tam_runtime.hpp";
+  /// Emit a main() wrapping tam::run_cli (on by default: a generated file
+  /// is a complete command-line tool).
+  bool emit_main = true;
+};
+
+/// Generates the C++ source for `spec`. Throws CompileError when the
+/// specification uses a feature outside the generator's scope.
+[[nodiscard]] std::string generate_cpp(const est::Spec& spec,
+                                       const GenOptions& options = {});
+
+}  // namespace tango::codegen

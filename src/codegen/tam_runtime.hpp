@@ -1,0 +1,751 @@
+// tam_runtime.hpp — support runtime for TANGO-GENERATED trace analyzers.
+//
+// A generated TAM is a standalone C++ translation unit (no dependency on
+// the tango libraries): the specification's states, variables and
+// transition blocks are compiled to native C++, and this header supplies
+// the generic machinery — trace parsing, the backtracking depth-first
+// search with the paper's relative-order checking options, and a small
+// command-line driver. Generated tools support static (batch) analysis in
+// strict mode; on-line and partial-trace analysis remain interpreter
+// features.
+//
+// This header is self-contained and intentionally dependency-free so a
+// generated file plus this header compile anywhere with C++20.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tam {
+
+// ---------------------------------------------------------------------
+// Faults and values
+// ---------------------------------------------------------------------
+
+class Fault : public std::runtime_error {
+ public:
+  explicit Fault(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// All interaction parameters are scalars in generated tools; every scalar
+/// is carried as a 64-bit ordinal (bool 0/1, char code, enum ordinal).
+using Value = long long;
+
+/// Pascal div/mod semantics (mod result is non-negative).
+inline long long pdiv(long long a, long long b) {
+  if (b == 0) throw Fault("division by zero");
+  return a / b;
+}
+inline long long pmod(long long a, long long b) {
+  if (b == 0) throw Fault("mod by zero");
+  return ((a % b) + b) % b;
+}
+inline long long pabs(long long a) { return a < 0 ? -a : a; }
+
+/// Bounds-checked array access for `array [lo..hi] of T`.
+template <typename A>
+auto& idx(A& arr, long long i, long long lo, long long hi) {
+  if (i < lo || i > hi) {
+    throw Fault("array index " + std::to_string(i) + " out of bounds " +
+                std::to_string(lo) + ".." + std::to_string(hi));
+  }
+  return arr[static_cast<std::size_t>(i - lo)];
+}
+
+// ---------------------------------------------------------------------
+// Dynamic memory: one typed heap per pointee type. Copyable by value so
+// save/restore of the whole State struct is a plain copy.
+// ---------------------------------------------------------------------
+
+using Ref = std::uint32_t;  // 0 is nil
+
+template <typename T>
+class Heap {
+ public:
+  Ref alloc() {
+    const Ref r = next_++;
+    cells_.emplace(r, T{});
+    return r;
+  }
+  void release(Ref r) {
+    if (r == 0) throw Fault("dispose of nil");
+    if (cells_.erase(r) == 0) throw Fault("double dispose");
+  }
+  T& at(Ref r) {
+    if (r == 0) throw Fault("nil pointer dereference");
+    auto it = cells_.find(r);
+    if (it == cells_.end()) throw Fault("dangling pointer");
+    return it->second;
+  }
+  const T& at(Ref r) const {
+    return const_cast<Heap*>(this)->at(r);
+  }
+  bool operator==(const Heap&) const = default;
+
+ private:
+  std::map<Ref, T> cells_;
+  Ref next_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// Interaction/ip descriptor tables (generated as static data)
+// ---------------------------------------------------------------------
+
+enum class ParamKind : std::uint8_t { Int, Bool, Char, Enum };
+
+struct ParamDesc {
+  ParamKind kind = ParamKind::Int;
+  const char* const* enum_values = nullptr;  // Enum only
+  int enum_count = 0;
+};
+
+struct InteractionDesc {
+  const char* name;
+  std::vector<ParamDesc> params;
+};
+
+struct IpDesc {
+  const char* name;
+  std::map<std::string, int> inputs;   // interaction name -> id
+  std::map<std::string, int> outputs;
+};
+
+struct Tables {
+  std::vector<IpDesc> ips;
+  std::vector<InteractionDesc> interactions;
+  std::vector<const char*> states;
+};
+
+// ---------------------------------------------------------------------
+// Trace model (mirrors the tango text format: `in ip.msg(v, ...)`)
+// ---------------------------------------------------------------------
+
+enum class Dir : std::uint8_t { In, Out };
+
+struct Event {
+  Dir dir;
+  int ip;
+  int interaction;
+  std::vector<Value> params;
+  std::uint32_t seq;
+  int line;
+};
+
+class Trace {
+ public:
+  explicit Trace(int ip_count) : index_(static_cast<std::size_t>(ip_count) * 2) {}
+
+  void append(Event e) {
+    e.seq = static_cast<std::uint32_t>(events_.size());
+    index_[static_cast<std::size_t>(e.ip) * 2 + (e.dir == Dir::Out ? 1 : 0)]
+        .push_back(e.seq);
+    events_.push_back(std::move(e));
+  }
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<std::uint32_t>& list(int ip, Dir d) const {
+    return index_[static_cast<std::size_t>(ip) * 2 + (d == Dir::Out ? 1 : 0)];
+  }
+  int ip_count() const { return static_cast<int>(index_.size() / 2); }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::vector<std::uint32_t>> index_;
+};
+
+namespace detail {
+
+inline std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+inline void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+inline std::string read_ident(const std::string& s, std::size_t& i, int line) {
+  skip_ws(s, i);
+  std::size_t start = i;
+  while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '_')) {
+    ++i;
+  }
+  if (start == i) {
+    throw Fault("trace line " + std::to_string(line) + ": expected a name");
+  }
+  return lower(s.substr(start, i - start));
+}
+
+inline Value parse_value(const std::string& s, std::size_t& i,
+                         const ParamDesc& desc, int line) {
+  skip_ws(s, i);
+  if (i < s.size() && (s[i] == '-' || std::isdigit(static_cast<unsigned char>(s[i])))) {
+    bool neg = s[i] == '-';
+    if (neg) ++i;
+    long long v = 0;
+    bool any = false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      v = v * 10 + (s[i++] - '0');
+      any = true;
+    }
+    if (!any) throw Fault("trace line " + std::to_string(line) + ": bad number");
+    return neg ? -v : v;
+  }
+  if (i < s.size() && s[i] == '\'') {
+    if (i + 2 >= s.size() || s[i + 2] != '\'') {
+      throw Fault("trace line " + std::to_string(line) + ": bad char literal");
+    }
+    Value v = static_cast<unsigned char>(s[i + 1]);
+    i += 3;
+    return v;
+  }
+  std::string word = read_ident(s, i, line);
+  if (word == "true") return 1;
+  if (word == "false") return 0;
+  if (desc.kind == ParamKind::Enum) {
+    for (int k = 0; k < desc.enum_count; ++k) {
+      if (word == desc.enum_values[k]) return k;
+    }
+  }
+  throw Fault("trace line " + std::to_string(line) + ": bad value '" + word +
+              "'");
+}
+
+}  // namespace detail
+
+/// Parses the tango trace text format against the generated tables.
+inline Trace parse_trace(const Tables& tables, const std::string& text) {
+  Trace trace(static_cast<int>(tables.ips.size()));
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::size_t i = 0;
+    detail::skip_ws(raw, i);
+    if (i >= raw.size() || raw[i] == '#') continue;
+    std::string dir_word = detail::read_ident(raw, i, line_no);
+    if (dir_word == "eof") break;  // static tools treat eof as end of text
+    Event e{};
+    e.line = line_no;
+    if (dir_word == "in") {
+      e.dir = Dir::In;
+    } else if (dir_word == "out") {
+      e.dir = Dir::Out;
+    } else {
+      throw Fault("trace line " + std::to_string(line_no) +
+                  ": expected in/out");
+    }
+    std::string ip_name = detail::read_ident(raw, i, line_no);
+    e.ip = -1;
+    for (std::size_t k = 0; k < tables.ips.size(); ++k) {
+      if (ip_name == tables.ips[k].name) e.ip = static_cast<int>(k);
+    }
+    if (e.ip < 0) {
+      throw Fault("trace line " + std::to_string(line_no) + ": unknown ip '" +
+                  ip_name + "'");
+    }
+    detail::skip_ws(raw, i);
+    if (i >= raw.size() || raw[i] != '.') {
+      throw Fault("trace line " + std::to_string(line_no) + ": expected '.'");
+    }
+    ++i;
+    std::string msg = detail::read_ident(raw, i, line_no);
+    const IpDesc& ip = tables.ips[static_cast<std::size_t>(e.ip)];
+    const auto& table = e.dir == Dir::In ? ip.inputs : ip.outputs;
+    auto it = table.find(msg);
+    if (it == table.end()) {
+      throw Fault("trace line " + std::to_string(line_no) + ": '" + msg +
+                  "' is not a valid " +
+                  (e.dir == Dir::In ? "input" : "output") + " at ip '" +
+                  ip_name + "'");
+    }
+    e.interaction = it->second;
+    const InteractionDesc& info =
+        tables.interactions[static_cast<std::size_t>(e.interaction)];
+    detail::skip_ws(raw, i);
+    if (i < raw.size() && raw[i] == '(') {
+      ++i;
+      for (std::size_t p = 0; p < info.params.size(); ++p) {
+        if (p != 0) {
+          detail::skip_ws(raw, i);
+          if (i >= raw.size() || raw[i] != ',') {
+            throw Fault("trace line " + std::to_string(line_no) +
+                        ": expected ','");
+          }
+          ++i;
+        }
+        e.params.push_back(
+            detail::parse_value(raw, i, info.params[p], line_no));
+      }
+      detail::skip_ws(raw, i);
+      if (i >= raw.size() || raw[i] != ')') {
+        throw Fault("trace line " + std::to_string(line_no) +
+                    ": expected ')'");
+      }
+      ++i;
+    } else if (!info.params.empty()) {
+      throw Fault("trace line " + std::to_string(line_no) + ": '" + msg +
+                  "' expects " + std::to_string(info.params.size()) +
+                  " parameter(s)");
+    }
+    trace.append(std::move(e));
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------
+// Generated-model interface
+// ---------------------------------------------------------------------
+
+struct TransInfo {
+  const char* name;
+  std::vector<int> from;  // sorted state ordinals
+  int to;                 // -1 = same
+  int when_ip = -1;       // -1 = spontaneous
+  int when_interaction = -1;
+  long long priority = std::numeric_limits<long long>::max();
+};
+
+using OutputFn = bool (*)(void* ctx, int ip, int interaction,
+                          const std::vector<Value>& params);
+
+/// Implemented by the generated code. The model owns the State struct;
+/// save/restore copy it by value (cheap: native members + typed heaps).
+class Model {
+ public:
+  virtual ~Model() = default;
+  virtual const Tables& tables() const = 0;
+  virtual const std::vector<TransInfo>& transitions() const = 0;
+  virtual int initializer_count() const = 0;
+  virtual void init(int initializer) = 0;  // reset + run initialize block
+  virtual int fsm_state() const = 0;
+  virtual void set_fsm_state(int state) = 0;
+  virtual std::shared_ptr<void> save() const = 0;
+  virtual void restore(const std::shared_ptr<void>& snapshot) = 0;
+  virtual bool provided(int t, const std::vector<Value>& args) = 0;
+  /// Runs the block; outputs go through emit. False when emit vetoed.
+  virtual bool fire(int t, const std::vector<Value>& args, OutputFn emit,
+                    void* emit_ctx) = 0;
+};
+
+// ---------------------------------------------------------------------
+// Backtracking DFS with relative-order checking (paper §2.2, §2.4.2)
+// ---------------------------------------------------------------------
+
+struct Options {
+  bool check_input_wrt_output = false;
+  bool check_output_wrt_input = false;
+  bool check_ip_order = false;
+  bool initial_state_search = false;
+  std::uint64_t max_transitions = 0;
+  std::vector<int> disabled_ips;  // outputs unchecked, inputs never offered
+
+  static Options from_mode(const std::string& mode) {
+    Options o;
+    if (mode == "io" || mode == "full") {
+      o.check_input_wrt_output = true;
+      o.check_output_wrt_input = true;
+    }
+    if (mode == "ip" || mode == "full") o.check_ip_order = true;
+    return o;
+  }
+};
+
+struct Stats {
+  std::uint64_t transitions_executed = 0;
+  std::uint64_t generates = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t saves = 0;
+};
+
+enum class Verdict { Valid, Invalid, Inconclusive };
+
+inline const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Valid: return "valid";
+    case Verdict::Invalid: return "invalid";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+struct Result {
+  Verdict verdict = Verdict::Inconclusive;
+  Stats stats;
+  std::vector<std::string> solution;
+};
+
+class Analyzer {
+ public:
+  Analyzer(Model& model, const Trace& trace, Options options)
+      : model_(model), trace_(trace), options_(std::move(options)),
+        disabled_(static_cast<std::size_t>(trace.ip_count()), 0) {
+    for (int ip : options_.disabled_ips) {
+      if (ip >= 0 && ip < trace.ip_count()) {
+        disabled_[static_cast<std::size_t>(ip)] = 1;
+      }
+    }
+  }
+
+  Result run() {
+    // Mirror the interpreter's rule: disabling an ip asserts no input ever
+    // arrives there; outputs recorded there are simply ignored.
+    for (const Event& e : trace_.events()) {
+      if (e.dir == Dir::In && disabled_[static_cast<std::size_t>(e.ip)]) {
+        throw Fault("trace line " + std::to_string(e.line) +
+                    ": input at disabled ip");
+      }
+    }
+    Result result;
+    for (int init = 0; init < model_.initializer_count(); ++init) {
+      std::vector<int> starts;
+      model_.init(init);
+      starts.push_back(model_.fsm_state());
+      if (options_.initial_state_search) {
+        const int n = static_cast<int>(model_.tables().states.size());
+        for (int s = 0; s < n; ++s) {
+          if (s != starts[0]) starts.push_back(s);
+        }
+      }
+      for (int start : starts) {
+        model_.init(init);
+        model_.set_fsm_state(start);
+        Cursors cursors(trace_.ip_count());
+        if (search(cursors, result)) return result;
+        if (out_of_budget_) {
+          result.verdict = Verdict::Inconclusive;
+          return result;
+        }
+      }
+    }
+    result.verdict = Verdict::Invalid;
+    return result;
+  }
+
+ private:
+  struct Cursors {
+    std::vector<std::uint32_t> in_next, out_next;
+    explicit Cursors(int ips)
+        : in_next(static_cast<std::size_t>(ips), 0),
+          out_next(static_cast<std::size_t>(ips), 0) {}
+  };
+
+  struct Firing {
+    int transition;
+    int input_event;  // -1 spontaneous
+    const std::vector<Value>* params;
+  };
+
+  struct Frame {
+    std::vector<Firing> firings;
+    std::size_t next = 0;
+    std::shared_ptr<void> saved_model;
+    Cursors saved_cursors;
+    std::string chosen;
+  };
+
+  static const std::vector<Value>& no_params() {
+    static const std::vector<Value> empty;
+    return empty;
+  }
+
+  std::uint32_t next_seq(const Cursors& c, int ip, Dir d) const {
+    const auto& list = trace_.list(ip, d);
+    const std::uint32_t cur = d == Dir::In
+                                  ? c.in_next[static_cast<std::size_t>(ip)]
+                                  : c.out_next[static_cast<std::size_t>(ip)];
+    return cur >= list.size() ? std::numeric_limits<std::uint32_t>::max()
+                              : list[cur];
+  }
+
+  std::uint32_t global_min(const Cursors& c, Dir d) const {
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (int ip = 0; ip < trace_.ip_count(); ++ip) {
+      if (disabled_[static_cast<std::size_t>(ip)]) continue;
+      best = std::min(best, next_seq(c, ip, d));
+    }
+    return best;
+  }
+
+  bool all_done(const Cursors& c) const {
+    for (int ip = 0; ip < trace_.ip_count(); ++ip) {
+      if (disabled_[static_cast<std::size_t>(ip)]) continue;
+      if (c.in_next[static_cast<std::size_t>(ip)] <
+              trace_.list(ip, Dir::In).size() ||
+          c.out_next[static_cast<std::size_t>(ip)] <
+              trace_.list(ip, Dir::Out).size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Firing> generate(const Cursors& cursors, Stats& stats) {
+    ++stats.generates;
+    std::vector<Firing> firings;
+    const auto& transitions = model_.transitions();
+    long long best_priority = std::numeric_limits<long long>::max();
+    for (std::size_t t = 0; t < transitions.size(); ++t) {
+      const TransInfo& info = transitions[t];
+      if (!std::binary_search(info.from.begin(), info.from.end(),
+                              model_.fsm_state())) {
+        continue;
+      }
+      Firing firing{static_cast<int>(t), -1, &no_params()};
+      if (info.when_ip >= 0) {
+        if (disabled_[static_cast<std::size_t>(info.when_ip)]) continue;
+        const std::uint32_t seq = next_seq(cursors, info.when_ip, Dir::In);
+        if (seq == std::numeric_limits<std::uint32_t>::max()) continue;
+        const Event& ev = trace_.events()[seq];
+        if (ev.interaction != info.when_interaction) continue;
+        if (options_.check_input_wrt_output &&
+            next_seq(cursors, info.when_ip, Dir::Out) < seq) {
+          continue;
+        }
+        if (options_.check_ip_order && global_min(cursors, Dir::In) < seq) {
+          continue;
+        }
+        firing.input_event = static_cast<int>(seq);
+        firing.params = &ev.params;
+      }
+      try {
+        if (!model_.provided(static_cast<int>(t), *firing.params)) continue;
+      } catch (const Fault&) {
+        continue;  // a faulting guard cannot be satisfied on this path
+      }
+      if (info.priority < best_priority) {
+        best_priority = info.priority;
+        firings.clear();
+      }
+      if (info.priority == best_priority) firings.push_back(firing);
+    }
+    return firings;
+  }
+
+  struct EmitCtx {
+    Analyzer* self;
+    Cursors* cursors;
+    std::vector<std::uint32_t> matched;
+    Cursors start;
+    EmitCtx(Analyzer* a, Cursors* c) : self(a), cursors(c), start(*c) {}
+  };
+
+  static bool emit_cb(void* raw, int ip, int interaction,
+                      const std::vector<Value>& params) {
+    auto* ctx = static_cast<EmitCtx*>(raw);
+    Analyzer& self = *ctx->self;
+    Cursors& cursors = *ctx->cursors;
+    if (self.disabled_[static_cast<std::size_t>(ip)]) return true;
+    const std::uint32_t seq = self.next_seq(cursors, ip, Dir::Out);
+    if (seq == std::numeric_limits<std::uint32_t>::max()) return false;
+    const Event& ev = self.trace_.events()[seq];
+    if (ev.interaction != interaction || ev.params != params) return false;
+    if (self.options_.check_output_wrt_input &&
+        self.next_seq(cursors, ip, Dir::In) < seq) {
+      return false;
+    }
+    cursors.out_next[static_cast<std::size_t>(ip)]++;
+    ctx->matched.push_back(seq);
+    return true;
+  }
+
+  bool finish_block(EmitCtx& ctx) const {
+    if (!options_.check_ip_order || ctx.matched.empty()) return true;
+    std::vector<std::uint32_t> expected;
+    Cursors probe = ctx.start;
+    for (std::size_t k = 0; k < ctx.matched.size(); ++k) {
+      std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+      int best_ip = -1;
+      for (int ip = 0; ip < trace_.ip_count(); ++ip) {
+        if (disabled_[static_cast<std::size_t>(ip)]) continue;
+        const std::uint32_t s = next_seq(probe, ip, Dir::Out);
+        if (s < best) {
+          best = s;
+          best_ip = ip;
+        }
+      }
+      if (best_ip < 0) break;
+      expected.push_back(best);
+      probe.out_next[static_cast<std::size_t>(best_ip)]++;
+    }
+    std::vector<std::uint32_t> got = ctx.matched;
+    std::sort(got.begin(), got.end());
+    return got == expected;
+  }
+
+  bool apply(Cursors& cursors, const Firing& firing, Stats& stats) {
+    ++stats.transitions_executed;
+    if (firing.input_event >= 0) {
+      const Event& ev =
+          trace_.events()[static_cast<std::size_t>(firing.input_event)];
+      cursors.in_next[static_cast<std::size_t>(ev.ip)]++;
+    }
+    EmitCtx ctx(this, &cursors);
+    try {
+      if (!model_.fire(firing.transition, *firing.params, &emit_cb, &ctx)) {
+        return false;
+      }
+    } catch (const Fault&) {
+      return false;
+    }
+    return finish_block(ctx);
+  }
+
+  bool search(Cursors root_cursors, Result& result) {
+    Stats& stats = result.stats;
+    std::vector<std::string> path;
+    if (all_done(root_cursors)) {
+      result.verdict = Verdict::Valid;
+      result.solution = path;
+      return true;
+    }
+    Cursors cur = root_cursors;
+    std::vector<Frame> stack;
+    push_frame(stack, cur, stats);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.firings.size()) {
+        if (!frame.chosen.empty()) path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      if (options_.max_transitions != 0 &&
+          stats.transitions_executed >= options_.max_transitions) {
+        out_of_budget_ = true;
+        return false;
+      }
+      const std::size_t pick = frame.next++;
+      if (pick > 0) {
+        model_.restore(frame.saved_model);
+        cur = frame.saved_cursors;
+        ++stats.restores;
+        if (!frame.chosen.empty()) path.pop_back();
+        frame.chosen.clear();
+      }
+      const Firing firing = frame.firings[pick];
+      if (!apply(cur, firing, stats)) continue;
+      frame.chosen = model_.transitions()[static_cast<std::size_t>(
+                                              firing.transition)]
+                         .name;
+      path.push_back(frame.chosen);
+      if (all_done(cur)) {
+        result.verdict = Verdict::Valid;
+        result.solution = path;
+        return true;
+      }
+      push_frame(stack, cur, stats);
+    }
+    return false;
+  }
+
+  void push_frame(std::vector<Frame>& stack, Cursors& cur, Stats& stats) {
+    Frame frame{generate(cur, stats), 0, nullptr, cur, {}};
+    if (frame.firings.size() > 1) {
+      frame.saved_model = model_.save();
+      ++stats.saves;
+    }
+    stack.push_back(std::move(frame));
+  }
+
+  Model& model_;
+  const Trace& trace_;
+  Options options_;
+  std::vector<char> disabled_;
+  bool out_of_budget_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Command-line driver for generated tools
+// ---------------------------------------------------------------------
+
+inline int run_cli(Model& model, int argc, char** argv) {
+  std::string trace_path;
+  std::string mode = "io";
+  Options options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--order=", 0) == 0) {
+      mode = a.substr(8);
+    } else if (a == "--initial-state-search") {
+      options.initial_state_search = true;
+    } else if (a.rfind("--disable-ip=", 0) == 0) {
+      const std::string name = detail::lower(a.substr(13));
+      const Tables& tables = model.tables();
+      int found = -1;
+      for (std::size_t k = 0; k < tables.ips.size(); ++k) {
+        if (name == tables.ips[k].name) found = static_cast<int>(k);
+      }
+      if (found < 0) {
+        std::fprintf(stderr, "unknown ip '%s'\n", name.c_str());
+        return 2;
+      }
+      options.disabled_ips.push_back(found);
+    } else if (a.rfind("--max-transitions=", 0) == 0) {
+      options.max_transitions = std::stoull(a.substr(18));
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a[0] != '-') {
+      trace_path = a;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <trace-file> [--order=none|io|ip|full] "
+                 "[--initial-state-search] [--max-transitions=N] "
+                 "[--verbose]\n",
+                 argv[0]);
+    return 2;
+  }
+  Options from_mode = Options::from_mode(mode);
+  from_mode.initial_state_search = options.initial_state_search;
+  from_mode.max_transitions = options.max_transitions;
+  from_mode.disabled_ips = options.disabled_ips;
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    Trace trace = parse_trace(model.tables(), text.str());
+    Analyzer analyzer(model, trace, from_mode);
+    Result result = analyzer.run();
+    std::printf("verdict: %s\n", to_string(result.verdict));
+    std::printf("stats:   TE=%llu GE=%llu RE=%llu SA=%llu\n",
+                static_cast<unsigned long long>(
+                    result.stats.transitions_executed),
+                static_cast<unsigned long long>(result.stats.generates),
+                static_cast<unsigned long long>(result.stats.restores),
+                static_cast<unsigned long long>(result.stats.saves));
+    if (verbose && !result.solution.empty()) {
+      std::printf("solution:");
+      for (const std::string& s : result.solution) {
+        std::printf(" %s", s.c_str());
+      }
+      std::printf("\n");
+    }
+    return result.verdict == Verdict::Valid ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace tam

@@ -1,0 +1,235 @@
+#include "core/dfs.hpp"
+
+#include <optional>
+#include <unordered_set>
+
+#include "core/executor.hpp"
+#include "core/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+
+void validate_trace_against_options(const est::Spec& spec,
+                                    const tr::Trace& trace,
+                                    const ResolvedOptions& ro) {
+  for (const tr::TraceEvent& e : trace.events()) {
+    // Outputs recorded at a disabled ip are simply never checked (§2.4.3:
+    // "not checked, but always considered valid"); inputs there contradict
+    // the option's promise that no input ever arrives (§3.2.1).
+    if (e.dir == tr::Dir::In && ro.is_disabled(e.ip)) {
+      throw CompileError(e.loc,
+                         "trace contains inputs at disabled ip '" +
+                             spec.ips[static_cast<std::size_t>(e.ip)].name +
+                             "'; disabling an ip asserts no input arrives "
+                             "there");
+    }
+    if (e.dir == tr::Dir::In && ro.is_unobservable(e.ip)) {
+      throw CompileError(e.loc,
+                         "trace contains inputs at unobservable ip '" +
+                             spec.ips[static_cast<std::size_t>(e.ip)].name +
+                             "'");
+    }
+  }
+}
+
+namespace {
+
+struct NodeFrame {
+  GenResult gen;
+  std::size_t next = 0;
+  std::optional<SearchState> saved;  // present iff the node branches
+  std::string chosen;                // name of the firing taken to descend
+};
+
+class DfsEngine {
+ public:
+  DfsEngine(const est::Spec& spec, const tr::Trace& trace,
+            const Options& options)
+      : spec_(spec),
+        trace_(trace),
+        options_(options),
+        ro_(spec, options),
+        interp_(spec,
+                options.partial ? rt::EvalMode::Partial : rt::EvalMode::Strict,
+                options.interp) {}
+
+  DfsResult run() {
+    validate_trace_against_options(spec_, trace_, ro_);
+    CpuTimer timer;
+    DfsResult result;
+
+    for (std::size_t ii = 0; ii < spec_.body().initializers.size(); ++ii) {
+      InitResult init = apply_initializer(interp_, trace_, ro_, ii,
+                                          result.stats);
+      if (!init.ok) {
+        note(result, init.note);
+        continue;
+      }
+      std::vector<int> start_states{init.state.machine.fsm_state};
+      if (options_.initial_state_search) {
+        // §2.4.1: retry from every other FSM state, variables left exactly
+        // as the initialize block set them.
+        for (int s = 0; s < static_cast<int>(spec_.states.size()); ++s) {
+          if (s != init.state.machine.fsm_state) start_states.push_back(s);
+        }
+      }
+      for (int start : start_states) {
+        SearchState root = init.state;
+        root.machine.fsm_state = start;
+        std::string root_label =
+            "initialize to " + spec_.states[static_cast<std::size_t>(start)];
+        if (search_from(root, std::move(root_label), result)) {
+          result.stats.cpu_seconds = timer.elapsed();
+          return result;
+        }
+        if (out_of_budget_) break;
+      }
+      if (out_of_budget_) break;
+    }
+
+    result.verdict = (out_of_budget_ || depth_clipped_)
+                         ? Verdict::Inconclusive
+                         : Verdict::Invalid;
+    result.stats.cpu_seconds = timer.elapsed();
+    return result;
+  }
+
+ private:
+  static void note(DfsResult& result, const std::string& msg) {
+    if (msg.empty()) return;
+    // Keep the most diagnostic veto: a concrete parameter mismatch beats
+    // ordering complaints from unrelated failed interleavings.
+    const bool existing_param =
+        result.note.find("parameter") != std::string::npos;
+    const bool incoming_param = msg.find("parameter") != std::string::npos;
+    if (result.note.empty() || (incoming_param && !existing_param)) {
+      result.note = msg;
+    }
+  }
+
+  bool budget_exceeded(const Stats& stats) {
+    if (options_.max_transitions != 0 &&
+        stats.transitions_executed >= options_.max_transitions) {
+      out_of_budget_ = true;
+    }
+    return out_of_budget_;
+  }
+
+  /// DFS from one root. Returns true when a solution was found (verdict
+  /// fields are filled in).
+  bool search_from(SearchState root, std::string root_label,
+                   DfsResult& result) {
+    Stats& stats = result.stats;
+    std::vector<std::string> path{std::move(root_label)};
+
+    if (root.cursors.all_done(trace_, ro_)) {
+      result.verdict = Verdict::Valid;
+      result.solution = std::move(path);
+      return true;
+    }
+
+    SearchState cur = std::move(root);
+    std::vector<NodeFrame> stack;
+    push_node(stack, cur, result);
+
+    while (!stack.empty()) {
+      NodeFrame& frame = stack.back();
+      if (frame.next >= frame.gen.firings.size()) {
+        if (!frame.chosen.empty()) path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      if (budget_exceeded(stats)) return false;
+
+      const std::size_t pick = frame.next++;
+      if (pick > 0) {
+        cur = *frame.saved;  // backtrack: restore the branching state
+        ++stats.restores;
+        if (!frame.chosen.empty()) path.pop_back();
+        frame.chosen.clear();
+      }
+
+      const Firing& firing = frame.gen.firings[pick];
+      ApplyResult applied =
+          apply_firing(interp_, trace_, ro_, cur, firing, stats);
+      if (!applied.ok) {
+        // cur is now dirty; the next sibling (or an ancestor's) restore
+        // repairs it before anything else executes.
+        note(result, applied.note);
+        continue;
+      }
+
+      frame.chosen =
+          spec_.body()
+              .transitions[static_cast<std::size_t>(firing.transition)]
+              .name;
+      path.push_back(frame.chosen);
+      stats.max_depth =
+          std::max(stats.max_depth, static_cast<int>(stack.size()));
+
+      if (cur.cursors.all_done(trace_, ro_)) {
+        result.verdict = Verdict::Valid;
+        result.solution = std::move(path);
+        return true;
+      }
+
+      if (options_.hash_states) {
+        // §4.2's proposed hash table of visited states: a revisited state
+        // has an identical subtree, already explored or in progress.
+        if (!visited_.insert(cur.hash()).second) {
+          ++stats.pruned_by_hash;
+          path.pop_back();
+          frame.chosen.clear();
+          continue;
+        }
+      }
+
+      if (options_.max_depth != 0 &&
+          static_cast<int>(stack.size()) >= options_.max_depth) {
+        depth_clipped_ = true;
+        path.pop_back();
+        frame.chosen.clear();
+        continue;
+      }
+
+      push_node(stack, cur, result);
+    }
+    return false;
+  }
+
+  void push_node(std::vector<NodeFrame>& stack, SearchState& cur,
+                 DfsResult& result) {
+    NodeFrame frame;
+    frame.gen = generate(interp_, trace_, ro_, cur, result.stats);
+    note(result, frame.gen.fault);
+    if (frame.gen.firings.size() > 1) {
+      frame.saved = cur;  // save only when the node actually branches
+      ++result.stats.saves;
+    }
+    stack.push_back(std::move(frame));
+  }
+
+  const est::Spec& spec_;
+  const tr::Trace& trace_;
+  const Options& options_;
+  ResolvedOptions ro_;
+  rt::Interp interp_;
+  std::unordered_set<std::uint64_t> visited_;
+  bool out_of_budget_ = false;
+  bool depth_clipped_ = false;
+};
+
+}  // namespace
+
+DfsResult analyze(const est::Spec& spec, const tr::Trace& trace,
+                  const Options& options) {
+  return DfsEngine(spec, trace, options).run();
+}
+
+DfsResult analyze_text(const est::Spec& spec, std::string_view trace_text,
+                       const Options& options) {
+  tr::Trace trace = tr::parse_trace(spec, trace_text);
+  return analyze(spec, trace, options);
+}
+
+}  // namespace tango::core

@@ -1,0 +1,47 @@
+// Backtracking depth-first trace analysis for static (complete) traces —
+// the paper's §2.2. A trace is valid iff some path of transitions from an
+// initial state consumes every input and produces every output recorded in
+// the trace (§2: "state space search ... a path from the root to a leaf").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/search_state.hpp"
+#include "core/stats.hpp"
+#include "core/verdict.hpp"
+#include "trace/event.hpp"
+
+namespace tango::core {
+
+struct DfsResult {
+  Verdict verdict = Verdict::Inconclusive;
+  Stats stats;
+  /// For a valid trace: the transition names of one solution path, root to
+  /// leaf (first entry is the initialize clause).
+  std::vector<std::string> solution;
+  /// Diagnostic: the first path-veto reason encountered (useful on invalid
+  /// traces).
+  std::string note;
+};
+
+/// Analyzes a complete trace against the specification. Throws CompileError
+/// if the trace references disabled ips or carries inputs at unobservable
+/// ips; runtime faults inside specification code kill only the offending
+/// path (recorded in `note`).
+[[nodiscard]] DfsResult analyze(const est::Spec& spec, const tr::Trace& trace,
+                                const Options& options);
+
+/// Convenience: parse the trace text, then analyze.
+[[nodiscard]] DfsResult analyze_text(const est::Spec& spec,
+                                     std::string_view trace_text,
+                                     const Options& options);
+
+/// Validates trace/option consistency (shared with the on-line analyzer):
+/// no events at disabled ips, no inputs at unobservable ips.
+void validate_trace_against_options(const est::Spec& spec,
+                                    const tr::Trace& trace,
+                                    const ResolvedOptions& ro);
+
+}  // namespace tango::core

@@ -1,0 +1,169 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+
+TraceMatcher::TraceMatcher(const est::Spec& spec, const tr::Trace& trace,
+                           const ResolvedOptions& ro, SearchState& st,
+                           bool partial)
+    : spec_(spec),
+      trace_(trace),
+      ro_(ro),
+      st_(st),
+      partial_(partial),
+      start_cursors_(st.cursors) {}
+
+bool TraceMatcher::on_output(int ip, int interaction_id,
+                             std::vector<rt::Value> params, SourceLoc loc) {
+  if (ro_.is_disabled(ip)) return true;  // §2.4.3: always considered valid
+
+  const std::uint32_t seq = st_.cursors.next_seq(trace_, ip, tr::Dir::Out);
+  if (seq == std::numeric_limits<std::uint32_t>::max()) {
+    failure_ = "produced an output at ip '" +
+               spec_.ips[static_cast<std::size_t>(ip)].name +
+               "' but the trace has no pending output there";
+    retry_later_ = !trace_.eof();  // the matching event may still arrive
+    return false;
+  }
+  const tr::TraceEvent& ev = trace_.event(seq);
+  if (ev.interaction != interaction_id) {
+    failure_ = "produced '" + spec_.interaction(interaction_id).name +
+               "' at ip '" + spec_.ips[static_cast<std::size_t>(ip)].name +
+               "' but the trace expects '" +
+               spec_.interaction(ev.interaction).name + "' (trace line " +
+               std::to_string(ev.loc.line) + ")";
+    return false;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!partial_ && rt::contains_undefined(params[i])) {
+      throw RuntimeFault(loc, "output parameter " + std::to_string(i + 1) +
+                                  " of '" + spec_.interaction(interaction_id)
+                                                .name +
+                                  "' is undefined (strict mode)");
+    }
+    if (!rt::equals(params[i], ev.params[i], partial_)) {
+      failure_ = "parameter " + std::to_string(i + 1) + " of '" +
+                 spec_.interaction(interaction_id).name + "' is " +
+                 params[i].to_string() + " but the trace has " +
+                 ev.params[i].to_string() + " (trace line " +
+                 std::to_string(ev.loc.line) + ")";
+      return false;
+    }
+  }
+
+  // §2.4.2 output-wrt-input: the produced output must precede every pending
+  // input at the same ip.
+  if (ro_.base->check_output_wrt_input &&
+      st_.cursors.next_seq(trace_, ip, tr::Dir::In) < seq) {
+    failure_ = "output ordering: an earlier input at the same ip is still "
+               "pending";
+    return false;
+  }
+
+  st_.cursors.out_next[static_cast<std::size_t>(ip)]++;
+  matched_.push_back(seq);
+  return true;
+}
+
+bool TraceMatcher::finish() {
+  if (!ro_.base->check_ip_order || matched_.empty()) return true;
+
+  // The outputs of this block must occupy the globally-earliest pending
+  // output slots as of the start of the transition — in any order among
+  // themselves (§2.4.2: outputs of one block to different ips may be
+  // permuted in the trace).
+  std::vector<std::uint32_t> expected;
+  CursorSet probe = start_cursors_;
+  for (std::size_t k = 0; k < matched_.size(); ++k) {
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    int best_ip = -1;
+    for (int ip = 0; ip < trace_.ip_count(); ++ip) {
+      if (ro_.is_disabled(ip)) continue;
+      const std::uint32_t s = probe.next_seq(trace_, ip, tr::Dir::Out);
+      if (s < best) {
+        best = s;
+        best_ip = ip;
+      }
+    }
+    if (best_ip < 0) break;
+    expected.push_back(best);
+    probe.out_next[static_cast<std::size_t>(best_ip)]++;
+  }
+
+  std::vector<std::uint32_t> got = matched_;
+  std::sort(got.begin(), got.end());
+  if (got != expected) {
+    failure_ = "IP relative order: the block's outputs are not the "
+               "globally-earliest pending outputs";
+    return false;
+  }
+  return true;
+}
+
+ApplyResult apply_firing(rt::Interp& interp, const tr::Trace& trace,
+                         const ResolvedOptions& ro, SearchState& st,
+                         const Firing& firing, Stats& stats) {
+  ++stats.transitions_executed;
+  const est::Transition& tr =
+      interp.spec().body().transitions[static_cast<std::size_t>(
+          firing.transition)];
+
+  if (firing.input_event >= 0) {
+    const tr::TraceEvent& ev =
+        trace.event(static_cast<std::uint32_t>(firing.input_event));
+    st.cursors.in_next[static_cast<std::size_t>(ev.ip)]++;
+  }
+
+  TraceMatcher matcher(interp.spec(), trace, ro, st,
+                       ro.base->partial);
+  try {
+    if (!interp.fire(st.machine, tr, firing.binding, matcher)) {
+      return {false, matcher.retry_later(), matcher.failure()};
+    }
+  } catch (const RuntimeFault& fault) {
+    return {false, false, fault.what()};
+  }
+  if (!matcher.finish()) {
+    return {false, false, matcher.failure()};
+  }
+  return {true, false, {}};
+}
+
+InitResult apply_initializer(rt::Interp& interp, const tr::Trace& trace,
+                             const ResolvedOptions& ro, std::size_t index,
+                             Stats& stats) {
+  InitResult out;
+  out.state.machine = rt::make_initial_machine(interp.spec());
+  out.state.cursors = CursorSet(trace.ip_count());
+  const est::Initializer& init = interp.spec().body().initializers[index];
+
+  try {
+    if (!interp.provided_holds(out.state.machine, init)) {
+      out.note = "initialize provided clause is false";
+      return out;
+    }
+    ++stats.transitions_executed;
+    TraceMatcher matcher(interp.spec(), trace, ro, out.state,
+                         ro.base->partial);
+    if (!interp.run_initializer(out.state.machine, init, matcher)) {
+      out.note = matcher.failure();
+      out.retry_later = matcher.retry_later();
+      return out;
+    }
+    if (!matcher.finish()) {
+      out.note = matcher.failure();
+      return out;
+    }
+  } catch (const RuntimeFault& fault) {
+    out.note = fault.what();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace tango::core

@@ -1,0 +1,75 @@
+// The *update* operation of §2.2: apply one firing to a search state.
+// Inputs advance the ip's input cursor; outputs produced by the transition
+// block are matched against the trace through a TraceMatcher sink, which
+// enforces the §2.4.2 output-side order checks (including the
+// same-transition permutation special case) and the §2.4.3 ip disabling.
+#pragma once
+
+#include <string>
+
+#include "core/generator.hpp"
+#include "core/search_state.hpp"
+
+namespace tango::core {
+
+/// OutputSink that verifies produced interactions against the trace.
+class TraceMatcher final : public rt::OutputSink {
+ public:
+  TraceMatcher(const est::Spec& spec, const tr::Trace& trace,
+               const ResolvedOptions& ro, SearchState& st, bool partial);
+
+  bool on_output(int ip, int interaction_id, std::vector<rt::Value> params,
+                 SourceLoc loc) override;
+
+  /// IP-relative-order permutation check over the whole transition block
+  /// (§2.4.2 special case). Call once after the block succeeds.
+  [[nodiscard]] bool finish();
+
+  /// Human-readable reason for the last veto (verbose diagnostics).
+  [[nodiscard]] const std::string& failure() const { return failure_; }
+
+  /// True when the veto was caused by an exhausted output queue while the
+  /// trace can still grow — the firing may succeed after new events arrive
+  /// (on-line analysis must keep the node as a PG node, §3.1.1).
+  [[nodiscard]] bool retry_later() const { return retry_later_; }
+
+ private:
+  const est::Spec& spec_;
+  const tr::Trace& trace_;
+  const ResolvedOptions& ro_;
+  SearchState& st_;
+  bool partial_;
+  CursorSet start_cursors_;            // snapshot at transition start
+  std::vector<std::uint32_t> matched_; // trace seqs verified by this block
+  std::string failure_;
+  bool retry_later_ = false;
+};
+
+struct ApplyResult {
+  bool ok = false;
+  bool retry_later = false;  // output queue exhausted on a growing trace
+  std::string note;          // veto reason / runtime fault, when !ok
+};
+
+/// Applies `firing` to `st` (mutating it). On failure `st` is left
+/// partially updated; the caller restores from its saved copy.
+[[nodiscard]] ApplyResult apply_firing(rt::Interp& interp,
+                                       const tr::Trace& trace,
+                                       const ResolvedOptions& ro,
+                                       SearchState& st, const Firing& firing,
+                                       Stats& stats);
+
+/// Runs initializer `index` on a fresh state. Returns the resulting state;
+/// ok=false when an initializer output mismatched the trace.
+struct InitResult {
+  bool ok = false;
+  bool retry_later = false;  // output queue exhausted on a growing trace
+  SearchState state;
+  std::string note;
+};
+[[nodiscard]] InitResult apply_initializer(rt::Interp& interp,
+                                           const tr::Trace& trace,
+                                           const ResolvedOptions& ro,
+                                           std::size_t index, Stats& stats);
+
+}  // namespace tango::core

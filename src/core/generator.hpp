@@ -1,0 +1,41 @@
+// The *generate* operation of the paper's §2.2: list every transition
+// fireable from the current search state, honouring when-clauses against
+// the trace's pending inputs, provided clauses, Estelle priorities, and the
+// relative-order checking options of §2.4.2.
+//
+// A generation is *incomplete* (the node is a PG-node, §3.1.1) when a
+// when-transition could not be offered only because its input queue has no
+// pending event and the trace has not reached eof — new input may make it
+// fireable later.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/search_state.hpp"
+#include "core/stats.hpp"
+#include "runtime/interp.hpp"
+
+namespace tango::core {
+
+struct Firing {
+  int transition = -1;    // index into spec.body().transitions
+  int input_event = -1;   // global seq consumed by the when clause, or -1
+  std::vector<rt::Value> binding;  // when-parameter values
+  bool synthesized = false;        // unobservable-ip input (partial mode)
+};
+
+struct GenResult {
+  std::vector<Firing> firings;
+  bool incomplete = false;  // PG: more firings may appear with new input
+  std::string fault;        // first provided-clause fault, if any (path note)
+};
+
+/// Enumerates fireable transitions in declaration order, then keeps only
+/// the highest-priority group (smallest priority value; transitions without
+/// a priority clause rank below all prioritized ones).
+[[nodiscard]] GenResult generate(rt::Interp& interp, const tr::Trace& trace,
+                                 const ResolvedOptions& ro, SearchState& st,
+                                 Stats& stats);
+
+}  // namespace tango::core

@@ -1,0 +1,298 @@
+#include "core/mdfs.hpp"
+
+#include <set>
+#include <utility>
+
+#include "core/executor.hpp"
+
+namespace tango::core {
+
+struct OnlineAnalyzer::MNode {
+  SearchState state;
+  GenResult gen;
+  std::size_t next = 0;
+  /// (transition index, consumed event seq or -1) pairs already explored;
+  /// re-generation after new input must not repeat them (§3.1.1).
+  std::set<std::pair<int, int>> explored;
+
+  [[nodiscard]] bool pg(const tr::Trace& trace) const {
+    return gen.incomplete && !trace.eof();
+  }
+};
+
+OnlineAnalyzer::OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
+                               OnlineConfig config)
+    : spec_(spec),
+      source_(source),
+      config_(std::move(config)),
+      ro_(spec, config_.options),
+      interp_(spec,
+              config_.options.partial ? rt::EvalMode::Partial
+                                      : rt::EvalMode::Strict,
+              config_.options.interp),
+      trace_(static_cast<int>(spec.ips.size())) {}
+
+OnlineAnalyzer::~OnlineAnalyzer() = default;
+
+bool OnlineAnalyzer::poll_source() {
+  const bool had_eof = trace_.eof();
+  const bool got = source_.poll(trace_);
+  steps_since_poll_ = 0;
+  if (!got) return false;
+  // Validate only the newly arrived suffix.
+  for (; validated_events_ < trace_.events().size(); ++validated_events_) {
+    const tr::TraceEvent& e = trace_.events()[validated_events_];
+    if (ro_.is_disabled(e.ip) ||
+        (e.dir == tr::Dir::In && ro_.is_unobservable(e.ip))) {
+      // Reuse the batch validator for a consistent message.
+      tr::Trace one(trace_.ip_count());
+      one.append(e);
+      validate_trace_against_options(spec_, one, ro_);
+    }
+  }
+  // Retry initializers that were blocked on unrecorded outputs.
+  if (seeded_ && !pending_roots_.empty()) {
+    std::vector<std::size_t> still_pending;
+    for (std::size_t ii : pending_roots_) {
+      InitResult init = apply_initializer(interp_, trace_, ro_, ii, stats_);
+      if (!init.ok) {
+        if (init.retry_later) still_pending.push_back(ii);
+        continue;
+      }
+      auto node = std::make_unique<MNode>();
+      node->state = std::move(init.state);
+      node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+      ++stats_.saves;
+      stack_.push_back(std::move(node));
+    }
+    pending_roots_ = std::move(still_pending);
+  }
+  // New data (or the eof marker) re-enables parked PG nodes.
+  if (config_.options.reorder_pg_nodes || trace_.eof() != had_eof) {
+    reactivate_pg(/*all=*/true);
+  }
+  return true;
+}
+
+void OnlineAnalyzer::reactivate_pg(bool all) {
+  if (pg_.empty()) return;
+  if (all) {
+    // Oldest nodes are pushed first so the NEWEST (deepest partial
+    // solution) ends on top of the stack — the §3.1.3 reordering: PG nodes
+    // are searched immediately, the rest of the tree is put on hold.
+    while (!pg_.empty()) {
+      regenerate(std::move(pg_.front()));
+      pg_.pop_front();
+    }
+  } else {
+    // Basic MDFS (§3.1.1): service only the oldest PG node.
+    regenerate(std::move(pg_.front()));
+    pg_.pop_front();
+  }
+}
+
+void OnlineAnalyzer::regenerate(std::unique_ptr<MNode> node) {
+  // A parked PGAV node becomes a full solution the moment eof is marked.
+  if (trace_.eof() && node->state.cursors.all_done(trace_, ro_)) {
+    concluded_ = true;
+    final_status_ = OnlineStatus::Valid;
+    return;
+  }
+  node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+  std::erase_if(node->gen.firings, [&](const Firing& f) {
+    return node->explored.count({f.transition, f.input_event}) != 0;
+  });
+  node->next = 0;
+  stack_.push_back(std::move(node));
+}
+
+void OnlineAnalyzer::seed_roots() {
+  seeded_ = true;
+  // Roots are pushed in reverse so the first initializer is explored first.
+  std::vector<std::unique_ptr<MNode>> roots;
+  for (std::size_t ii = 0; ii < spec_.body().initializers.size(); ++ii) {
+    InitResult init = apply_initializer(interp_, trace_, ro_, ii, stats_);
+    if (!init.ok) {
+      // An initializer whose outputs are not in the trace yet is retried
+      // when new events arrive.
+      if (init.retry_later) pending_roots_.push_back(ii);
+      continue;
+    }
+    std::vector<int> start_states{init.state.machine.fsm_state};
+    if (config_.options.initial_state_search) {
+      for (int s = 0; s < static_cast<int>(spec_.states.size()); ++s) {
+        if (s != init.state.machine.fsm_state) start_states.push_back(s);
+      }
+    }
+    for (int start : start_states) {
+      auto node = std::make_unique<MNode>();
+      node->state = init.state;
+      node->state.machine.fsm_state = start;
+      node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+      ++stats_.saves;
+      roots.push_back(std::move(node));
+    }
+  }
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack_.push_back(std::move(*it));
+  }
+}
+
+void OnlineAnalyzer::prune_non_pgav() {
+  // §3.1.2 footnote 2: treat the fragments analyzed so far as piecewise
+  // valid — keep only PGAV nodes. "It is possible that Tango will give an
+  // invalid result on a valid trace", hence opt-in.
+  if (!config_.options.prune_on_pgav || !any_pgav()) return;
+  std::erase_if(pg_, [&](const std::unique_ptr<MNode>& node) {
+    return !node->state.cursors.all_done(trace_, ro_);
+  });
+}
+
+bool OnlineAnalyzer::any_pgav() const {
+  for (const auto& node : pg_) {
+    if (node->state.cursors.all_done(trace_, ro_)) return true;
+  }
+  for (const auto& node : stack_) {
+    if (node->gen.incomplete &&
+        node->state.cursors.all_done(trace_, ro_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OnlineAnalyzer::do_step() {
+  if (stack_.empty()) return false;
+  MNode& node = *stack_.back();
+
+  if (node.next >= node.gen.firings.size()) {
+    std::unique_ptr<MNode> finished = std::move(stack_.back());
+    stack_.pop_back();
+    if (trace_.eof() && finished->state.cursors.all_done(trace_, ro_)) {
+      // eof arrived while this all-verified node sat on the stack.
+      concluded_ = true;
+      final_status_ = OnlineStatus::Valid;
+      return true;
+    }
+    if (finished->pg(trace_)) {
+      pg_.push_back(std::move(finished));  // park for re-generation (§3.1.1)
+    }
+    return true;
+  }
+
+  const Firing firing = node.gen.firings[node.next++];
+  node.explored.insert({firing.transition, firing.input_event});
+
+  auto child = std::make_unique<MNode>();
+  child->state = node.state;  // MDFS saves a full state per node (§3.2.2)
+  ++stats_.saves;
+  ++stats_.restores;
+
+  ApplyResult applied =
+      apply_firing(interp_, trace_, ro_, child->state, firing, stats_);
+  if (!applied.ok) {
+    if (applied.retry_later) {
+      // The firing produced an output the trace has not recorded YET.
+      // Forget that we tried it and keep the node partially generated so
+      // re-generation offers it again once new events arrive.
+      node.explored.erase({firing.transition, firing.input_event});
+      node.gen.incomplete = true;
+    }
+    return true;
+  }
+
+  stats_.max_depth = std::max(stats_.max_depth,
+                              static_cast<int>(stack_.size()));
+
+  if (child->state.cursors.all_done(trace_, ro_) && trace_.eof()) {
+    concluded_ = true;
+    final_status_ = OnlineStatus::Valid;
+    return true;
+  }
+
+  if (config_.options.max_depth != 0 &&
+      static_cast<int>(stack_.size()) >= config_.options.max_depth) {
+    return true;  // depth-clipped child is abandoned
+  }
+
+  child->gen = generate(interp_, trace_, ro_, child->state, stats_);
+  stack_.push_back(std::move(child));
+  return true;
+}
+
+OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
+  if (concluded_) return final_status_;
+  if (!seeded_) {
+    poll_source();
+    seed_roots();
+  }
+
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (concluded_) return final_status_;
+    if (config_.options.max_transitions != 0 &&
+        stats_.transitions_executed >= config_.options.max_transitions) {
+      concluded_ = true;
+      final_status_ = OnlineStatus::Inconclusive;
+      return final_status_;
+    }
+    if (stack_.empty()) {
+      prune_non_pgav();
+      if (!poll_source()) break;  // quiescent and no new data
+      if (stack_.empty() && !pg_.empty()) {
+        reactivate_pg(config_.options.reorder_pg_nodes);
+      }
+      if (stack_.empty()) break;
+      continue;
+    }
+    if (++steps_since_poll_ >= config_.poll_every) poll_source();
+    do_step();
+  }
+
+  if (stack_.empty() && pg_.empty() && pending_roots_.empty()) {
+    // Tree exhausted with nothing parked: conclusively invalid (§3.1.2).
+    concluded_ = true;
+    final_status_ = OnlineStatus::Invalid;
+    return final_status_;
+  }
+  return status();
+}
+
+OnlineStatus OnlineAnalyzer::status() const {
+  if (concluded_) return final_status_;
+  if (!seeded_) return OnlineStatus::Searching;
+  if (stack_.empty() && pg_.empty() && pending_roots_.empty()) {
+    return OnlineStatus::Invalid;
+  }
+  if (any_pgav()) return OnlineStatus::ValidSoFar;
+  if (stack_.empty()) return OnlineStatus::LikelyInvalid;
+  return OnlineStatus::Searching;
+}
+
+bool OnlineAnalyzer::conclusive() const {
+  return concluded_ ||
+         (seeded_ && stack_.empty() && pg_.empty() && pending_roots_.empty());
+}
+
+std::size_t OnlineAnalyzer::pg_count() const { return pg_.size(); }
+
+OnlineStatus OnlineAnalyzer::run(std::uint64_t steps_per_round,
+                                 int idle_rounds) {
+  int idle = 0;
+  std::uint64_t last_te = stats_.transitions_executed;
+  std::size_t last_events = trace_.events().size();
+  for (;;) {
+    OnlineStatus s = step_round(steps_per_round);
+    if (conclusive()) return s;
+    const bool progressed = stats_.transitions_executed != last_te ||
+                            trace_.events().size() != last_events;
+    last_te = stats_.transitions_executed;
+    last_events = trace_.events().size();
+    if (progressed) {
+      idle = 0;
+    } else if (++idle >= idle_rounds) {
+      return s;
+    }
+  }
+}
+
+}  // namespace tango::core

@@ -1,0 +1,106 @@
+// Multi-threaded depth-first search (paper §3): on-line trace analysis over
+// a dynamic (growing) trace. A node whose transition list was cut short by
+// an exhausted-but-still-growing input queue is *partially generated* (PG)
+// and is saved for re-generation when new input arrives (§3.1.1). A PG node
+// that has consumed every input and verified every output observed so far
+// is PGAV — the trace is "valid so far" (§3.1.2). With dynamic node
+// reordering (§3.1.3, the default), newly re-enabled PG nodes are searched
+// immediately, putting the rest of the tree on hold.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/dfs.hpp"
+#include "core/generator.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/verdict.hpp"
+#include "trace/dynamic_source.hpp"
+
+namespace tango::core {
+
+enum class OnlineStatus {
+  Searching,      // active nodes remain; no assessment yet
+  ValidSoFar,     // a PGAV node exists
+  LikelyInvalid,  // quiescent, only non-AV PG nodes remain (§3.1.2)
+  Valid,          // conclusive (requires the eof marker)
+  Invalid,        // conclusive: tree exhausted, no PG nodes remain
+  Inconclusive,   // search budget exhausted
+};
+
+[[nodiscard]] constexpr std::string_view to_string(OnlineStatus s) {
+  switch (s) {
+    case OnlineStatus::Searching: return "searching";
+    case OnlineStatus::ValidSoFar: return "valid so far";
+    case OnlineStatus::LikelyInvalid: return "likely invalid";
+    case OnlineStatus::Valid: return "valid";
+    case OnlineStatus::Invalid: return "invalid";
+    case OnlineStatus::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+struct OnlineConfig {
+  Options options;
+  /// Search steps between polls of the trace source while the tree is busy.
+  std::uint64_t poll_every = 64;
+};
+
+class OnlineAnalyzer {
+ public:
+  OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
+                 OnlineConfig config);
+  ~OnlineAnalyzer();
+  OnlineAnalyzer(const OnlineAnalyzer&) = delete;
+  OnlineAnalyzer& operator=(const OnlineAnalyzer&) = delete;
+
+  /// Performs up to `steps` search steps, polling the source periodically.
+  /// Returns the status after the round; conclusive statuses are sticky.
+  OnlineStatus step_round(std::uint64_t steps);
+
+  /// Pumps until conclusive, or until `idle_rounds` consecutive rounds make
+  /// no progress and deliver no new trace data.
+  OnlineStatus run(std::uint64_t steps_per_round = 4096, int idle_rounds = 2);
+
+  /// Current assessment without searching.
+  [[nodiscard]] OnlineStatus status() const;
+  [[nodiscard]] bool conclusive() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const tr::Trace& trace() const { return trace_; }
+  /// Number of PG nodes currently parked (the §3.2.1 memory concern).
+  [[nodiscard]] std::size_t pg_count() const;
+
+ private:
+  struct MNode;
+
+  bool poll_source();
+  void reactivate_pg(bool all);
+  void regenerate(std::unique_ptr<MNode> node);
+  void seed_roots();
+  bool do_step();  // one firing attempt / node service; false if none left
+  [[nodiscard]] bool any_pgav() const;
+  void prune_non_pgav();
+
+  const est::Spec& spec_;
+  tr::TraceSource& source_;
+  OnlineConfig config_;
+  ResolvedOptions ro_;
+  rt::Interp interp_;
+  tr::Trace trace_;
+  Stats stats_;
+
+  std::vector<std::unique_ptr<MNode>> stack_;
+  std::deque<std::unique_ptr<MNode>> pg_;
+  std::vector<std::size_t> pending_roots_;  // initializers blocked on output
+  std::size_t validated_events_ = 0;  // prefix checked against options
+  std::uint64_t steps_since_poll_ = 0;
+  bool seeded_ = false;
+  bool concluded_ = false;
+  OnlineStatus final_status_ = OnlineStatus::Searching;
+};
+
+}  // namespace tango::core

@@ -1,0 +1,109 @@
+// Analyzer run-time options (paper §2.4). The relative-order presets match
+// the four modes measured in the paper's Figures 3 and 4:
+//   NR   - no relative order checking
+//   IO   - inputs-wrt-outputs AND outputs-wrt-inputs (the paper's "I/O and
+//          O/I relative order checking only")
+//   IP   - IP relative order checking only
+//   FULL - all three options
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "estelle/spec.hpp"
+#include "runtime/interp.hpp"
+
+namespace tango::core {
+
+struct Options {
+  // --- relative order checking (§2.4.2) ---
+  /// The next input consumed must precede every pending output at the same
+  /// ip in the trace. "Should be used under most circumstances."
+  bool check_input_wrt_output = false;
+  /// The next output generated must precede every pending input at the same
+  /// ip. Not valid if the IUT has input queues at that ip.
+  bool check_output_wrt_input = false;
+  /// Inputs consumed in global trace-input order; outputs generated in
+  /// global trace-output order (outputs of one transition block to
+  /// different ips may be permuted — the §2.4.2 special case).
+  bool check_ip_order = false;
+
+  // --- other run-time options ---
+  /// §2.4.1: if analysis from the declared initial state fails, backtrack
+  /// to just after the initialize transition and try every other FSM state.
+  bool initial_state_search = false;
+  /// §2.4.3: outputs at these ips are never checked (always valid), and
+  /// when-clauses on them never fire (prevents the degenerate MDFS case of
+  /// §3.2.1). Canonical (lower-case) ip names.
+  std::vector<std::string> disabled_ips;
+  /// §5: partial-trace mode — these ips deliver no inputs in the trace;
+  /// when-clauses on them fire with undefined parameters, and undefined
+  /// values compare equal to anything.
+  std::vector<std::string> unobservable_ips;
+  /// Partial mode also applies undefined-tolerant expression semantics.
+  bool partial = false;
+
+  // --- search engineering ---
+  /// §4.2 "keep information about which states were reached ... in a hash
+  /// table, to prevent the analysis of the same state twice" (evaluated as
+  /// an ablation). Hashes are 64-bit; collisions are astronomically rare
+  /// but would prune a live path, so the option is off by default.
+  bool hash_states = false;
+  /// MDFS dynamic node reordering (§3.1.3). On by default, as in Tango.
+  bool reorder_pg_nodes = true;
+  /// Paper §3.1.2 footnote 2: when a PGAV node exists at quiescence, drop
+  /// every non-PGAV node — "piecewise validity". Saves memory but can
+  /// report invalid on a valid trace when the only viable continuation
+  /// went through a pruned node; off by default, exactly as the footnote
+  /// cautions.
+  bool prune_on_pgav = false;
+  /// 0 = unlimited. When exceeded the verdict is Inconclusive.
+  std::uint64_t max_transitions = 0;
+  /// 0 = unlimited search depth. Needed for partial traces (§5.4).
+  int max_depth = 0;
+
+  rt::InterpLimits interp;
+
+  // --- presets (the paper's four modes) ---
+  [[nodiscard]] static Options none() { return Options{}; }
+  [[nodiscard]] static Options io() {
+    Options o;
+    o.check_input_wrt_output = true;
+    o.check_output_wrt_input = true;
+    return o;
+  }
+  [[nodiscard]] static Options ip() {
+    Options o;
+    o.check_ip_order = true;
+    return o;
+  }
+  [[nodiscard]] static Options full() {
+    Options o;
+    o.check_input_wrt_output = true;
+    o.check_output_wrt_input = true;
+    o.check_ip_order = true;
+    return o;
+  }
+
+  [[nodiscard]] std::string order_mode_name() const;
+};
+
+/// Per-analysis view of the options with ip names resolved to indexes.
+/// Throws CompileError when an option names an unknown ip.
+struct ResolvedOptions {
+  ResolvedOptions(const est::Spec& spec, const Options& opts);
+
+  const Options* base;
+  std::vector<char> disabled;      // by ip index
+  std::vector<char> unobservable;  // by ip index
+
+  [[nodiscard]] bool is_disabled(int ip) const {
+    return disabled[static_cast<std::size_t>(ip)] != 0;
+  }
+  [[nodiscard]] bool is_unobservable(int ip) const {
+    return unobservable[static_cast<std::size_t>(ip)] != 0;
+  }
+};
+
+}  // namespace tango::core

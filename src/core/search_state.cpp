@@ -1,0 +1,48 @@
+#include "core/search_state.hpp"
+
+#include <limits>
+
+namespace tango::core {
+
+std::uint32_t CursorSet::next_seq(const tr::Trace& trace, int ip,
+                                  tr::Dir dir) const {
+  const auto& list = trace.list(ip, dir);
+  const std::uint32_t c = dir == tr::Dir::In
+                              ? in_next[static_cast<std::size_t>(ip)]
+                              : out_next[static_cast<std::size_t>(ip)];
+  if (c >= list.size()) return std::numeric_limits<std::uint32_t>::max();
+  return list[c];
+}
+
+std::uint32_t CursorSet::global_min_seq(const tr::Trace& trace, tr::Dir dir,
+                                        const ResolvedOptions& ro) const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (int ip = 0; ip < trace.ip_count(); ++ip) {
+    if (ro.is_disabled(ip)) continue;
+    best = std::min(best, next_seq(trace, ip, dir));
+  }
+  return best;
+}
+
+bool CursorSet::all_done(const tr::Trace& trace,
+                         const ResolvedOptions& ro) const {
+  for (int ip = 0; ip < trace.ip_count(); ++ip) {
+    if (ro.is_disabled(ip)) continue;
+    const std::size_t i = static_cast<std::size_t>(ip);
+    if (in_next[i] < trace.list(ip, tr::Dir::In).size()) return false;
+    if (out_next[i] < trace.list(ip, tr::Dir::Out).size()) return false;
+  }
+  return true;
+}
+
+std::uint64_t CursorSet::hash() const {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (std::uint32_t c : in_next) mix(c);
+  for (std::uint32_t c : out_next) mix(~static_cast<std::uint64_t>(c));
+  return h;
+}
+
+}  // namespace tango::core

@@ -1,0 +1,51 @@
+// The composite TAM state of the paper's §2.3: the module state (FSM
+// ordinal, variables, dynamic memory — runtime/machine.hpp) plus the queue
+// state, represented as cursors into the per-(ip, direction) event lists of
+// the trace: everything before a cursor has been consumed (inputs) or
+// verified (outputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "runtime/machine.hpp"
+#include "trace/event.hpp"
+
+namespace tango::core {
+
+struct CursorSet {
+  std::vector<std::uint32_t> in_next;   // per ip: next unconsumed input
+  std::vector<std::uint32_t> out_next;  // per ip: next unverified output
+
+  explicit CursorSet(int ip_count = 0)
+      : in_next(static_cast<std::size_t>(ip_count), 0),
+        out_next(static_cast<std::size_t>(ip_count), 0) {}
+
+  /// Global seq of the next pending event at (ip, dir), or UINT32_MAX.
+  [[nodiscard]] std::uint32_t next_seq(const tr::Trace& trace, int ip,
+                                       tr::Dir dir) const;
+
+  /// Smallest pending seq of direction `dir` across all non-skipped ips.
+  [[nodiscard]] std::uint32_t global_min_seq(const tr::Trace& trace,
+                                             tr::Dir dir,
+                                             const ResolvedOptions& ro) const;
+
+  /// All inputs consumed and all outputs verified (disabled ips skipped).
+  [[nodiscard]] bool all_done(const tr::Trace& trace,
+                              const ResolvedOptions& ro) const;
+
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// One node's complete state in the search tree.
+struct SearchState {
+  rt::MachineState machine;
+  CursorSet cursors;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    return machine.hash() * 0x9e3779b97f4a7c15ULL ^ cursors.hash();
+  }
+};
+
+}  // namespace tango::core

@@ -1,0 +1,33 @@
+#include "core/stats.hpp"
+
+#include <ctime>
+
+namespace tango::core {
+
+std::string Stats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "TE=%llu GE=%llu RE=%llu SA=%llu depth=%d cpu=%.3fs",
+                static_cast<unsigned long long>(transitions_executed),
+                static_cast<unsigned long long>(generates),
+                static_cast<unsigned long long>(restores),
+                static_cast<unsigned long long>(saves), max_depth,
+                cpu_seconds);
+  return buf;
+}
+
+namespace {
+std::int64_t cpu_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+}  // namespace
+
+CpuTimer::CpuTimer() : start_ns_(cpu_now_ns()) {}
+
+double CpuTimer::elapsed() const {
+  return static_cast<double>(cpu_now_ns() - start_ns_) / 1e9;
+}
+
+}  // namespace tango::core

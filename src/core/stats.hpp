@@ -1,0 +1,49 @@
+// Search counters matching the columns of the paper's Figures 3 and 4:
+// TE (transitions executed), GE (generates), RE (restores/backtracks),
+// SA (state saves), plus CPU time and fanout, which §4.2 discusses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tango::core {
+
+struct Stats {
+  std::uint64_t transitions_executed = 0;  // TE
+  std::uint64_t generates = 0;             // GE
+  std::uint64_t restores = 0;              // RE
+  std::uint64_t saves = 0;                 // SA
+  std::uint64_t pruned_by_hash = 0;        // state-hashing ablation
+  std::uint64_t fanout_sum = 0;            // sum of firing-list sizes
+  std::uint64_t fanout_samples = 0;
+  int max_depth = 0;
+  double cpu_seconds = 0.0;
+
+  [[nodiscard]] double average_fanout() const {
+    return fanout_samples == 0
+               ? 0.0
+               : static_cast<double>(fanout_sum) /
+                     static_cast<double>(fanout_samples);
+  }
+  [[nodiscard]] double transitions_per_second() const {
+    return cpu_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(transitions_executed) / cpu_seconds;
+  }
+
+  /// One-line summary: "TE=… GE=… RE=… SA=… cpu=…s".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Scoped CPU-time measurement (process CPU clock, like the paper's CPUT).
+class CpuTimer {
+ public:
+  CpuTimer();
+  /// Seconds of process CPU time since construction.
+  [[nodiscard]] double elapsed() const;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace tango::core

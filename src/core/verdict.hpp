@@ -1,0 +1,31 @@
+// Trace-analysis verdicts. Static (batch) analysis yields Valid/Invalid
+// (or Inconclusive when a search budget runs out); on-line analysis adds
+// the paper's §3.1.2 intermediate verdicts: ValidSoFar (a PGAV node exists)
+// and LikelyInvalid (only non-all-verified PG-nodes remain).
+#pragma once
+
+#include <string_view>
+
+namespace tango::core {
+
+enum class Verdict {
+  Valid,          // a solution path consumes all inputs, verifies all outputs
+  Invalid,        // search space exhausted with no solution
+  ValidSoFar,     // on-line: everything observed so far is explained
+  LikelyInvalid,  // on-line: no PGAV node; "likely to be invalid, but no
+                  // conclusive result can be given" (paper §3.1.2)
+  Inconclusive,   // search budget (transitions/depth) exhausted
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Valid: return "valid";
+    case Verdict::Invalid: return "invalid";
+    case Verdict::ValidSoFar: return "valid so far";
+    case Verdict::LikelyInvalid: return "likely invalid";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+}  // namespace tango::core

@@ -1,0 +1,77 @@
+#include "estelle/ast.hpp"
+
+namespace tango::est {
+
+ExprPtr make_expr(ExprKind k, SourceLoc loc) {
+  return std::make_unique<Expr>(k, loc);
+}
+
+StmtPtr make_stmt(StmtKind k, SourceLoc loc) {
+  return std::make_unique<Stmt>(k, loc);
+}
+
+ExprPtr clone(const Expr& e) {
+  ExprPtr out = make_expr(e.kind, e.loc);
+  out->type = e.type;
+  out->int_value = e.int_value;
+  out->name = e.name;
+  out->ref = e.ref;
+  out->slot = e.slot;
+  out->field = e.field;
+  out->field_index = e.field_index;
+  out->un_op = e.un_op;
+  out->bin_op = e.bin_op;
+  out->builtin = e.builtin;
+  out->routine_index = e.routine_index;
+  out->children.reserve(e.children.size());
+  for (const ExprPtr& c : e.children) out->children.push_back(clone(*c));
+  return out;
+}
+
+StmtPtr clone(const Stmt& s) {
+  StmtPtr out = make_stmt(s.kind, s.loc);
+  if (s.e0) out->e0 = clone(*s.e0);
+  if (s.e1) out->e1 = clone(*s.e1);
+  if (s.s0) out->s0 = clone(*s.s0);
+  if (s.s1) out->s1 = clone(*s.s1);
+  out->body.reserve(s.body.size());
+  for (const StmtPtr& c : s.body) out->body.push_back(clone(*c));
+  out->downto = s.downto;
+  for (const CaseArm& arm : s.arms) {
+    CaseArm copy;
+    for (const ExprPtr& l : arm.labels) copy.labels.push_back(clone(*l));
+    copy.label_values = arm.label_values;
+    if (arm.body) copy.body = clone(*arm.body);
+    out->arms.push_back(std::move(copy));
+  }
+  for (const StmtPtr& c : s.otherwise) out->otherwise.push_back(clone(*c));
+  out->has_otherwise = s.has_otherwise;
+  out->callee = s.callee;
+  out->builtin = s.builtin;
+  out->routine_index = s.routine_index;
+  for (const ExprPtr& a : s.args) out->args.push_back(clone(*a));
+  out->out_ip = s.out_ip;
+  out->out_interaction = s.out_interaction;
+  out->ip_index = s.ip_index;
+  out->interaction_id = s.interaction_id;
+  return out;
+}
+
+TypeExprPtr clone(const TypeExpr& t) {
+  auto out = std::make_unique<TypeExpr>(t.kind, t.loc);
+  out->name = t.name;
+  out->enum_values = t.enum_values;
+  if (t.lo) out->lo = clone(*t.lo);
+  if (t.hi) out->hi = clone(*t.hi);
+  if (t.element) out->element = clone(*t.element);
+  for (const FieldGroup& g : t.fields) {
+    FieldGroup copy;
+    copy.names = g.names;
+    copy.type = clone(*g.type);
+    out->fields.push_back(std::move(copy));
+  }
+  out->resolved = t.resolved;
+  return out;
+}
+
+}  // namespace tango::est

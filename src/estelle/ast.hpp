@@ -1,0 +1,377 @@
+// Abstract syntax tree for the Estelle dialect. The parser builds the tree;
+// the semantic analyzer annotates it in place (resolved slots, types,
+// interaction ids) so the interpreter and the code generator can execute or
+// translate it without further name lookups.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "estelle/types.hpp"
+#include "support/source_location.hpp"
+
+namespace tango::est {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  BoolLit,   // synthesized by sema for `true`/`false`
+  CharLit,
+  NilLit,
+  Name,
+  Field,
+  Index,
+  Deref,
+  Unary,
+  Binary,
+  Call,
+};
+
+enum class UnOp : std::uint8_t { Neg, Plus, Not };
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, IntDiv, Mod,
+  And, Or,
+  Eq, Neq, Lt, Leq, Gt, Geq,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// How a Name expression was resolved by sema.
+enum class NameRef : std::uint8_t {
+  Unresolved,
+  ModuleVar,   // slot into the machine's module-variable vector
+  Local,       // slot into the active routine/transition frame
+  WhenParam,   // slot into the fired interaction's parameter vector
+  ConstInt,    // declared constant folded to an integer/char/bool payload
+  ConstBool,
+  ConstChar,
+  EnumConst,   // enumeration literal; payload = ordinal, type = the enum
+  Call0,       // parameterless function reference (Pascal allows `f`)
+};
+
+/// Builtin routines (Pascal standard identifiers, not keywords).
+enum class Builtin : std::uint8_t {
+  None,
+  Ord, Chr, Abs, Succ, Pred, Odd,  // functions
+  New, Dispose,                    // procedures
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // --- sema annotations ---
+  const Type* type = nullptr;
+
+  // IntLit / CharLit / BoolLit payload; Name const payloads.
+  std::int64_t int_value = 0;
+
+  // Name
+  std::string name;            // canonical (lower-case)
+  NameRef ref = NameRef::Unresolved;
+  int slot = -1;               // ModuleVar/Local/WhenParam slot, Call0 routine
+
+  // Field
+  std::string field;           // canonical
+  int field_index = -1;
+
+  // Unary / Binary
+  UnOp un_op = UnOp::Plus;
+  BinOp bin_op = BinOp::Add;
+
+  // Call
+  Builtin builtin = Builtin::None;
+  int routine_index = -1;
+
+  // Children: Field/Deref/Unary use [0]; Index/Binary use [0],[1];
+  // Call uses all as arguments.
+  std::vector<ExprPtr> children;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+[[nodiscard]] ExprPtr make_expr(ExprKind k, SourceLoc loc);
+
+/// Deep copy (annotations included). Declared here, defined in ast.cpp.
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+struct TypeExpr;
+using TypeExprPtr = std::unique_ptr<TypeExpr>;
+[[nodiscard]] ExprPtr clone(const Expr& e);
+[[nodiscard]] StmtPtr clone(const Stmt& s);
+[[nodiscard]] TypeExprPtr clone(const TypeExpr& t);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Empty,
+  Assign,
+  If,
+  While,
+  Repeat,
+  For,
+  Case,
+  Compound,
+  Call,     // procedure call (user routine or builtin new/dispose)
+  Output,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CaseArm {
+  std::vector<ExprPtr> labels;  // constant expressions; sema folds to ints
+  std::vector<std::int64_t> label_values;  // sema
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // Assign: target/value. If: cond/then/else. While: cond/body.
+  // Repeat: body list + cond. For: control var, from, to, body.
+  ExprPtr e0, e1;      // generic expression operands
+  StmtPtr s0, s1;      // generic statement operands
+  std::vector<StmtPtr> body;  // Compound, Repeat bodies
+
+  // For
+  bool downto = false;
+
+  // Case
+  std::vector<CaseArm> arms;
+  std::vector<StmtPtr> otherwise;  // empty unless `otherwise` present
+  bool has_otherwise = false;
+
+  // Call
+  std::string callee;  // canonical
+  Builtin builtin = Builtin::None;
+  int routine_index = -1;
+  std::vector<ExprPtr> args;
+
+  // Output: e.g. `output U.DatReq(x, true)`
+  std::string out_ip;          // canonical
+  std::string out_interaction; // canonical
+  int ip_index = -1;           // sema
+  int interaction_id = -1;     // sema (global interaction id)
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+[[nodiscard]] StmtPtr make_stmt(StmtKind k, SourceLoc loc);
+
+// ---------------------------------------------------------------------------
+// Type expressions (syntactic; sema resolves to canonical Type*)
+// ---------------------------------------------------------------------------
+
+enum class TypeExprKind : std::uint8_t {
+  Named,     // integer, boolean, char, or a declared type name
+  Enum,      // (a, b, c)
+  Subrange,  // lo .. hi (constant expressions)
+  Array,     // array [lo..hi] of T
+  Record,    // record f: T; ... end
+  Pointer,   // ^T (T may be declared later)
+};
+
+struct TypeExpr;
+using TypeExprPtr = std::unique_ptr<TypeExpr>;
+
+struct FieldGroup {
+  std::vector<std::string> names;  // canonical
+  TypeExprPtr type;
+};
+
+struct TypeExpr {
+  TypeExprKind kind;
+  SourceLoc loc;
+  std::string name;                      // Named / Pointer target
+  std::vector<std::string> enum_values;  // Enum
+  ExprPtr lo, hi;                        // Subrange / Array bounds
+  TypeExprPtr element;                   // Array
+  std::vector<FieldGroup> fields;        // Record
+
+  const Type* resolved = nullptr;  // sema
+
+  explicit TypeExpr(TypeExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ConstDecl {
+  SourceLoc loc;
+  std::string name;  // canonical
+  ExprPtr value;     // constant expression
+};
+
+struct TypeDecl {
+  SourceLoc loc;
+  std::string name;  // canonical
+  TypeExprPtr type;
+};
+
+struct VarDecl {
+  SourceLoc loc;
+  std::vector<std::string> names;  // canonical
+  TypeExprPtr type;
+  // sema: slot of names[i] is first_slot + i (module or frame scope)
+  int first_slot = -1;
+};
+
+struct ParamGroup {
+  SourceLoc loc;
+  bool by_ref = false;             // `var` parameter
+  std::vector<std::string> names;  // canonical
+  TypeExprPtr type;
+};
+
+struct Routine {
+  SourceLoc loc;
+  bool is_function = false;
+  bool is_primitive = false;  // parsed but rejected by sema (as in Tango)
+  std::string name;           // canonical
+  std::vector<ParamGroup> params;
+  TypeExprPtr result_type;    // functions only
+  std::vector<VarDecl> locals;
+  StmtPtr body;               // Compound
+
+  // sema
+  int frame_size = 0;   // params + result + locals
+  int result_slot = -1; // functions: slot holding the return value
+  std::vector<const Type*> param_types;  // flattened, in call order
+  std::vector<bool> param_by_ref;        // flattened
+};
+
+// ---------------------------------------------------------------------------
+// Channel / module structure
+// ---------------------------------------------------------------------------
+
+struct InteractionParam {
+  SourceLoc loc;
+  std::string name;  // canonical
+  TypeExprPtr type;
+  const Type* resolved = nullptr;  // sema
+};
+
+struct InteractionDef {
+  SourceLoc loc;
+  std::string name;  // canonical
+  std::vector<InteractionParam> params;
+  // sema: which roles (0/1) may send this interaction
+  bool by_role[2] = {false, false};
+  int global_id = -1;  // sema: unique across the whole specification
+};
+
+struct ChannelDef {
+  SourceLoc loc;
+  std::string name;             // canonical
+  std::string roles[2];         // canonical role identifiers
+  std::vector<InteractionDef> interactions;
+};
+
+struct IpDecl {
+  SourceLoc loc;
+  std::string name;     // canonical
+  std::string channel;  // canonical
+  std::string role;     // canonical: the role THIS module plays at the ip
+  // sema
+  int channel_index = -1;
+  int role_index = -1;  // 0 or 1 within the channel
+};
+
+struct ModuleHeader {
+  SourceLoc loc;
+  std::string name;  // canonical
+  std::vector<IpDecl> ips;
+};
+
+// ---------------------------------------------------------------------------
+// Transitions
+// ---------------------------------------------------------------------------
+
+struct WhenClause {
+  SourceLoc loc;
+  std::string ip;           // canonical
+  std::string interaction;  // canonical
+  // sema
+  int ip_index = -1;
+  int interaction_id = -1;
+  std::vector<const Type*> param_types;  // of the interaction
+};
+
+struct Transition {
+  SourceLoc loc;
+  std::vector<std::string> from_states;  // canonical; may name statesets
+  std::string to_state;                  // canonical; empty means `same`
+  bool to_same = false;
+  std::optional<WhenClause> when;
+  ExprPtr provided;                      // may be null
+  std::optional<std::int64_t> priority;  // smaller value = higher priority
+  bool has_delay = false;                // parsed; rejected by sema
+  SourceLoc delay_loc;
+  std::string name;                      // `name T:`; auto-generated if absent
+  std::vector<VarDecl> locals;
+  StmtPtr block;                         // Compound
+
+  // sema
+  std::vector<int> from_ordinals;  // expanded state ordinals, sorted
+  int to_ordinal = -1;             // -1 for `same`
+  int frame_size = 0;              // transition-local frame (locals only)
+};
+
+struct Initializer {
+  SourceLoc loc;
+  std::string to_state;  // canonical
+  ExprPtr provided;      // may be null (evaluated against default state)
+  std::vector<VarDecl> locals;
+  StmtPtr block;         // may be null (no statement part)
+
+  // sema
+  int to_ordinal = -1;
+  int frame_size = 0;
+};
+
+struct StateSetDecl {
+  SourceLoc loc;
+  std::string name;                 // canonical
+  std::vector<std::string> members; // canonical state names
+};
+
+// ---------------------------------------------------------------------------
+// Whole specification
+// ---------------------------------------------------------------------------
+
+struct BodyDef {
+  SourceLoc loc;
+  std::string name;        // canonical
+  std::string for_module;  // canonical
+  std::vector<ConstDecl> consts;
+  std::vector<TypeDecl> types;
+  std::vector<VarDecl> vars;
+  std::vector<Routine> routines;
+  std::vector<std::string> states;  // canonical, in declaration order
+  std::vector<StateSetDecl> statesets;
+  std::vector<Initializer> initializers;
+  std::vector<Transition> transitions;
+};
+
+struct SpecAst {
+  SourceLoc loc;
+  std::string name;  // canonical
+  std::vector<ChannelDef> channels;
+  std::vector<ModuleHeader> modules;  // sema enforces exactly one
+  std::vector<BodyDef> bodies;        // sema enforces exactly one
+};
+
+}  // namespace tango::est

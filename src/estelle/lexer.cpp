@@ -1,0 +1,352 @@
+#include "estelle/lexer.hpp"
+
+#include <cctype>
+#include <limits>
+#include <unordered_map>
+
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace tango::est {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keyword_table() {
+  static const std::unordered_map<std::string, Tok> table = {
+      {"and", Tok::KwAnd},
+      {"array", Tok::KwArray},
+      {"begin", Tok::KwBegin},
+      {"case", Tok::KwCase},
+      {"const", Tok::KwConst},
+      {"div", Tok::KwDiv},
+      {"do", Tok::KwDo},
+      {"downto", Tok::KwDownto},
+      {"else", Tok::KwElse},
+      {"end", Tok::KwEnd},
+      {"for", Tok::KwFor},
+      {"function", Tok::KwFunction},
+      {"if", Tok::KwIf},
+      {"mod", Tok::KwMod},
+      {"nil", Tok::KwNil},
+      {"not", Tok::KwNot},
+      {"of", Tok::KwOf},
+      {"or", Tok::KwOr},
+      {"otherwise", Tok::KwOtherwise},
+      {"procedure", Tok::KwProcedure},
+      {"record", Tok::KwRecord},
+      {"repeat", Tok::KwRepeat},
+      {"then", Tok::KwThen},
+      {"to", Tok::KwTo},
+      {"type", Tok::KwType},
+      {"until", Tok::KwUntil},
+      {"var", Tok::KwVar},
+      {"while", Tok::KwWhile},
+      {"specification", Tok::KwSpecification},
+      {"channel", Tok::KwChannel},
+      {"by", Tok::KwBy},
+      {"module", Tok::KwModule},
+      {"systemprocess", Tok::KwSystemprocess},
+      {"process", Tok::KwProcess},
+      {"systemactivity", Tok::KwSystemactivity},
+      {"activity", Tok::KwActivity},
+      {"ip", Tok::KwIp},
+      {"individual", Tok::KwIndividual},
+      {"common", Tok::KwCommon},
+      {"queue", Tok::KwQueue},
+      {"default", Tok::KwDefault},
+      {"body", Tok::KwBody},
+      {"state", Tok::KwState},
+      {"stateset", Tok::KwStateset},
+      {"initialize", Tok::KwInitialize},
+      {"trans", Tok::KwTrans},
+      {"from", Tok::KwFrom},
+      {"when", Tok::KwWhen},
+      {"provided", Tok::KwProvided},
+      {"priority", Tok::KwPriority},
+      {"delay", Tok::KwDelay},
+      {"name", Tok::KwName},
+      {"same", Tok::KwSame},
+      {"output", Tok::KwOutput},
+      {"primitive", Tok::KwPrimitive},
+      {"any", Tok::KwAny},
+      {"all", Tok::KwAll},
+      {"forone", Tok::KwForone},
+      {"exist", Tok::KwExist},
+  };
+  return table;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const { return {line_, col_}; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Comma: return "','";
+    case Tok::Dot: return "'.'";
+    case Tok::DotDot: return "'..'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Caret: return "'^'";
+    case Tok::Assign: return "':='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Eq: return "'='";
+    case Tok::Neq: return "'<>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Leq: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Geq: return "'>='";
+    case Tok::KwAnd: return "'and'";
+    case Tok::KwArray: return "'array'";
+    case Tok::KwBegin: return "'begin'";
+    case Tok::KwCase: return "'case'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwDiv: return "'div'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwDownto: return "'downto'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwEnd: return "'end'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwFunction: return "'function'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwMod: return "'mod'";
+    case Tok::KwNil: return "'nil'";
+    case Tok::KwNot: return "'not'";
+    case Tok::KwOf: return "'of'";
+    case Tok::KwOr: return "'or'";
+    case Tok::KwOtherwise: return "'otherwise'";
+    case Tok::KwProcedure: return "'procedure'";
+    case Tok::KwRecord: return "'record'";
+    case Tok::KwRepeat: return "'repeat'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwType: return "'type'";
+    case Tok::KwUntil: return "'until'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwSpecification: return "'specification'";
+    case Tok::KwChannel: return "'channel'";
+    case Tok::KwBy: return "'by'";
+    case Tok::KwModule: return "'module'";
+    case Tok::KwSystemprocess: return "'systemprocess'";
+    case Tok::KwProcess: return "'process'";
+    case Tok::KwSystemactivity: return "'systemactivity'";
+    case Tok::KwActivity: return "'activity'";
+    case Tok::KwIp: return "'ip'";
+    case Tok::KwIndividual: return "'individual'";
+    case Tok::KwCommon: return "'common'";
+    case Tok::KwQueue: return "'queue'";
+    case Tok::KwDefault: return "'default'";
+    case Tok::KwBody: return "'body'";
+    case Tok::KwState: return "'state'";
+    case Tok::KwStateset: return "'stateset'";
+    case Tok::KwInitialize: return "'initialize'";
+    case Tok::KwTrans: return "'trans'";
+    case Tok::KwFrom: return "'from'";
+    case Tok::KwWhen: return "'when'";
+    case Tok::KwProvided: return "'provided'";
+    case Tok::KwPriority: return "'priority'";
+    case Tok::KwDelay: return "'delay'";
+    case Tok::KwName: return "'name'";
+    case Tok::KwSame: return "'same'";
+    case Tok::KwOutput: return "'output'";
+    case Tok::KwPrimitive: return "'primitive'";
+    case Tok::KwAny: return "'any'";
+    case Tok::KwAll: return "'all'";
+    case Tok::KwForone: return "'forone'";
+    case Tok::KwExist: return "'exist'";
+  }
+  return "token";
+}
+
+Tok classify_ident(std::string_view spelling) {
+  const auto& table = keyword_table();
+  auto it = table.find(to_lower(spelling));
+  return it == table.end() ? Tok::Ident : it->second;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  auto push = [&out](Tok kind, SourceLoc loc, std::string text = {},
+                     std::int64_t value = 0) {
+    out.push_back(Token{kind, std::move(text), value, loc});
+  };
+
+  while (!cur.done()) {
+    const SourceLoc loc = cur.loc();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+
+    // Comments: { ... } and (* ... *).
+    if (c == '{') {
+      cur.advance();
+      while (!cur.done() && cur.peek() != '}') cur.advance();
+      if (cur.done()) throw CompileError(loc, "unterminated '{' comment");
+      cur.advance();
+      continue;
+    }
+    if (c == '(' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      for (;;) {
+        if (cur.done()) throw CompileError(loc, "unterminated '(*' comment");
+        if (cur.peek() == '*' && cur.peek(1) == ')') {
+          cur.advance();
+          cur.advance();
+          break;
+        }
+        cur.advance();
+      }
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string spelling;
+      while (!cur.done() &&
+             (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+              cur.peek() == '_')) {
+        spelling.push_back(cur.advance());
+      }
+      const Tok kind = classify_ident(spelling);
+      push(kind, loc, std::move(spelling));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      std::string spelling;
+      while (!cur.done() &&
+             std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        const int digit = cur.peek() - '0';
+        if (value > (std::numeric_limits<std::int64_t>::max() - digit) / 10) {
+          throw CompileError(loc, "integer literal overflows 64 bits");
+        }
+        value = value * 10 + digit;
+        spelling.push_back(cur.advance());
+      }
+      push(Tok::IntLit, loc, std::move(spelling), value);
+      continue;
+    }
+
+    if (c == '\'') {
+      cur.advance();
+      std::string text;
+      for (;;) {
+        if (cur.done()) throw CompileError(loc, "unterminated string literal");
+        char d = cur.advance();
+        if (d == '\'') {
+          if (cur.peek() == '\'') {  // doubled quote escapes a quote
+            text.push_back('\'');
+            cur.advance();
+            continue;
+          }
+          break;
+        }
+        if (d == '\n') throw CompileError(loc, "string literal spans a line");
+        text.push_back(d);
+      }
+      push(Tok::StringLit, loc, std::move(text));
+      continue;
+    }
+
+    cur.advance();
+    switch (c) {
+      case ';': push(Tok::Semi, loc); break;
+      case ',': push(Tok::Comma, loc); break;
+      case '(': push(Tok::LParen, loc); break;
+      case ')': push(Tok::RParen, loc); break;
+      case '[': push(Tok::LBracket, loc); break;
+      case ']': push(Tok::RBracket, loc); break;
+      case '^': push(Tok::Caret, loc); break;
+      case '+': push(Tok::Plus, loc); break;
+      case '-': push(Tok::Minus, loc); break;
+      case '*': push(Tok::Star, loc); break;
+      case '/': push(Tok::Slash, loc); break;
+      case '=': push(Tok::Eq, loc); break;
+      case '.':
+        if (cur.peek() == '.') {
+          cur.advance();
+          push(Tok::DotDot, loc);
+        } else {
+          push(Tok::Dot, loc);
+        }
+        break;
+      case ':':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(Tok::Assign, loc);
+        } else {
+          push(Tok::Colon, loc);
+        }
+        break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(Tok::Leq, loc);
+        } else if (cur.peek() == '>') {
+          cur.advance();
+          push(Tok::Neq, loc);
+        } else {
+          push(Tok::Lt, loc);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(Tok::Geq, loc);
+        } else {
+          push(Tok::Gt, loc);
+        }
+        break;
+      default:
+        throw CompileError(loc, std::string("stray character '") + c + "'");
+    }
+  }
+
+  push(Tok::End, cur.loc());
+  return out;
+}
+
+}  // namespace tango::est

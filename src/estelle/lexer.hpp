@@ -1,0 +1,17 @@
+// Lexer for the Estelle dialect. Produces the complete token stream for a
+// specification text in one pass. Comments are Pascal-style: { ... } and
+// (* ... *), non-nesting, and may span lines.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "estelle/token.hpp"
+
+namespace tango::est {
+
+/// Tokenizes `source`. Throws CompileError on malformed input (unterminated
+/// comment or string, stray character, integer overflow).
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace tango::est

@@ -1,0 +1,800 @@
+#include "estelle/parser.hpp"
+
+#include <utility>
+
+#include "estelle/lexer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace tango::est {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  SpecAst parse_spec() {
+    SpecAst spec;
+    spec.loc = peek().loc;
+    expect(Tok::KwSpecification);
+    spec.name = ident();
+    expect(Tok::Semi);
+
+    // Optional `default individual|common queue;`
+    if (accept(Tok::KwDefault)) {
+      if (!accept(Tok::KwIndividual)) expect(Tok::KwCommon);
+      expect(Tok::KwQueue);
+      expect(Tok::Semi);
+    }
+
+    for (;;) {
+      if (at(Tok::KwChannel)) {
+        spec.channels.push_back(parse_channel());
+      } else if (at(Tok::KwModule)) {
+        spec.modules.push_back(parse_module());
+      } else if (at(Tok::KwBody)) {
+        spec.bodies.push_back(parse_body());
+      } else {
+        break;
+      }
+    }
+
+    expect(Tok::KwEnd);
+    expect(Tok::Dot);
+    if (!at(Tok::End)) {
+      throw CompileError(peek().loc, "text after final 'end.'");
+    }
+    return spec;
+  }
+
+  ExprPtr parse_expression_only() {
+    ExprPtr e = parse_expr();
+    if (!at(Tok::End)) {
+      throw CompileError(peek().loc, "trailing tokens after expression");
+    }
+    return e;
+  }
+
+ private:
+  // --- token helpers ---
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    if (i >= toks_.size()) i = toks_.size() - 1;  // Tok::End sentinel
+    return toks_[i];
+  }
+  [[nodiscard]] bool at(Tok t) const { return peek().kind == t; }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(Tok t) {
+    if (!at(t)) {
+      throw CompileError(peek().loc,
+                         "expected " + std::string(tok_name(t)) + ", found " +
+                             std::string(tok_name(peek().kind)) +
+                             (peek().kind == Tok::Ident
+                                  ? " '" + peek().text + "'"
+                                  : ""));
+    }
+    return advance();
+  }
+  std::string ident() {
+    const Token& t = expect(Tok::Ident);
+    return to_lower(t.text);
+  }
+  std::vector<std::string> ident_list() {
+    std::vector<std::string> names;
+    names.push_back(ident());
+    while (accept(Tok::Comma)) names.push_back(ident());
+    return names;
+  }
+
+  // --- channels ---
+  ChannelDef parse_channel() {
+    ChannelDef ch;
+    ch.loc = expect(Tok::KwChannel).loc;
+    ch.name = ident();
+    expect(Tok::LParen);
+    ch.roles[0] = ident();
+    expect(Tok::Comma);
+    ch.roles[1] = ident();
+    expect(Tok::RParen);
+    expect(Tok::Semi);
+
+    while (at(Tok::KwBy)) {
+      advance();
+      std::vector<std::string> roles = ident_list();
+      expect(Tok::Colon);
+      // One or more interaction definitions, each `name [(params)] ;`.
+      do {
+        InteractionDef def;
+        def.loc = peek().loc;
+        def.name = ident();
+        if (accept(Tok::LParen)) {
+          parse_interaction_params(def);
+          expect(Tok::RParen);
+        }
+        expect(Tok::Semi);
+        attach_roles(ch, std::move(def), roles);
+      } while (at(Tok::Ident));
+    }
+    return ch;
+  }
+
+  void parse_interaction_params(InteractionDef& def) {
+    do {
+      SourceLoc loc = peek().loc;
+      std::vector<std::string> names = ident_list();
+      expect(Tok::Colon);
+      TypeExprPtr type = parse_type_expr();
+      for (std::string& n : names) {
+        InteractionParam p;
+        p.loc = loc;
+        p.name = std::move(n);
+        p.type = clone_type_expr(*type);
+        def.params.push_back(std::move(p));
+      }
+    } while (accept(Tok::Semi));
+  }
+
+  // Merges `def` into the channel: the same interaction may be listed under
+  // several `by` clauses (e.g. `by A: m;` then `by B: m;`), which is how
+  // `by A, B:` is normalized too.
+  void attach_roles(ChannelDef& ch, InteractionDef def,
+                    const std::vector<std::string>& roles) {
+    for (const std::string& r : roles) {
+      int idx = r == ch.roles[0] ? 0 : (r == ch.roles[1] ? 1 : -1);
+      if (idx < 0) {
+        throw CompileError(def.loc, "role '" + r + "' is not a role of channel '" +
+                                        ch.name + "'");
+      }
+      def.by_role[idx] = true;
+    }
+    for (InteractionDef& existing : ch.interactions) {
+      if (existing.name == def.name) {
+        existing.by_role[0] = existing.by_role[0] || def.by_role[0];
+        existing.by_role[1] = existing.by_role[1] || def.by_role[1];
+        return;
+      }
+    }
+    ch.interactions.push_back(std::move(def));
+  }
+
+  // --- module header ---
+  ModuleHeader parse_module() {
+    ModuleHeader mod;
+    mod.loc = expect(Tok::KwModule).loc;
+    mod.name = ident();
+    if (!accept(Tok::KwSystemprocess) && !accept(Tok::KwProcess) &&
+        !accept(Tok::KwSystemactivity)) {
+      accept(Tok::KwActivity);
+    }
+    expect(Tok::Semi);
+    while (accept(Tok::KwIp)) {
+      do {
+        std::vector<std::string> names = ident_list();
+        expect(Tok::Colon);
+        std::string channel = ident();
+        expect(Tok::LParen);
+        std::string role = ident();
+        expect(Tok::RParen);
+        // Optional queue discipline.
+        if (accept(Tok::KwIndividual) || accept(Tok::KwCommon)) {
+          expect(Tok::KwQueue);
+        }
+        expect(Tok::Semi);
+        for (std::string& n : names) {
+          IpDecl ip;
+          ip.loc = mod.loc;
+          ip.name = std::move(n);
+          ip.channel = channel;
+          ip.role = role;
+          mod.ips.push_back(std::move(ip));
+        }
+      } while (at(Tok::Ident));
+    }
+    expect(Tok::KwEnd);
+    expect(Tok::Semi);
+    return mod;
+  }
+
+  // --- body ---
+  BodyDef parse_body() {
+    BodyDef body;
+    body.loc = expect(Tok::KwBody).loc;
+    body.name = ident();
+    expect(Tok::KwFor);
+    body.for_module = ident();
+    expect(Tok::Semi);
+
+    for (;;) {
+      if (at(Tok::KwConst)) {
+        parse_const_section(body.consts);
+      } else if (at(Tok::KwType)) {
+        parse_type_section(body.types);
+      } else if (at(Tok::KwVar)) {
+        parse_var_section(body.vars);
+      } else if (at(Tok::KwFunction) || at(Tok::KwProcedure)) {
+        body.routines.push_back(parse_routine());
+      } else if (at(Tok::KwState)) {
+        advance();
+        for (std::string& s : ident_list()) body.states.push_back(std::move(s));
+        expect(Tok::Semi);
+      } else if (at(Tok::KwStateset)) {
+        body.statesets.push_back(parse_stateset());
+      } else if (at(Tok::KwInitialize)) {
+        body.initializers.push_back(parse_initializer());
+      } else if (at(Tok::KwTrans)) {
+        advance();
+        parse_transitions(body.transitions);
+      } else {
+        break;
+      }
+    }
+
+    expect(Tok::KwEnd);
+    expect(Tok::Semi);
+    return body;
+  }
+
+  void parse_const_section(std::vector<ConstDecl>& out) {
+    expect(Tok::KwConst);
+    do {
+      ConstDecl c;
+      c.loc = peek().loc;
+      c.name = ident();
+      expect(Tok::Eq);
+      c.value = parse_expr();
+      expect(Tok::Semi);
+      out.push_back(std::move(c));
+    } while (at(Tok::Ident));
+  }
+
+  void parse_type_section(std::vector<TypeDecl>& out) {
+    expect(Tok::KwType);
+    do {
+      TypeDecl t;
+      t.loc = peek().loc;
+      t.name = ident();
+      expect(Tok::Eq);
+      t.type = parse_type_expr();
+      expect(Tok::Semi);
+      out.push_back(std::move(t));
+    } while (at(Tok::Ident));
+  }
+
+  void parse_var_section(std::vector<VarDecl>& out) {
+    expect(Tok::KwVar);
+    do {
+      VarDecl v;
+      v.loc = peek().loc;
+      v.names = ident_list();
+      expect(Tok::Colon);
+      v.type = parse_type_expr();
+      expect(Tok::Semi);
+      out.push_back(std::move(v));
+    } while (at(Tok::Ident));
+  }
+
+  StateSetDecl parse_stateset() {
+    StateSetDecl ss;
+    ss.loc = expect(Tok::KwStateset).loc;
+    ss.name = ident();
+    expect(Tok::Eq);
+    expect(Tok::LBracket);
+    ss.members = ident_list();
+    expect(Tok::RBracket);
+    expect(Tok::Semi);
+    return ss;
+  }
+
+  Routine parse_routine() {
+    Routine r;
+    r.loc = peek().loc;
+    r.is_function = at(Tok::KwFunction);
+    advance();  // function/procedure
+    r.name = ident();
+    if (accept(Tok::LParen)) {
+      do {
+        ParamGroup g;
+        g.loc = peek().loc;
+        g.by_ref = accept(Tok::KwVar);
+        g.names = ident_list();
+        expect(Tok::Colon);
+        g.type = parse_type_expr();
+        r.params.push_back(std::move(g));
+      } while (accept(Tok::Semi));
+      expect(Tok::RParen);
+    }
+    if (r.is_function) {
+      expect(Tok::Colon);
+      r.result_type = parse_type_expr();
+    }
+    expect(Tok::Semi);
+    if (accept(Tok::KwPrimitive)) {
+      r.is_primitive = true;
+      expect(Tok::Semi);
+      return r;
+    }
+    while (at(Tok::KwVar)) parse_var_section(r.locals);
+    r.body = parse_compound();
+    expect(Tok::Semi);
+    return r;
+  }
+
+  Initializer parse_initializer() {
+    Initializer init;
+    init.loc = expect(Tok::KwInitialize).loc;
+    expect(Tok::KwTo);
+    init.to_state = ident();
+    if (accept(Tok::KwProvided)) init.provided = parse_expr();
+    while (at(Tok::KwVar)) parse_var_section(init.locals);
+    if (at(Tok::KwBegin)) init.block = parse_compound();
+    expect(Tok::Semi);
+    return init;
+  }
+
+  void parse_transitions(std::vector<Transition>& out) {
+    // Transitions continue while the next token can start a transition.
+    while (at(Tok::KwFrom) || at(Tok::KwWhen) || at(Tok::KwProvided) ||
+           at(Tok::KwPriority) || at(Tok::KwDelay) || at(Tok::KwName) ||
+           at(Tok::KwTo) || at(Tok::KwAny) || at(Tok::KwBegin) ||
+           at(Tok::KwVar)) {
+      out.push_back(parse_transition());
+    }
+  }
+
+  Transition parse_transition() {
+    Transition tr;
+    tr.loc = peek().loc;
+    for (;;) {
+      if (accept(Tok::KwFrom)) {
+        tr.from_states = ident_list();
+      } else if (accept(Tok::KwTo)) {
+        if (accept(Tok::KwSame)) {
+          tr.to_same = true;
+        } else {
+          tr.to_state = ident();
+        }
+      } else if (accept(Tok::KwWhen)) {
+        WhenClause w;
+        w.loc = peek().loc;
+        w.ip = ident();
+        expect(Tok::Dot);
+        w.interaction = ident();
+        tr.when = std::move(w);
+      } else if (accept(Tok::KwProvided)) {
+        tr.provided = parse_expr();
+      } else if (accept(Tok::KwPriority)) {
+        const Token& t = expect(Tok::IntLit);
+        tr.priority = t.int_value;
+      } else if (at(Tok::KwDelay)) {
+        tr.delay_loc = advance().loc;
+        tr.has_delay = true;
+        expect(Tok::LParen);
+        int depth = 1;  // skip the argument list; sema rejects the clause
+        while (depth > 0) {
+          if (at(Tok::End)) {
+            throw CompileError(tr.delay_loc, "unterminated delay clause");
+          }
+          if (at(Tok::LParen)) ++depth;
+          if (at(Tok::RParen)) --depth;
+          advance();
+        }
+      } else if (at(Tok::KwAny)) {
+        throw CompileError(peek().loc,
+                           "'any' transition clauses are not supported");
+      } else if (accept(Tok::KwName)) {
+        tr.name = ident();
+        expect(Tok::Colon);
+      } else {
+        break;
+      }
+    }
+    while (at(Tok::KwVar)) parse_var_section(tr.locals);
+    tr.block = parse_compound();
+    expect(Tok::Semi);
+    return tr;
+  }
+
+  // --- type expressions ---
+  TypeExprPtr parse_type_expr() {
+    SourceLoc loc = peek().loc;
+    if (accept(Tok::Caret)) {
+      auto t = std::make_unique<TypeExpr>(TypeExprKind::Pointer, loc);
+      t->name = ident();
+      return t;
+    }
+    if (accept(Tok::KwArray)) {
+      auto t = std::make_unique<TypeExpr>(TypeExprKind::Array, loc);
+      expect(Tok::LBracket);
+      t->lo = parse_expr();
+      expect(Tok::DotDot);
+      t->hi = parse_expr();
+      expect(Tok::RBracket);
+      expect(Tok::KwOf);
+      t->element = parse_type_expr();
+      return t;
+    }
+    if (accept(Tok::KwRecord)) {
+      auto t = std::make_unique<TypeExpr>(TypeExprKind::Record, loc);
+      while (!at(Tok::KwEnd)) {
+        FieldGroup g;
+        g.names = ident_list();
+        expect(Tok::Colon);
+        g.type = parse_type_expr();
+        t->fields.push_back(std::move(g));
+        if (!accept(Tok::Semi)) break;
+      }
+      expect(Tok::KwEnd);
+      return t;
+    }
+    if (at(Tok::LParen)) {
+      advance();
+      auto t = std::make_unique<TypeExpr>(TypeExprKind::Enum, loc);
+      t->enum_values = ident_list();
+      expect(Tok::RParen);
+      return t;
+    }
+    // Named type or subrange. A subrange starts with a constant expression;
+    // distinguish by what follows an identifier, or by a leading literal/sign.
+    if (at(Tok::Ident) && peek(1).kind != Tok::DotDot) {
+      auto t = std::make_unique<TypeExpr>(TypeExprKind::Named, loc);
+      t->name = ident();
+      return t;
+    }
+    auto t = std::make_unique<TypeExpr>(TypeExprKind::Subrange, loc);
+    t->lo = parse_expr();
+    expect(Tok::DotDot);
+    t->hi = parse_expr();
+    return t;
+  }
+
+  TypeExprPtr clone_type_expr(const TypeExpr& src) {
+    auto t = std::make_unique<TypeExpr>(src.kind, src.loc);
+    t->name = src.name;
+    t->enum_values = src.enum_values;
+    if (src.lo) t->lo = clone_expr(*src.lo);
+    if (src.hi) t->hi = clone_expr(*src.hi);
+    if (src.element) t->element = clone_type_expr(*src.element);
+    for (const FieldGroup& g : src.fields) {
+      FieldGroup copy;
+      copy.names = g.names;
+      copy.type = clone_type_expr(*g.type);
+      t->fields.push_back(std::move(copy));
+    }
+    return t;
+  }
+
+ public:
+  /// Deep-copies an expression tree (unresolved parser output only).
+  static ExprPtr clone_expr(const Expr& src) {
+    ExprPtr e = make_expr(src.kind, src.loc);
+    e->int_value = src.int_value;
+    e->name = src.name;
+    e->field = src.field;
+    e->un_op = src.un_op;
+    e->bin_op = src.bin_op;
+    for (const ExprPtr& c : src.children) {
+      e->children.push_back(clone_expr(*c));
+    }
+    return e;
+  }
+
+ private:
+  // --- statements ---
+  StmtPtr parse_compound() {
+    SourceLoc loc = expect(Tok::KwBegin).loc;
+    StmtPtr s = make_stmt(StmtKind::Compound, loc);
+    while (!at(Tok::KwEnd)) {
+      s->body.push_back(parse_stmt());
+      if (!accept(Tok::Semi)) break;
+    }
+    expect(Tok::KwEnd);
+    return s;
+  }
+
+  StmtPtr parse_stmt() {
+    SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::KwBegin:
+        return parse_compound();
+      case Tok::KwIf: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::If, loc);
+        s->e0 = parse_expr();
+        expect(Tok::KwThen);
+        s->s0 = parse_stmt();
+        if (accept(Tok::KwElse)) s->s1 = parse_stmt();
+        return s;
+      }
+      case Tok::KwWhile: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::While, loc);
+        s->e0 = parse_expr();
+        expect(Tok::KwDo);
+        s->s0 = parse_stmt();
+        return s;
+      }
+      case Tok::KwRepeat: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::Repeat, loc);
+        while (!at(Tok::KwUntil)) {
+          s->body.push_back(parse_stmt());
+          if (!accept(Tok::Semi)) break;
+        }
+        expect(Tok::KwUntil);
+        s->e0 = parse_expr();
+        return s;
+      }
+      case Tok::KwFor: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::For, loc);
+        s->e0 = parse_designator();  // control variable
+        expect(Tok::Assign);
+        s->e1 = parse_expr();
+        if (accept(Tok::KwDownto)) {
+          s->downto = true;
+        } else {
+          expect(Tok::KwTo);
+        }
+        // Reuse s1 slot for the bound via a wrapper statement? Keep the bound
+        // in args[0] instead: For uses e0=var, e1=from, args[0]=to.
+        s->args.push_back(parse_expr());
+        expect(Tok::KwDo);
+        s->s0 = parse_stmt();
+        return s;
+      }
+      case Tok::KwCase: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::Case, loc);
+        s->e0 = parse_expr();
+        expect(Tok::KwOf);
+        while (!at(Tok::KwEnd) && !at(Tok::KwOtherwise)) {
+          CaseArm arm;
+          arm.labels.push_back(parse_expr());
+          while (accept(Tok::Comma)) arm.labels.push_back(parse_expr());
+          expect(Tok::Colon);
+          arm.body = parse_stmt();
+          s->arms.push_back(std::move(arm));
+          if (!accept(Tok::Semi)) break;
+        }
+        if (accept(Tok::KwOtherwise)) {
+          s->has_otherwise = true;
+          while (!at(Tok::KwEnd)) {
+            s->otherwise.push_back(parse_stmt());
+            if (!accept(Tok::Semi)) break;
+          }
+        }
+        expect(Tok::KwEnd);
+        return s;
+      }
+      case Tok::KwOutput: {
+        advance();
+        StmtPtr s = make_stmt(StmtKind::Output, loc);
+        s->out_ip = ident();
+        expect(Tok::Dot);
+        s->out_interaction = ident();
+        if (accept(Tok::LParen)) {
+          if (!at(Tok::RParen)) {
+            s->args.push_back(parse_expr());
+            while (accept(Tok::Comma)) s->args.push_back(parse_expr());
+          }
+          expect(Tok::RParen);
+        }
+        return s;
+      }
+      case Tok::Ident: {
+        // Assignment or procedure call.
+        ExprPtr lhs = parse_designator();
+        if (accept(Tok::Assign)) {
+          StmtPtr s = make_stmt(StmtKind::Assign, loc);
+          s->e0 = std::move(lhs);
+          s->e1 = parse_expr();
+          return s;
+        }
+        // Procedure call: designator must be a bare name, possibly with args.
+        StmtPtr s = make_stmt(StmtKind::Call, loc);
+        if (lhs->kind == ExprKind::Name) {
+          s->callee = lhs->name;
+        } else if (lhs->kind == ExprKind::Call) {
+          s->callee = lhs->name;
+          s->args = std::move(lhs->children);
+        } else {
+          throw CompileError(loc, "expected ':=' after designator");
+        }
+        return s;
+      }
+      default:
+        // Empty statement (e.g. `begin end` or `;;`).
+        if (at(Tok::Semi) || at(Tok::KwEnd) || at(Tok::KwUntil) ||
+            at(Tok::KwElse)) {
+          return make_stmt(StmtKind::Empty, loc);
+        }
+        throw CompileError(loc, "expected statement, found " +
+                                    std::string(tok_name(peek().kind)));
+    }
+  }
+
+  // --- expressions ---
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_simple();
+    for (;;) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Eq: op = BinOp::Eq; break;
+        case Tok::Neq: op = BinOp::Neq; break;
+        case Tok::Lt: op = BinOp::Lt; break;
+        case Tok::Leq: op = BinOp::Leq; break;
+        case Tok::Gt: op = BinOp::Gt; break;
+        case Tok::Geq: op = BinOp::Geq; break;
+        default: return lhs;
+      }
+      SourceLoc loc = advance().loc;
+      ExprPtr e = make_expr(ExprKind::Binary, loc);
+      e->bin_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_simple());
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_simple() {
+    ExprPtr lhs;
+    if (at(Tok::Minus) || at(Tok::Plus)) {
+      SourceLoc loc = peek().loc;
+      UnOp op = at(Tok::Minus) ? UnOp::Neg : UnOp::Plus;
+      advance();
+      ExprPtr e = make_expr(ExprKind::Unary, loc);
+      e->un_op = op;
+      e->children.push_back(parse_term());
+      lhs = std::move(e);
+    } else {
+      lhs = parse_term();
+    }
+    for (;;) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Plus: op = BinOp::Add; break;
+        case Tok::Minus: op = BinOp::Sub; break;
+        case Tok::KwOr: op = BinOp::Or; break;
+        default: return lhs;
+      }
+      SourceLoc loc = advance().loc;
+      ExprPtr e = make_expr(ExprKind::Binary, loc);
+      e->bin_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_term());
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    for (;;) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Star: op = BinOp::Mul; break;
+        case Tok::Slash: op = BinOp::IntDiv; break;  // treated as `div`
+        case Tok::KwDiv: op = BinOp::IntDiv; break;
+        case Tok::KwMod: op = BinOp::Mod; break;
+        case Tok::KwAnd: op = BinOp::And; break;
+        default: return lhs;
+      }
+      SourceLoc loc = advance().loc;
+      ExprPtr e = make_expr(ExprKind::Binary, loc);
+      e->bin_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_factor());
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_factor() {
+    SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::KwNot: {
+        advance();
+        ExprPtr e = make_expr(ExprKind::Unary, loc);
+        e->un_op = UnOp::Not;
+        e->children.push_back(parse_factor());
+        return e;
+      }
+      case Tok::Minus: {
+        advance();
+        ExprPtr e = make_expr(ExprKind::Unary, loc);
+        e->un_op = UnOp::Neg;
+        e->children.push_back(parse_factor());
+        return e;
+      }
+      case Tok::IntLit: {
+        ExprPtr e = make_expr(ExprKind::IntLit, loc);
+        e->int_value = advance().int_value;
+        return e;
+      }
+      case Tok::StringLit: {
+        const Token& t = advance();
+        if (t.text.size() != 1) {
+          throw CompileError(loc,
+                             "only single-character string literals are "
+                             "supported (char values)");
+        }
+        ExprPtr e = make_expr(ExprKind::CharLit, loc);
+        e->int_value = static_cast<unsigned char>(t.text[0]);
+        return e;
+      }
+      case Tok::KwNil:
+        advance();
+        return make_expr(ExprKind::NilLit, loc);
+      case Tok::LParen: {
+        advance();
+        ExprPtr e = parse_expr();
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::Ident:
+        return parse_designator();
+      default:
+        throw CompileError(loc, "expected expression, found " +
+                                    std::string(tok_name(peek().kind)));
+    }
+  }
+
+  /// Identifier followed by any number of suffixes: `.f`, `[i]`, `^`, `(...)`.
+  ExprPtr parse_designator() {
+    SourceLoc loc = peek().loc;
+    ExprPtr e = make_expr(ExprKind::Name, loc);
+    e->name = ident();
+    for (;;) {
+      if (accept(Tok::Dot)) {
+        ExprPtr f = make_expr(ExprKind::Field, peek().loc);
+        f->field = ident();
+        f->children.push_back(std::move(e));
+        e = std::move(f);
+      } else if (accept(Tok::LBracket)) {
+        ExprPtr ix = make_expr(ExprKind::Index, peek().loc);
+        ix->children.push_back(std::move(e));
+        ix->children.push_back(parse_expr());
+        expect(Tok::RBracket);
+        e = std::move(ix);
+      } else if (accept(Tok::Caret)) {
+        ExprPtr d = make_expr(ExprKind::Deref, loc);
+        d->children.push_back(std::move(e));
+        e = std::move(d);
+      } else if (at(Tok::LParen) && e->kind == ExprKind::Name) {
+        advance();
+        ExprPtr call = make_expr(ExprKind::Call, e->loc);
+        call->name = e->name;
+        if (!at(Tok::RParen)) {
+          call->children.push_back(parse_expr());
+          while (accept(Tok::Comma)) call->children.push_back(parse_expr());
+        }
+        expect(Tok::RParen);
+        e = std::move(call);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SpecAst parse(std::string_view source) {
+  Parser p(lex(source));
+  return p.parse_spec();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  Parser p(lex(source));
+  return p.parse_expression_only();
+}
+
+}  // namespace tango::est

@@ -1,0 +1,21 @@
+// Recursive-descent parser for the Estelle dialect (see DESIGN.md §6 for the
+// accepted grammar). Produces an unresolved SpecAst; semantic analysis
+// (sema.hpp) resolves names and types afterwards.
+#pragma once
+
+#include <string_view>
+
+#include "estelle/ast.hpp"
+
+namespace tango::est {
+
+/// Parses a complete specification. Throws CompileError on the first syntax
+/// error (Pascal-family grammars recover poorly; one precise error beats a
+/// cascade).
+[[nodiscard]] SpecAst parse(std::string_view source);
+
+/// Parses a single expression (used by tests and by the trace tooling for
+/// constant expressions).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace tango::est

@@ -1,0 +1,363 @@
+#include "estelle/printer.hpp"
+
+namespace tango::est {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+const char* bin_op_text(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::IntDiv: return "div";
+    case BinOp::Mod: return "mod";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+    case BinOp::Eq: return "=";
+    case BinOp::Neq: return "<>";
+    case BinOp::Lt: return "<";
+    case BinOp::Leq: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Geq: return ">=";
+  }
+  return "?";
+}
+
+int precedence(const Expr& e) {
+  if (e.kind == ExprKind::Binary) {
+    switch (e.bin_op) {
+      case BinOp::Eq: case BinOp::Neq: case BinOp::Lt: case BinOp::Leq:
+      case BinOp::Gt: case BinOp::Geq:
+        return 1;
+      case BinOp::Add: case BinOp::Sub: case BinOp::Or:
+        return 2;
+      default:
+        return 3;
+    }
+  }
+  if (e.kind == ExprKind::Unary) return e.un_op == UnOp::Not ? 4 : 2;
+  return 5;
+}
+
+std::string expr_text(const Expr& e, int parent_prec) {
+  std::string out;
+  switch (e.kind) {
+    case ExprKind::IntLit: out = std::to_string(e.int_value); break;
+    case ExprKind::BoolLit: out = e.int_value != 0 ? "true" : "false"; break;
+    case ExprKind::CharLit:
+      out = std::string("'") + static_cast<char>(e.int_value) + "'";
+      break;
+    case ExprKind::NilLit: out = "nil"; break;
+    case ExprKind::Name: out = e.name; break;
+    case ExprKind::Field:
+      out = expr_text(*e.children[0], 5) + "." + e.field;
+      break;
+    case ExprKind::Index:
+      out = expr_text(*e.children[0], 5) + "[" +
+            expr_text(*e.children[1], 0) + "]";
+      break;
+    case ExprKind::Deref:
+      out = expr_text(*e.children[0], 5) + "^";
+      break;
+    case ExprKind::Unary: {
+      const char* op = e.un_op == UnOp::Not ? "not "
+                       : e.un_op == UnOp::Neg ? "-"
+                                              : "+";
+      out = std::string(op) + expr_text(*e.children[0], 4);
+      break;
+    }
+    case ExprKind::Binary:
+      out = expr_text(*e.children[0], precedence(e)) + " " +
+            bin_op_text(e.bin_op) + " " +
+            expr_text(*e.children[1], precedence(e) + 1);
+      break;
+    case ExprKind::Call: {
+      out = e.name + "(";
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += expr_text(*e.children[i], 0);
+      }
+      out += ")";
+      break;
+    }
+  }
+  if (precedence(e) < parent_prec &&
+      (e.kind == ExprKind::Binary || e.kind == ExprKind::Unary)) {
+    return "(" + out + ")";
+  }
+  return out;
+}
+
+std::string type_expr_text(const TypeExpr& t) {
+  switch (t.kind) {
+    case TypeExprKind::Named:
+      return t.name;
+    case TypeExprKind::Enum: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < t.enum_values.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += t.enum_values[i];
+      }
+      return out + ")";
+    }
+    case TypeExprKind::Subrange:
+      return expr_text(*t.lo, 0) + " .. " + expr_text(*t.hi, 0);
+    case TypeExprKind::Array:
+      return "array [" + expr_text(*t.lo, 0) + " .. " + expr_text(*t.hi, 0) +
+             "] of " + type_expr_text(*t.element);
+    case TypeExprKind::Record: {
+      std::string out = "record ";
+      for (const FieldGroup& g : t.fields) {
+        for (std::size_t i = 0; i < g.names.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += g.names[i];
+        }
+        out += ": " + type_expr_text(*g.type) + "; ";
+      }
+      return out + "end";
+    }
+    case TypeExprKind::Pointer:
+      return "^" + t.name;
+  }
+  return "?";
+}
+
+std::string stmt_text(const Stmt& s, int n);
+
+std::string stmt_list_text(const std::vector<StmtPtr>& list, int n) {
+  std::string out;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out += stmt_text(*list[i], n);
+    if (i + 1 != list.size()) out += ";";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string stmt_text(const Stmt& s, int n) {
+  switch (s.kind) {
+    case StmtKind::Empty:
+      return ind(n);
+    case StmtKind::Compound:
+      return ind(n) + "begin\n" + stmt_list_text(s.body, n + 1) + ind(n) +
+             "end";
+    case StmtKind::Assign:
+      return ind(n) + expr_text(*s.e0, 0) + " := " + expr_text(*s.e1, 0);
+    case StmtKind::If: {
+      std::string out = ind(n) + "if " + expr_text(*s.e0, 0) + " then\n" +
+                        stmt_text(*s.s0, n + 1);
+      if (s.s1) out += "\n" + ind(n) + "else\n" + stmt_text(*s.s1, n + 1);
+      return out;
+    }
+    case StmtKind::While:
+      return ind(n) + "while " + expr_text(*s.e0, 0) + " do\n" +
+             stmt_text(*s.s0, n + 1);
+    case StmtKind::Repeat:
+      return ind(n) + "repeat\n" + stmt_list_text(s.body, n + 1) + ind(n) +
+             "until " + expr_text(*s.e0, 0);
+    case StmtKind::For:
+      return ind(n) + "for " + expr_text(*s.e0, 0) + " := " +
+             expr_text(*s.e1, 0) + (s.downto ? " downto " : " to ") +
+             expr_text(*s.args[0], 0) + " do\n" + stmt_text(*s.s0, n + 1);
+    case StmtKind::Case: {
+      std::string out = ind(n) + "case " + expr_text(*s.e0, 0) + " of\n";
+      for (const CaseArm& arm : s.arms) {
+        out += ind(n + 1);
+        for (std::size_t i = 0; i < arm.labels.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += expr_text(*arm.labels[i], 0);
+        }
+        out += ":\n" + stmt_text(*arm.body, n + 2) + ";\n";
+      }
+      if (s.has_otherwise) {
+        out += ind(n + 1) + "otherwise\n" + stmt_list_text(s.otherwise, n + 2);
+      }
+      return out + ind(n) + "end";
+    }
+    case StmtKind::Call: {
+      std::string out = ind(n) + s.callee;
+      if (!s.args.empty()) {
+        out += "(";
+        for (std::size_t i = 0; i < s.args.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += expr_text(*s.args[i], 0);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StmtKind::Output: {
+      std::string out = ind(n) + "output " + s.out_ip + "." +
+                        s.out_interaction;
+      if (!s.args.empty()) {
+        out += "(";
+        for (std::size_t i = 0; i < s.args.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += expr_text(*s.args[i], 0);
+        }
+        out += ")";
+      }
+      return out;
+    }
+  }
+  return ind(n) + "{?}";
+}
+
+void print_vars(std::string& out, const std::vector<VarDecl>& vars, int n) {
+  if (vars.empty()) return;
+  out += ind(n) + "var\n";
+  for (const VarDecl& v : vars) {
+    out += ind(n + 1);
+    for (std::size_t i = 0; i < v.names.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += v.names[i];
+    }
+    out += ": " + type_expr_text(*v.type) + ";\n";
+  }
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) { return expr_text(e, 0); }
+std::string print_stmt(const Stmt& s, int indent) {
+  return stmt_text(s, indent);
+}
+
+std::string print_spec(const SpecAst& spec) {
+  std::string out = "specification " + spec.name + ";\n\n";
+
+  for (const ChannelDef& ch : spec.channels) {
+    out += "channel " + ch.name + "(" + ch.roles[0] + ", " + ch.roles[1] +
+           ");\n";
+    for (int role = 0; role < 2; ++role) {
+      bool header = false;
+      for (const InteractionDef& def : ch.interactions) {
+        // Interactions listed under both roles are emitted under role 0 as
+        // `by A, B:` to keep the round trip faithful.
+        const bool both = def.by_role[0] && def.by_role[1];
+        if (!def.by_role[role] || (both && role == 1)) continue;
+        if (!header) {
+          out += "  by " + ch.roles[role] +
+                 (both ? ", " + ch.roles[1 - role] : "") + ":\n";
+          header = true;
+        }
+        out += "    " + def.name;
+        if (!def.params.empty()) {
+          out += "(";
+          for (std::size_t i = 0; i < def.params.size(); ++i) {
+            if (i != 0) out += "; ";
+            out += def.params[i].name + ": " +
+                   type_expr_text(*def.params[i].type);
+          }
+          out += ")";
+        }
+        out += ";\n";
+      }
+    }
+  }
+  out += "\n";
+
+  for (const ModuleHeader& mod : spec.modules) {
+    out += "module " + mod.name + " systemprocess;\n";
+    for (const IpDecl& ip : mod.ips) {
+      out += "  ip " + ip.name + ": " + ip.channel + "(" + ip.role + ");\n";
+    }
+    out += "end;\n\n";
+  }
+
+  for (const BodyDef& body : spec.bodies) {
+    out += "body " + body.name + " for " + body.for_module + ";\n\n";
+    if (!body.consts.empty()) {
+      out += "const\n";
+      for (const ConstDecl& c : body.consts) {
+        out += "  " + c.name + " = " + print_expr(*c.value) + ";\n";
+      }
+    }
+    if (!body.types.empty()) {
+      out += "type\n";
+      for (const TypeDecl& t : body.types) {
+        out += "  " + t.name + " = " + type_expr_text(*t.type) + ";\n";
+      }
+    }
+    print_vars(out, body.vars, 0);
+
+    for (const Routine& r : body.routines) {
+      out += r.is_function ? "function " : "procedure ";
+      out += r.name;
+      if (!r.params.empty()) {
+        out += "(";
+        for (std::size_t i = 0; i < r.params.size(); ++i) {
+          if (i != 0) out += "; ";
+          const ParamGroup& g = r.params[i];
+          if (g.by_ref) out += "var ";
+          for (std::size_t k = 0; k < g.names.size(); ++k) {
+            if (k != 0) out += ", ";
+            out += g.names[k];
+          }
+          out += ": " + type_expr_text(*g.type);
+        }
+        out += ")";
+      }
+      if (r.is_function) out += ": " + type_expr_text(*r.result_type);
+      out += ";\n";
+      print_vars(out, r.locals, 0);
+      out += stmt_text(*r.body, 0) + ";\n\n";
+    }
+
+    if (!body.states.empty()) {
+      out += "state ";
+      for (std::size_t i = 0; i < body.states.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += body.states[i];
+      }
+      out += ";\n";
+    }
+    for (const StateSetDecl& ss : body.statesets) {
+      out += "stateset " + ss.name + " = [";
+      for (std::size_t i = 0; i < ss.members.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += ss.members[i];
+      }
+      out += "];\n";
+    }
+    out += "\n";
+
+    for (const Initializer& init : body.initializers) {
+      out += "initialize to " + init.to_state;
+      if (init.provided) out += " provided " + print_expr(*init.provided);
+      out += "\n";
+      print_vars(out, init.locals, 1);
+      out += init.block ? stmt_text(*init.block, 1) : ind(1) + "begin end";
+      out += ";\n\n";
+    }
+
+    out += "trans\n\n";
+    for (const Transition& tr : body.transitions) {
+      out += "  from ";
+      for (std::size_t i = 0; i < tr.from_states.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += tr.from_states[i];
+      }
+      out += " to " + (tr.to_same ? std::string("same") : tr.to_state) + "\n";
+      if (tr.when) {
+        out += "    when " + tr.when->ip + "." + tr.when->interaction + "\n";
+      }
+      if (tr.provided) {
+        out += "    provided " + print_expr(*tr.provided) + "\n";
+      }
+      if (tr.priority) {
+        out += "    priority " + std::to_string(*tr.priority) + "\n";
+      }
+      if (!tr.name.empty()) out += "    name " + tr.name + ":\n";
+      print_vars(out, tr.locals, 2);
+      out += stmt_text(*tr.block, 2) + ";\n\n";
+    }
+    out += "end;\n\n";
+  }
+  out += "end.\n";
+  return out;
+}
+
+}  // namespace tango::est

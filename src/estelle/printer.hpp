@@ -1,0 +1,16 @@
+// Pretty-printer: renders a SpecAst back to Estelle source text. Used by
+// the normal-form transform (tango normal-form) and by golden tests. The
+// printer works on both unresolved (freshly parsed) and resolved ASTs.
+#pragma once
+
+#include <string>
+
+#include "estelle/ast.hpp"
+
+namespace tango::est {
+
+[[nodiscard]] std::string print_spec(const SpecAst& spec);
+[[nodiscard]] std::string print_expr(const Expr& e);
+[[nodiscard]] std::string print_stmt(const Stmt& s, int indent = 0);
+
+}  // namespace tango::est

@@ -1,0 +1,1194 @@
+#include "estelle/sema.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tango::est {
+
+namespace {
+
+constexpr std::int64_t kMaxArrayElems = 1 << 20;
+
+struct ConstInfo {
+  const Type* type = nullptr;
+  std::int64_t value = 0;
+  NameRef ref = NameRef::ConstInt;  // ConstInt/ConstBool/ConstChar/EnumConst
+};
+
+struct LocalInfo {
+  int slot = -1;
+  const Type* type = nullptr;
+  bool by_ref = false;
+};
+
+struct WhenParamInfo {
+  int index = -1;
+  const Type* type = nullptr;
+};
+
+class Sema {
+ public:
+  Sema(Spec& spec, DiagnosticSink& sink) : spec_(spec), sink_(sink) {}
+
+  void run() {
+    check_structure();
+    resolve_consts_and_types();
+    resolve_channels();
+    resolve_ips();
+    resolve_states();
+    resolve_module_vars();
+    resolve_routine_signatures();
+    resolve_routine_bodies();
+    resolve_initializers();
+    resolve_transitions();
+    index_transitions_by_state();
+    warn_non_progress();
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Structure
+  // -------------------------------------------------------------------
+  void check_structure() {
+    SpecAst& ast = spec_.ast;
+    spec_.name = ast.name;
+    if (ast.modules.size() != 1 || ast.bodies.size() != 1) {
+      // The paper, §2.1: "The current version of Tango does not support
+      // trace analysis of multiple concurrent module specifications."
+      throw CompileError(
+          ast.loc,
+          "Tango requires exactly one module header and one module body "
+          "(single-process specifications only); found " +
+              std::to_string(ast.modules.size()) + " module(s) and " +
+              std::to_string(ast.bodies.size()) + " body(ies)");
+    }
+    if (ast.bodies[0].for_module != ast.modules[0].name) {
+      throw CompileError(ast.bodies[0].loc,
+                         "body '" + ast.bodies[0].name + "' is for module '" +
+                             ast.bodies[0].for_module +
+                             "', but the declared module is '" +
+                             ast.modules[0].name + "'");
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Constants and types (fixpoint: the two sections may reference each
+  // other — array bounds use constants, constants use enum literals)
+  // -------------------------------------------------------------------
+  void resolve_consts_and_types() {
+    type_env_["integer"] = spec_.types.integer();
+    type_env_["boolean"] = spec_.types.boolean();
+    type_env_["char"] = spec_.types.char_type();
+
+    const_env_["true"] = ConstInfo{spec_.types.boolean(), 1, NameRef::ConstBool};
+    const_env_["false"] =
+        ConstInfo{spec_.types.boolean(), 0, NameRef::ConstBool};
+    const_env_["maxint"] =
+        ConstInfo{spec_.types.integer(),
+                  std::numeric_limits<std::int32_t>::max(), NameRef::ConstInt};
+
+    BodyDef& body = spec_.ast.bodies[0];
+    std::vector<ConstDecl*> pending_consts;
+    std::vector<TypeDecl*> pending_types;
+    for (ConstDecl& c : body.consts) pending_consts.push_back(&c);
+    for (TypeDecl& t : body.types) pending_types.push_back(&t);
+
+    bool progress = true;
+    while (progress && (!pending_consts.empty() || !pending_types.empty())) {
+      progress = false;
+      for (auto it = pending_consts.begin(); it != pending_consts.end();) {
+        if (try_resolve_const(**it)) {
+          it = pending_consts.erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = pending_types.begin(); it != pending_types.end();) {
+        if (try_resolve_type_decl(**it)) {
+          it = pending_types.erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!pending_consts.empty()) {
+      // Re-run to surface the underlying error.
+      fold_const(*pending_consts.front()->value);
+    }
+    if (!pending_types.empty()) {
+      resolve_type_expr(*pending_types.front()->type);
+    }
+    patch_pointers();
+  }
+
+  bool try_resolve_const(ConstDecl& decl) {
+    if (const_env_.count(decl.name) || type_env_.count(decl.name)) {
+      throw CompileError(decl.loc, "redefinition of '" + decl.name + "'");
+    }
+    try {
+      ConstInfo info = fold_const(*decl.value);
+      const_env_[decl.name] = info;
+      return true;
+    } catch (const CompileError&) {
+      return false;
+    }
+  }
+
+  bool try_resolve_type_decl(TypeDecl& decl) {
+    if (const_env_.count(decl.name) || type_env_.count(decl.name)) {
+      throw CompileError(decl.loc, "redefinition of '" + decl.name + "'");
+    }
+    try {
+      const Type* t = resolve_type_expr(*decl.type);
+      Type* named = const_cast<Type*>(t);
+      if (named->name.empty()) named->name = decl.name;
+      type_env_[decl.name] = t;
+      return true;
+    } catch (const CompileError&) {
+      return false;
+    }
+  }
+
+  /// Resolves a syntactic type expression to a canonical type. Pointer
+  /// targets may be forward references; they are patched afterwards.
+  const Type* resolve_type_expr(TypeExpr& te) {
+    if (te.resolved != nullptr) return te.resolved;
+    switch (te.kind) {
+      case TypeExprKind::Named: {
+        auto it = type_env_.find(te.name);
+        if (it == type_env_.end()) {
+          throw CompileError(te.loc, "unknown type '" + te.name + "'");
+        }
+        te.resolved = it->second;
+        break;
+      }
+      case TypeExprKind::Enum: {
+        Type* t = spec_.types.make(TypeKind::Enum);
+        t->enum_values = te.enum_values;
+        for (std::size_t i = 0; i < te.enum_values.size(); ++i) {
+          const std::string& lit = te.enum_values[i];
+          if (const_env_.count(lit)) {
+            throw CompileError(te.loc,
+                               "enum literal '" + lit + "' redefines a name");
+          }
+          const_env_[lit] =
+              ConstInfo{t, static_cast<std::int64_t>(i), NameRef::EnumConst};
+        }
+        te.resolved = t;
+        break;
+      }
+      case TypeExprKind::Subrange: {
+        ConstInfo lo = fold_const(*te.lo);
+        ConstInfo hi = fold_const(*te.hi);
+        if (!lo.type->is_integer_like() || !hi.type->is_integer_like()) {
+          throw CompileError(te.loc, "subrange bounds must be integers");
+        }
+        if (lo.value > hi.value) {
+          throw CompileError(te.loc, "empty subrange");
+        }
+        Type* t = spec_.types.make(TypeKind::Subrange);
+        t->lo = lo.value;
+        t->hi = hi.value;
+        te.resolved = t;
+        break;
+      }
+      case TypeExprKind::Array: {
+        ConstInfo lo = fold_const(*te.lo);
+        ConstInfo hi = fold_const(*te.hi);
+        if (!lo.type->is_integer_like() || !hi.type->is_integer_like()) {
+          throw CompileError(te.loc, "array bounds must be integers");
+        }
+        if (lo.value > hi.value || hi.value - lo.value + 1 > kMaxArrayElems) {
+          throw CompileError(te.loc, "invalid array bounds");
+        }
+        const Type* elem = resolve_type_expr(*te.element);
+        Type* t = spec_.types.make(TypeKind::Array);
+        t->lo = lo.value;
+        t->hi = hi.value;
+        t->element = elem;
+        te.resolved = t;
+        break;
+      }
+      case TypeExprKind::Record: {
+        Type* t = spec_.types.make(TypeKind::Record);
+        std::set<std::string> seen;
+        for (FieldGroup& g : te.fields) {
+          const Type* ft = resolve_type_expr(*g.type);
+          for (const std::string& n : g.names) {
+            if (!seen.insert(n).second) {
+              throw CompileError(te.loc, "duplicate field '" + n + "'");
+            }
+            t->fields.push_back(RecordField{n, ft});
+          }
+        }
+        te.resolved = t;
+        break;
+      }
+      case TypeExprKind::Pointer: {
+        Type* t = spec_.types.make(TypeKind::Pointer);
+        // pointee patched in patch_pointers(); remember the target name.
+        t->name = "";
+        pending_pointers_.emplace_back(t, te.name, te.loc);
+        te.resolved = t;
+        break;
+      }
+    }
+    return te.resolved;
+  }
+
+  void patch_pointers() {
+    for (auto& [ptr, target, loc] : pending_pointers_) {
+      auto it = type_env_.find(target);
+      if (it == type_env_.end()) {
+        throw CompileError(loc, "unknown pointer target type '" + target + "'");
+      }
+      ptr->pointee = it->second;
+    }
+    pending_pointers_.clear();
+  }
+
+  // -------------------------------------------------------------------
+  // Constant folding
+  // -------------------------------------------------------------------
+  ConstInfo fold_const(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = spec_.types.integer();
+        return {e.type, e.int_value, NameRef::ConstInt};
+      case ExprKind::CharLit:
+        e.type = spec_.types.char_type();
+        return {e.type, e.int_value, NameRef::ConstChar};
+      case ExprKind::Name: {
+        auto it = const_env_.find(e.name);
+        if (it == const_env_.end()) {
+          throw CompileError(e.loc, "'" + e.name + "' is not a constant");
+        }
+        e.type = it->second.type;
+        e.ref = it->second.ref;
+        e.int_value = it->second.value;
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        ConstInfo v = fold_const(*e.children[0]);
+        switch (e.un_op) {
+          case UnOp::Neg:
+            if (!v.type->is_integer_like()) {
+              throw CompileError(e.loc, "unary '-' needs an integer");
+            }
+            return {spec_.types.integer(), -v.value, NameRef::ConstInt};
+          case UnOp::Plus:
+            return v;
+          case UnOp::Not:
+            if (v.type->kind != TypeKind::Boolean) {
+              throw CompileError(e.loc, "'not' needs a boolean");
+            }
+            return {spec_.types.boolean(), v.value == 0 ? 1 : 0,
+                    NameRef::ConstBool};
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        ConstInfo a = fold_const(*e.children[0]);
+        ConstInfo b = fold_const(*e.children[1]);
+        auto need_int = [&] {
+          if (!a.type->is_integer_like() || !b.type->is_integer_like()) {
+            throw CompileError(e.loc, "constant operator needs integers");
+          }
+        };
+        switch (e.bin_op) {
+          case BinOp::Add: need_int(); return {spec_.types.integer(), a.value + b.value, NameRef::ConstInt};
+          case BinOp::Sub: need_int(); return {spec_.types.integer(), a.value - b.value, NameRef::ConstInt};
+          case BinOp::Mul: need_int(); return {spec_.types.integer(), a.value * b.value, NameRef::ConstInt};
+          case BinOp::IntDiv:
+            need_int();
+            if (b.value == 0) throw CompileError(e.loc, "division by zero");
+            return {spec_.types.integer(), a.value / b.value, NameRef::ConstInt};
+          case BinOp::Mod:
+            need_int();
+            if (b.value == 0) throw CompileError(e.loc, "mod by zero");
+            return {spec_.types.integer(), a.value % b.value, NameRef::ConstInt};
+          default:
+            throw CompileError(e.loc, "operator not allowed in constants");
+        }
+      }
+      default:
+        break;
+    }
+    throw CompileError(e.loc, "expression is not constant");
+  }
+
+  // -------------------------------------------------------------------
+  // Channels and interaction points
+  // -------------------------------------------------------------------
+  void resolve_channels() {
+    for (std::size_t ci = 0; ci < spec_.ast.channels.size(); ++ci) {
+      ChannelDef& ch = spec_.ast.channels[ci];
+      if (ch.roles[0] == ch.roles[1]) {
+        throw CompileError(ch.loc, "channel roles must differ");
+      }
+      std::set<std::string> seen;
+      for (InteractionDef& def : ch.interactions) {
+        if (!seen.insert(def.name).second) {
+          throw CompileError(def.loc,
+                             "duplicate interaction '" + def.name + "'");
+        }
+        InteractionInfo info;
+        info.name = def.name;
+        info.channel_index = static_cast<int>(ci);
+        for (InteractionParam& p : def.params) {
+          p.resolved = resolve_type_expr(*p.type);
+          info.param_names.push_back(p.name);
+          info.param_types.push_back(p.resolved);
+        }
+        patch_pointers();
+        def.global_id = static_cast<int>(spec_.interactions.size());
+        spec_.interactions.push_back(std::move(info));
+      }
+    }
+  }
+
+  void resolve_ips() {
+    ModuleHeader& mod = spec_.ast.modules[0];
+    std::set<std::string> seen;
+    for (IpDecl& decl : mod.ips) {
+      if (!seen.insert(decl.name).second) {
+        throw CompileError(decl.loc, "duplicate ip '" + decl.name + "'");
+      }
+      int ci = -1;
+      for (std::size_t i = 0; i < spec_.ast.channels.size(); ++i) {
+        if (spec_.ast.channels[i].name == decl.channel) {
+          ci = static_cast<int>(i);
+          break;
+        }
+      }
+      if (ci < 0) {
+        throw CompileError(decl.loc, "unknown channel '" + decl.channel + "'");
+      }
+      const ChannelDef& ch = spec_.ast.channels[static_cast<std::size_t>(ci)];
+      int role = decl.role == ch.roles[0] ? 0
+                 : decl.role == ch.roles[1] ? 1
+                                            : -1;
+      if (role < 0) {
+        throw CompileError(decl.loc, "'" + decl.role +
+                                         "' is not a role of channel '" +
+                                         decl.channel + "'");
+      }
+      decl.channel_index = ci;
+      decl.role_index = role;
+
+      IpInfo info;
+      info.name = decl.name;
+      info.channel_index = ci;
+      info.role_index = role;
+      for (const InteractionDef& def : ch.interactions) {
+        // Messages sendable by the module's own role leave through the ip
+        // (outputs); messages sendable by the peer role arrive (inputs).
+        if (def.by_role[role]) info.outputs[def.name] = def.global_id;
+        if (def.by_role[1 - role]) info.inputs[def.name] = def.global_id;
+      }
+      spec_.ips.push_back(std::move(info));
+    }
+    if (spec_.ips.empty()) {
+      throw CompileError(mod.loc, "module declares no interaction points");
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // States and module variables
+  // -------------------------------------------------------------------
+  void resolve_states() {
+    BodyDef& body = spec_.ast.bodies[0];
+    if (body.states.empty()) {
+      throw CompileError(body.loc, "module body declares no states");
+    }
+    std::set<std::string> seen;
+    for (const std::string& s : body.states) {
+      if (!seen.insert(s).second) {
+        throw CompileError(body.loc, "duplicate state '" + s + "'");
+      }
+      spec_.states.push_back(s);
+    }
+    for (StateSetDecl& ss : body.statesets) {
+      std::vector<int> members;
+      for (const std::string& m : ss.members) {
+        int ord = spec_.state_ordinal(m);
+        if (ord < 0) {
+          throw CompileError(ss.loc, "stateset member '" + m +
+                                         "' is not a declared state");
+        }
+        members.push_back(ord);
+      }
+      if (!stateset_env_.emplace(ss.name, std::move(members)).second) {
+        throw CompileError(ss.loc, "duplicate stateset '" + ss.name + "'");
+      }
+    }
+  }
+
+  void resolve_module_vars() {
+    BodyDef& body = spec_.ast.bodies[0];
+    for (VarDecl& decl : body.vars) {
+      const Type* t = resolve_type_expr(*decl.type);
+      patch_pointers();
+      decl.first_slot = static_cast<int>(spec_.module_vars.size());
+      for (const std::string& n : decl.names) {
+        if (var_env_.count(n) || const_env_.count(n)) {
+          throw CompileError(decl.loc, "redefinition of '" + n + "'");
+        }
+        var_env_[n] = static_cast<int>(spec_.module_vars.size());
+        spec_.module_vars.push_back(ModuleVarInfo{n, t});
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Routines
+  // -------------------------------------------------------------------
+  void resolve_routine_signatures() {
+    BodyDef& body = spec_.ast.bodies[0];
+    for (std::size_t i = 0; i < body.routines.size(); ++i) {
+      Routine& r = body.routines[i];
+      if (r.is_primitive) {
+        // Matches Tango's restriction: primitive routines have no body to
+        // execute, so a trace analyzer cannot simulate them.
+        throw CompileError(
+            r.loc, "primitive functions and procedures are not supported "
+                   "by the trace analyzer (no body to execute)");
+      }
+      if (routine_env_.count(r.name) || var_env_.count(r.name) ||
+          const_env_.count(r.name)) {
+        throw CompileError(r.loc, "redefinition of '" + r.name + "'");
+      }
+      for (ParamGroup& g : r.params) {
+        const Type* t = resolve_type_expr(*g.type);
+        patch_pointers();
+        for (std::size_t k = 0; k < g.names.size(); ++k) {
+          r.param_types.push_back(t);
+          r.param_by_ref.push_back(g.by_ref);
+        }
+      }
+      if (r.is_function) {
+        const Type* rt = resolve_type_expr(*r.result_type);
+        patch_pointers();
+        if (rt->kind == TypeKind::Array || rt->kind == TypeKind::Record) {
+          throw CompileError(r.loc,
+                             "function results must be scalar or pointer");
+        }
+      }
+      routine_env_[r.name] = static_cast<int>(i);
+    }
+  }
+
+  void resolve_routine_bodies() {
+    BodyDef& body = spec_.ast.bodies[0];
+    for (Routine& r : body.routines) {
+      std::map<std::string, LocalInfo> locals;
+      int slot = 0;
+      for (ParamGroup& g : r.params) {
+        for (const std::string& n : g.names) {
+          if (locals.count(n)) {
+            throw CompileError(g.loc, "duplicate parameter '" + n + "'");
+          }
+          locals[n] = LocalInfo{slot++, g.type->resolved, g.by_ref};
+        }
+      }
+      if (r.is_function) {
+        r.result_slot = slot++;
+      }
+      for (VarDecl& decl : r.locals) {
+        const Type* t = resolve_type_expr(*decl.type);
+        patch_pointers();
+        decl.first_slot = slot;
+        for (const std::string& n : decl.names) {
+          if (locals.count(n)) {
+            throw CompileError(decl.loc, "redefinition of local '" + n + "'");
+          }
+          locals[n] = LocalInfo{slot++, t, false};
+        }
+      }
+      r.frame_size = slot;
+
+      locals_ = &locals;
+      when_params_ = nullptr;
+      current_function_ = &r;
+      check_stmt(*r.body);
+      current_function_ = nullptr;
+      locals_ = nullptr;
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Initializers and transitions
+  // -------------------------------------------------------------------
+  int resolve_locals_frame(std::vector<VarDecl>& decls,
+                           std::map<std::string, LocalInfo>& locals) {
+    int slot = 0;
+    for (VarDecl& decl : decls) {
+      const Type* t = resolve_type_expr(*decl.type);
+      patch_pointers();
+      decl.first_slot = slot;
+      for (const std::string& n : decl.names) {
+        if (locals.count(n)) {
+          throw CompileError(decl.loc, "redefinition of local '" + n + "'");
+        }
+        locals[n] = LocalInfo{slot++, t, false};
+      }
+    }
+    return slot;
+  }
+
+  void resolve_initializers() {
+    BodyDef& body = spec_.ast.bodies[0];
+    if (body.initializers.empty()) {
+      throw CompileError(body.loc, "module body has no initialize clause");
+    }
+    for (Initializer& init : body.initializers) {
+      init.to_ordinal = spec_.state_ordinal(init.to_state);
+      if (init.to_ordinal < 0) {
+        throw CompileError(init.loc,
+                           "unknown initial state '" + init.to_state + "'");
+      }
+      std::map<std::string, LocalInfo> locals;
+      init.frame_size = resolve_locals_frame(init.locals, locals);
+      locals_ = &locals;
+      when_params_ = nullptr;
+      if (init.provided) {
+        const Type* t = check_expr(*init.provided);
+        require_boolean(t, init.provided->loc, "initialize provided clause");
+      }
+      if (init.block) check_stmt(*init.block);
+      locals_ = nullptr;
+    }
+  }
+
+  void resolve_transitions() {
+    BodyDef& body = spec_.ast.bodies[0];
+    std::set<std::string> names;
+    for (Transition& tr : body.transitions) {
+      if (!tr.name.empty() && !names.insert(tr.name).second) {
+        throw CompileError(tr.loc, "duplicate transition name '" + tr.name +
+                                       "'");
+      }
+    }
+    int counter = 0;
+    for (Transition& tr : body.transitions) {
+      ++counter;
+      if (tr.name.empty()) {
+        std::string auto_name = "t" + std::to_string(counter);
+        while (names.count(auto_name)) auto_name += "_";
+        names.insert(auto_name);
+        tr.name = auto_name;
+      }
+
+      if (tr.has_delay) {
+        // The paper, §2.1: delay is unsupported because trace files carry no
+        // time stamps and the search does not model simulated time.
+        throw CompileError(tr.delay_loc,
+                           "delay clauses are not supported: trace files "
+                           "contain no time stamps (see Tango paper, §2.1)");
+      }
+
+      if (tr.from_states.empty()) {
+        throw CompileError(tr.loc, "transition '" + tr.name +
+                                       "' has no 'from' clause");
+      }
+      std::set<int> from;
+      for (const std::string& s : tr.from_states) {
+        int ord = spec_.state_ordinal(s);
+        if (ord >= 0) {
+          from.insert(ord);
+          continue;
+        }
+        auto it = stateset_env_.find(s);
+        if (it == stateset_env_.end()) {
+          throw CompileError(tr.loc, "unknown state or stateset '" + s + "'");
+        }
+        from.insert(it->second.begin(), it->second.end());
+      }
+      tr.from_ordinals.assign(from.begin(), from.end());
+
+      if (tr.to_same) {
+        tr.to_ordinal = -1;
+      } else {
+        if (tr.to_state.empty()) {
+          throw CompileError(tr.loc, "transition '" + tr.name +
+                                         "' has no 'to' clause");
+        }
+        tr.to_ordinal = spec_.state_ordinal(tr.to_state);
+        if (tr.to_ordinal < 0) {
+          throw CompileError(tr.loc, "unknown state '" + tr.to_state + "'");
+        }
+      }
+
+      std::map<std::string, WhenParamInfo> when_params;
+      if (tr.when) {
+        WhenClause& w = *tr.when;
+        w.ip_index = spec_.ip_index(w.ip);
+        if (w.ip_index < 0) {
+          throw CompileError(w.loc, "unknown ip '" + w.ip + "'");
+        }
+        w.interaction_id = spec_.input_id(w.ip_index, w.interaction);
+        if (w.interaction_id < 0) {
+          throw CompileError(
+              w.loc, "'" + w.interaction + "' is not an input interaction of "
+                                           "ip '" + w.ip + "'");
+        }
+        const InteractionInfo& info = spec_.interaction(w.interaction_id);
+        w.param_types = info.param_types;
+        for (std::size_t i = 0; i < info.param_names.size(); ++i) {
+          when_params[info.param_names[i]] =
+              WhenParamInfo{static_cast<int>(i), info.param_types[i]};
+        }
+      }
+
+      std::map<std::string, LocalInfo> locals;
+      tr.frame_size = resolve_locals_frame(tr.locals, locals);
+
+      locals_ = &locals;
+      when_params_ = &when_params;
+      if (tr.provided) {
+        const Type* t = check_expr(*tr.provided);
+        require_boolean(t, tr.provided->loc, "provided clause");
+      }
+      check_stmt(*tr.block);
+      when_params_ = nullptr;
+      locals_ = nullptr;
+    }
+  }
+
+  void index_transitions_by_state() {
+    spec_.transitions_by_state.assign(spec_.states.size(), {});
+    const auto& transitions = spec_.ast.bodies[0].transitions;
+    for (std::size_t ti = 0; ti < transitions.size(); ++ti) {
+      for (int s : transitions[ti].from_ordinals) {
+        spec_.transitions_by_state[static_cast<std::size_t>(s)].push_back(
+            static_cast<int>(ti));
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Warning: likely non-progress cycles (paper §2.1 footnote 1)
+  // -------------------------------------------------------------------
+  static bool contains_output(const Stmt& s) {
+    if (s.kind == StmtKind::Output) return true;
+    for (const StmtPtr& c : s.body) {
+      if (c && contains_output(*c)) return true;
+    }
+    for (const StmtPtr& c : s.otherwise) {
+      if (c && contains_output(*c)) return true;
+    }
+    for (const CaseArm& arm : s.arms) {
+      if (arm.body && contains_output(*arm.body)) return true;
+    }
+    if (s.s0 && contains_output(*s.s0)) return true;
+    if (s.s1 && contains_output(*s.s1)) return true;
+    return false;
+  }
+
+  void warn_non_progress() {
+    for (const Transition& tr : spec_.ast.bodies[0].transitions) {
+      if (tr.when || tr.provided) continue;
+      const bool loops_back =
+          tr.to_same ||
+          std::find(tr.from_ordinals.begin(), tr.from_ordinals.end(),
+                    tr.to_ordinal) != tr.from_ordinals.end();
+      if (loops_back && !contains_output(*tr.block)) {
+        sink_.warn(tr.loc,
+                   "transition '" + tr.name +
+                       "' is spontaneous, loops back to a source state and "
+                       "produces no output: possible non-progress cycle "
+                       "(these foil depth-first trace analysis)");
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Statements
+  // -------------------------------------------------------------------
+  void require_boolean(const Type* t, SourceLoc loc, const std::string& what) {
+    if (t->kind != TypeKind::Boolean) {
+      throw CompileError(loc, what + " must be boolean, got " +
+                                  type_to_string(t));
+    }
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Empty:
+        return;
+      case StmtKind::Compound:
+        for (StmtPtr& c : s.body) check_stmt(*c);
+        return;
+      case StmtKind::Assign: {
+        const Type* target = check_lvalue(*s.e0);
+        const Type* value = check_expr(*s.e1);
+        if (!assignable(target, value, *s.e1)) {
+          throw CompileError(s.loc, "cannot assign " + type_to_string(value) +
+                                        " to " + type_to_string(target));
+        }
+        return;
+      }
+      case StmtKind::If: {
+        require_boolean(check_expr(*s.e0), s.e0->loc, "if condition");
+        check_stmt(*s.s0);
+        if (s.s1) check_stmt(*s.s1);
+        return;
+      }
+      case StmtKind::While: {
+        require_boolean(check_expr(*s.e0), s.e0->loc, "while condition");
+        check_stmt(*s.s0);
+        return;
+      }
+      case StmtKind::Repeat: {
+        for (StmtPtr& c : s.body) check_stmt(*c);
+        require_boolean(check_expr(*s.e0), s.e0->loc, "until condition");
+        return;
+      }
+      case StmtKind::For: {
+        const Type* var = check_lvalue(*s.e0);
+        if (s.e0->kind != ExprKind::Name || !var->is_integer_like()) {
+          throw CompileError(s.loc,
+                             "for control variable must be a simple integer "
+                             "variable");
+        }
+        const Type* from = check_expr(*s.e1);
+        const Type* to = check_expr(*s.args[0]);
+        if (!from->is_integer_like() || !to->is_integer_like()) {
+          throw CompileError(s.loc, "for bounds must be integers");
+        }
+        check_stmt(*s.s0);
+        return;
+      }
+      case StmtKind::Case: {
+        const Type* sel = check_expr(*s.e0);
+        if (!sel->is_ordinal()) {
+          throw CompileError(s.loc, "case selector must be ordinal");
+        }
+        std::set<std::int64_t> seen;
+        for (CaseArm& arm : s.arms) {
+          for (ExprPtr& label : arm.labels) {
+            ConstInfo info = fold_const(*label);
+            if (!compatible_ordinal(sel, info.type)) {
+              throw CompileError(label->loc,
+                                 "case label type does not match selector");
+            }
+            if (!seen.insert(info.value).second) {
+              throw CompileError(label->loc, "duplicate case label");
+            }
+            arm.label_values.push_back(info.value);
+          }
+          check_stmt(*arm.body);
+        }
+        for (StmtPtr& c : s.otherwise) check_stmt(*c);
+        return;
+      }
+      case StmtKind::Call:
+        check_call_stmt(s);
+        return;
+      case StmtKind::Output:
+        check_output(s);
+        return;
+    }
+  }
+
+  static bool compatible_ordinal(const Type* sel, const Type* label) {
+    if (sel->is_integer_like() && label->is_integer_like()) return true;
+    if (sel->kind == TypeKind::Char && label->kind == TypeKind::Char) {
+      return true;
+    }
+    if (sel->kind == TypeKind::Boolean && label->kind == TypeKind::Boolean) {
+      return true;
+    }
+    return sel == label;  // enums by identity
+  }
+
+  bool assignable(const Type* to, const Type* from, const Expr& value_expr) {
+    if (compatible(to, from)) return true;
+    // nil literal assigns to any pointer.
+    if (to->kind == TypeKind::Pointer && value_expr.kind == ExprKind::NilLit) {
+      return true;
+    }
+    // Whole record/array assignment requires the identical type node
+    // (Pascal name equivalence).
+    return to == from;
+  }
+
+  void check_call_stmt(Stmt& s) {
+    if (s.callee == "new" || s.callee == "dispose") {
+      s.builtin = s.callee == "new" ? Builtin::New : Builtin::Dispose;
+      if (s.args.size() != 1) {
+        throw CompileError(s.loc, s.callee + " takes exactly one argument");
+      }
+      const Type* t = check_lvalue(*s.args[0]);
+      if (t->kind != TypeKind::Pointer) {
+        throw CompileError(s.loc, s.callee + " needs a pointer variable");
+      }
+      return;
+    }
+    auto it = routine_env_.find(s.callee);
+    if (it == routine_env_.end()) {
+      throw CompileError(s.loc, "unknown procedure '" + s.callee + "'");
+    }
+    Routine& r = spec_.ast.bodies[0].routines[static_cast<std::size_t>(
+        it->second)];
+    if (r.is_function) {
+      throw CompileError(s.loc, "'" + s.callee +
+                                    "' is a function; its result must be used");
+    }
+    s.routine_index = it->second;
+    check_args(r, s.args, s.loc);
+  }
+
+  void check_args(const Routine& r, std::vector<ExprPtr>& args,
+                  SourceLoc loc) {
+    if (args.size() != r.param_types.size()) {
+      throw CompileError(loc, "'" + r.name + "' expects " +
+                                  std::to_string(r.param_types.size()) +
+                                  " argument(s), got " +
+                                  std::to_string(args.size()));
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (r.param_by_ref[i]) {
+        const Type* t = check_lvalue(*args[i]);
+        if (t != r.param_types[i]) {
+          throw CompileError(args[i]->loc,
+                             "var parameter needs an exact-type variable");
+        }
+      } else {
+        const Type* t = check_expr(*args[i]);
+        if (!assignable(r.param_types[i], t, *args[i])) {
+          throw CompileError(args[i]->loc,
+                             "argument type mismatch: cannot pass " +
+                                 type_to_string(t) + " as " +
+                                 type_to_string(r.param_types[i]));
+        }
+      }
+    }
+  }
+
+  void check_output(Stmt& s) {
+    s.ip_index = spec_.ip_index(s.out_ip);
+    if (s.ip_index < 0) {
+      throw CompileError(s.loc, "unknown ip '" + s.out_ip + "'");
+    }
+    s.interaction_id = spec_.output_id(s.ip_index, s.out_interaction);
+    if (s.interaction_id < 0) {
+      throw CompileError(s.loc, "'" + s.out_interaction +
+                                    "' is not an output interaction of ip '" +
+                                    s.out_ip + "'");
+    }
+    const InteractionInfo& info = spec_.interaction(s.interaction_id);
+    if (s.args.size() != info.param_types.size()) {
+      throw CompileError(s.loc, "output '" + s.out_interaction + "' expects " +
+                                    std::to_string(info.param_types.size()) +
+                                    " parameter(s), got " +
+                                    std::to_string(s.args.size()));
+    }
+    for (std::size_t i = 0; i < s.args.size(); ++i) {
+      const Type* t = check_expr(*s.args[i]);
+      if (!assignable(info.param_types[i], t, *s.args[i])) {
+        throw CompileError(s.args[i]->loc,
+                           "output parameter type mismatch: cannot pass " +
+                               type_to_string(t) + " as " +
+                               type_to_string(info.param_types[i]));
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Expressions
+  // -------------------------------------------------------------------
+  const Type* check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return e.type = spec_.types.integer();
+      case ExprKind::BoolLit:
+        return e.type = spec_.types.boolean();
+      case ExprKind::CharLit:
+        return e.type = spec_.types.char_type();
+      case ExprKind::NilLit: {
+        // Typed as a fresh pointer-to-nothing; assignable to any pointer.
+        Type* t = spec_.types.make(TypeKind::Pointer);
+        t->pointee = nullptr;
+        return e.type = t;
+      }
+      case ExprKind::Name:
+        return check_name(e);
+      case ExprKind::Field: {
+        const Type* base = check_expr(*e.children[0]);
+        if (base->kind != TypeKind::Record) {
+          throw CompileError(e.loc, "'." + e.field + "' applied to non-record");
+        }
+        e.field_index = base->field_index(e.field);
+        if (e.field_index < 0) {
+          throw CompileError(e.loc, "no field '" + e.field + "' in " +
+                                        type_to_string(base));
+        }
+        return e.type = base->fields[static_cast<std::size_t>(e.field_index)]
+                            .type;
+      }
+      case ExprKind::Index: {
+        const Type* base = check_expr(*e.children[0]);
+        if (base->kind != TypeKind::Array) {
+          throw CompileError(e.loc, "indexing a non-array");
+        }
+        const Type* ix = check_expr(*e.children[1]);
+        if (!ix->is_integer_like()) {
+          throw CompileError(e.loc, "array index must be an integer");
+        }
+        return e.type = base->element;
+      }
+      case ExprKind::Deref: {
+        const Type* base = check_expr(*e.children[0]);
+        if (base->kind != TypeKind::Pointer || base->pointee == nullptr) {
+          throw CompileError(e.loc, "'^' applied to a non-pointer");
+        }
+        return e.type = base->pointee;
+      }
+      case ExprKind::Unary: {
+        const Type* t = check_expr(*e.children[0]);
+        switch (e.un_op) {
+          case UnOp::Neg:
+          case UnOp::Plus:
+            if (!t->is_integer_like()) {
+              throw CompileError(e.loc, "unary sign needs an integer");
+            }
+            return e.type = spec_.types.integer();
+          case UnOp::Not:
+            require_boolean(t, e.loc, "'not' operand");
+            return e.type = spec_.types.boolean();
+        }
+        break;
+      }
+      case ExprKind::Binary:
+        return check_binary(e);
+      case ExprKind::Call:
+        return check_call_expr(e);
+    }
+    throw CompileError(e.loc, "internal: unhandled expression kind");
+  }
+
+  const Type* check_name(Expr& e) {
+    if (when_params_ != nullptr) {
+      auto it = when_params_->find(e.name);
+      if (it != when_params_->end()) {
+        e.ref = NameRef::WhenParam;
+        e.slot = it->second.index;
+        return e.type = it->second.type;
+      }
+    }
+    if (locals_ != nullptr) {
+      auto it = locals_->find(e.name);
+      if (it != locals_->end()) {
+        e.ref = NameRef::Local;
+        e.slot = it->second.slot;
+        return e.type = it->second.type;
+      }
+    }
+    {
+      auto it = var_env_.find(e.name);
+      if (it != var_env_.end()) {
+        e.ref = NameRef::ModuleVar;
+        e.slot = it->second;
+        return e.type = spec_.module_vars[static_cast<std::size_t>(it->second)]
+                            .type;
+      }
+    }
+    {
+      auto it = const_env_.find(e.name);
+      if (it != const_env_.end()) {
+        e.ref = it->second.ref;
+        e.int_value = it->second.value;
+        return e.type = it->second.type;
+      }
+    }
+    {
+      auto it = routine_env_.find(e.name);
+      if (it != routine_env_.end()) {
+        const Routine& r = spec_.ast.bodies[0]
+                               .routines[static_cast<std::size_t>(it->second)];
+        if (!r.is_function || !r.param_types.empty()) {
+          throw CompileError(e.loc, "'" + e.name +
+                                        "' is not a parameterless function");
+        }
+        e.ref = NameRef::Call0;
+        e.slot = it->second;
+        return e.type = r.result_type->resolved;
+      }
+    }
+    throw CompileError(e.loc, "unknown identifier '" + e.name + "'");
+  }
+
+  const Type* check_binary(Expr& e) {
+    const Type* a = check_expr(*e.children[0]);
+    const Type* b = check_expr(*e.children[1]);
+    switch (e.bin_op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::IntDiv:
+      case BinOp::Mod:
+        if (!a->is_integer_like() || !b->is_integer_like()) {
+          throw CompileError(e.loc, "arithmetic needs integer operands");
+        }
+        return e.type = spec_.types.integer();
+      case BinOp::And:
+      case BinOp::Or:
+        require_boolean(a, e.loc, "boolean operator operand");
+        require_boolean(b, e.loc, "boolean operator operand");
+        return e.type = spec_.types.boolean();
+      case BinOp::Eq:
+      case BinOp::Neq:
+      case BinOp::Lt:
+      case BinOp::Leq:
+      case BinOp::Gt:
+      case BinOp::Geq: {
+        const bool ok =
+            (a->is_integer_like() && b->is_integer_like()) ||
+            (a->kind == TypeKind::Char && b->kind == TypeKind::Char) ||
+            (a->kind == TypeKind::Boolean && b->kind == TypeKind::Boolean) ||
+            (a->kind == TypeKind::Enum && a == b) ||
+            (a->kind == TypeKind::Pointer && b->kind == TypeKind::Pointer &&
+             (e.bin_op == BinOp::Eq || e.bin_op == BinOp::Neq));
+        if (!ok) {
+          throw CompileError(e.loc, "cannot compare " + type_to_string(a) +
+                                        " with " + type_to_string(b));
+        }
+        if (a->kind == TypeKind::Pointer &&
+            !(compatible(a, b) || b->pointee == nullptr ||
+              a->pointee == nullptr)) {
+          throw CompileError(e.loc, "comparing unrelated pointer types");
+        }
+        return e.type = spec_.types.boolean();
+      }
+    }
+    throw CompileError(e.loc, "internal: unhandled binary operator");
+  }
+
+  const Type* check_call_expr(Expr& e) {
+    // Builtins first.
+    const std::string& n = e.name;
+    auto unary_builtin = [&](Builtin b, auto&& check) -> const Type* {
+      if (e.children.size() != 1) {
+        throw CompileError(e.loc, n + " takes exactly one argument");
+      }
+      const Type* t = check_expr(*e.children[0]);
+      e.builtin = b;
+      return check(t);
+    };
+    if (n == "ord") {
+      return e.type = unary_builtin(Builtin::Ord, [&](const Type* t) {
+        if (!t->is_ordinal()) {
+          throw CompileError(e.loc, "ord needs an ordinal value");
+        }
+        return spec_.types.integer();
+      });
+    }
+    if (n == "chr") {
+      return e.type = unary_builtin(Builtin::Chr, [&](const Type* t) {
+        if (!t->is_integer_like()) {
+          throw CompileError(e.loc, "chr needs an integer");
+        }
+        return spec_.types.char_type();
+      });
+    }
+    if (n == "abs") {
+      return e.type = unary_builtin(Builtin::Abs, [&](const Type* t) {
+        if (!t->is_integer_like()) {
+          throw CompileError(e.loc, "abs needs an integer");
+        }
+        return spec_.types.integer();
+      });
+    }
+    if (n == "odd") {
+      return e.type = unary_builtin(Builtin::Odd, [&](const Type* t) {
+        if (!t->is_integer_like()) {
+          throw CompileError(e.loc, "odd needs an integer");
+        }
+        return spec_.types.boolean();
+      });
+    }
+    if (n == "succ" || n == "pred") {
+      return e.type = unary_builtin(
+                 n == "succ" ? Builtin::Succ : Builtin::Pred,
+                 [&](const Type* t) {
+                   if (!t->is_ordinal()) {
+                     throw CompileError(e.loc, n + " needs an ordinal value");
+                   }
+                   return t;
+                 });
+    }
+
+    auto it = routine_env_.find(n);
+    if (it == routine_env_.end()) {
+      throw CompileError(e.loc, "unknown function '" + n + "'");
+    }
+    Routine& r =
+        spec_.ast.bodies[0].routines[static_cast<std::size_t>(it->second)];
+    if (!r.is_function) {
+      throw CompileError(e.loc, "'" + n + "' is a procedure, not a function");
+    }
+    e.routine_index = it->second;
+    check_args(r, e.children, e.loc);
+    return e.type = r.result_type->resolved;
+  }
+
+  /// Like check_expr but requires the expression to denote a mutable
+  /// location. When-clause parameters and constants are read-only.
+  const Type* check_lvalue(Expr& e) {
+    // Function-result assignment: `f := expr` inside function f.
+    if (e.kind == ExprKind::Name && current_function_ != nullptr &&
+        current_function_->is_function &&
+        e.name == current_function_->name) {
+      e.ref = NameRef::Local;
+      e.slot = current_function_->result_slot;
+      return e.type = current_function_->result_type->resolved;
+    }
+    const Type* t = check_expr(e);
+    if (!is_lvalue(e)) {
+      throw CompileError(e.loc, "expression is not assignable");
+    }
+    return t;
+  }
+
+  static bool is_lvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Name:
+        return e.ref == NameRef::ModuleVar || e.ref == NameRef::Local;
+      case ExprKind::Field:
+      case ExprKind::Index:
+        return is_lvalue(*e.children[0]);
+      case ExprKind::Deref:
+        return true;  // heap cells are always mutable
+      default:
+        return false;
+    }
+  }
+
+  Spec& spec_;
+  DiagnosticSink& sink_;
+
+  std::map<std::string, const Type*> type_env_;
+  std::map<std::string, ConstInfo> const_env_;
+  std::map<std::string, int> var_env_;
+  std::map<std::string, int> routine_env_;
+  std::map<std::string, std::vector<int>> stateset_env_;
+  std::vector<std::tuple<Type*, std::string, SourceLoc>> pending_pointers_;
+
+  std::map<std::string, LocalInfo>* locals_ = nullptr;
+  std::map<std::string, WhenParamInfo>* when_params_ = nullptr;
+  const Routine* current_function_ = nullptr;
+};
+
+}  // namespace
+
+void analyze(Spec& spec, DiagnosticSink& sink) { Sema(spec, sink).run(); }
+
+}  // namespace tango::est

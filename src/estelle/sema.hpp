@@ -1,0 +1,16 @@
+// Semantic analysis: resolves names and types on the parsed AST (in place),
+// builds the Spec symbol tables, enforces Tango's input requirements from
+// the paper's §2.1 (single module, no delay clauses, no primitive routines)
+// and emits warnings for likely non-progress cycles.
+#pragma once
+
+#include "estelle/spec.hpp"
+#include "support/diagnostics.hpp"
+
+namespace tango::est {
+
+/// Analyzes `spec.ast` and fills the Spec tables. Throws CompileError on the
+/// first semantic error; warnings/notes accumulate in `sink`.
+void analyze(Spec& spec, DiagnosticSink& sink);
+
+}  // namespace tango::est

@@ -1,0 +1,77 @@
+// Token definitions for the Estelle dialect. Estelle is a set of extensions
+// to ISO Pascal, so the token set is Pascal's plus the Estelle keywords
+// (specification, channel, module, ip, trans, when, provided, ...).
+// Identifiers and keywords are case-insensitive, as in Pascal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace tango::est {
+
+enum class Tok : std::uint8_t {
+  // Sentinels
+  End,  // end of input
+
+  // Literals and identifiers
+  Ident,
+  IntLit,
+  StringLit,  // quoted; single-character strings double as char literals
+
+  // Punctuation
+  Semi,        // ;
+  Colon,       // :
+  Comma,       // ,
+  Dot,         // .
+  DotDot,      // ..
+  LParen,      // (
+  RParen,      // )
+  LBracket,    // [
+  RBracket,    // ]
+  Caret,       // ^
+  Assign,      // :=
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  Eq,          // =
+  Neq,         // <>
+  Lt,          // <
+  Leq,         // <=
+  Gt,          // >
+  Geq,         // >=
+
+  // Pascal keywords
+  KwAnd, KwArray, KwBegin, KwCase, KwConst, KwDiv, KwDo, KwDownto, KwElse,
+  KwEnd, KwFor, KwFunction, KwIf, KwMod, KwNil, KwNot, KwOf, KwOr,
+  KwOtherwise, KwProcedure, KwRecord, KwRepeat, KwThen, KwTo, KwType,
+  KwUntil, KwVar, KwWhile,
+
+  // Estelle keywords
+  KwSpecification, KwChannel, KwBy, KwModule, KwSystemprocess, KwProcess,
+  KwSystemactivity, KwActivity, KwIp, KwIndividual, KwCommon, KwQueue,
+  KwDefault, KwBody, KwState, KwStateset, KwInitialize, KwTrans, KwFrom,
+  KwWhen, KwProvided, KwPriority, KwDelay, KwName, KwSame, KwOutput,
+  KwPrimitive, KwAny, KwAll, KwForone, KwExist,
+};
+
+/// Human-readable token-kind name, for diagnostics ("expected ';'").
+[[nodiscard]] std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier/literal spelling (original case)
+  std::int64_t int_value = 0;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Tok t) const { return kind == t; }
+};
+
+/// Maps a (case-insensitive) identifier spelling to a keyword token, or
+/// Tok::Ident if it is not a keyword.
+[[nodiscard]] Tok classify_ident(std::string_view spelling);
+
+}  // namespace tango::est

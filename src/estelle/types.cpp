@@ -1,0 +1,60 @@
+#include "estelle/types.hpp"
+
+namespace tango::est {
+
+int Type::field_index(const std::string& canonical_name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == canonical_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool compatible(const Type* to, const Type* from) {
+  if (to == nullptr || from == nullptr) return false;
+  if (to == from) return true;
+  if (to->is_integer_like() && from->is_integer_like()) return true;
+  // Subranges of char/enum are not supported; enums compare by identity.
+  if (to->kind == TypeKind::Pointer && from->kind == TypeKind::Pointer) {
+    return to->pointee == from->pointee;
+  }
+  return false;
+}
+
+std::string type_to_string(const Type* t) {
+  if (t == nullptr) return "<error>";
+  if (!t->name.empty()) return t->name;
+  switch (t->kind) {
+    case TypeKind::Integer: return "integer";
+    case TypeKind::Boolean: return "boolean";
+    case TypeKind::Char: return "char";
+    case TypeKind::Enum: return "<enum>";
+    case TypeKind::Subrange:
+      return std::to_string(t->lo) + ".." + std::to_string(t->hi);
+    case TypeKind::Array:
+      return "array [" + std::to_string(t->lo) + ".." + std::to_string(t->hi) +
+             "] of " + type_to_string(t->element);
+    case TypeKind::Record: return "<record>";
+    case TypeKind::Pointer: return "^" + type_to_string(t->pointee);
+  }
+  return "<type>";
+}
+
+TypeArena::TypeArena() {
+  Type* i = make(TypeKind::Integer);
+  i->name = "integer";
+  integer_ = i;
+  Type* b = make(TypeKind::Boolean);
+  b->name = "boolean";
+  boolean_ = b;
+  Type* c = make(TypeKind::Char);
+  c->name = "char";
+  char_ = c;
+}
+
+Type* TypeArena::make(TypeKind kind) {
+  nodes_.emplace_back();
+  nodes_.back().kind = kind;
+  return &nodes_.back();
+}
+
+}  // namespace tango::est

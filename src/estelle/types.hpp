@@ -1,0 +1,89 @@
+// Canonical (resolved) types for the Estelle dialect. The semantic analyzer
+// converts syntactic type expressions into Type nodes owned by a TypeArena;
+// Type pointers are stable for the lifetime of the compiled Spec.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace tango::est {
+
+enum class TypeKind : std::uint8_t {
+  Integer,
+  Boolean,
+  Char,
+  Enum,
+  Subrange,  // integer subrange lo..hi
+  Array,
+  Record,
+  Pointer,
+};
+
+struct Type;
+
+struct RecordField {
+  std::string name;  // canonical (lower-case) spelling
+  const Type* type = nullptr;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::Integer;
+  std::string name;  // declared name if any (for diagnostics/printing)
+
+  // Enum
+  std::vector<std::string> enum_values;  // canonical spellings, by ordinal
+
+  // Subrange / Array index bounds
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  // Array
+  const Type* element = nullptr;
+
+  // Record
+  std::vector<RecordField> fields;
+
+  // Pointer
+  const Type* pointee = nullptr;  // filled late (forward references allowed)
+
+  [[nodiscard]] bool is_ordinal() const {
+    return kind == TypeKind::Integer || kind == TypeKind::Boolean ||
+           kind == TypeKind::Char || kind == TypeKind::Enum ||
+           kind == TypeKind::Subrange;
+  }
+  [[nodiscard]] bool is_integer_like() const {
+    return kind == TypeKind::Integer || kind == TypeKind::Subrange;
+  }
+  /// Index of a record field, or -1.
+  [[nodiscard]] int field_index(const std::string& canonical_name) const;
+};
+
+/// True when a value of type `from` may be assigned/compared to `to`.
+/// Integer and subrange are mutually compatible; enums must be identical
+/// declarations; pointers must have identical pointees (or one side nil).
+[[nodiscard]] bool compatible(const Type* to, const Type* from);
+
+/// Renders the type for diagnostics (named types by name).
+[[nodiscard]] std::string type_to_string(const Type* t);
+
+/// Owns every Type node of one compiled specification. Provides the three
+/// builtin types as shared singletons per arena.
+class TypeArena {
+ public:
+  TypeArena();
+
+  Type* make(TypeKind kind);
+  [[nodiscard]] const Type* integer() const { return integer_; }
+  [[nodiscard]] const Type* boolean() const { return boolean_; }
+  [[nodiscard]] const Type* char_type() const { return char_; }
+
+ private:
+  std::deque<Type> nodes_;  // deque: stable addresses
+  const Type* integer_ = nullptr;
+  const Type* boolean_ = nullptr;
+  const Type* char_ = nullptr;
+};
+
+}  // namespace tango::est

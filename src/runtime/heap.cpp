@@ -1,0 +1,34 @@
+#include "runtime/heap.hpp"
+
+namespace tango::rt {
+
+std::uint32_t Heap::allocate(Value initial) {
+  const std::uint32_t addr = next_++;
+  cells_.emplace(addr, std::move(initial));
+  return addr;
+}
+
+bool Heap::release(std::uint32_t addr) { return cells_.erase(addr) != 0; }
+
+Value* Heap::cell(std::uint32_t addr) {
+  auto it = cells_.find(addr);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+const Value* Heap::cell(std::uint32_t addr) const {
+  auto it = cells_.find(addr);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void Heap::hash_into(std::uint64_t& h) const {
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(cells_.size());
+  for (const auto& [addr, value] : cells_) {
+    mix(addr);
+    value.hash_into(h);
+  }
+}
+
+}  // namespace tango::rt

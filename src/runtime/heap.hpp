@@ -1,0 +1,38 @@
+// Dynamic memory for Estelle `new`/`dispose`. The heap is part of the TAM
+// state (paper §2.3), so it must be cheaply copyable for save/restore: we
+// use a std::map keyed by address and copy it wholesale. The cost of these
+// deep copies is exactly the §3.2.2 concern, measured by
+// bench_ablation_savecost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "runtime/value.hpp"
+
+namespace tango::rt {
+
+class Heap {
+ public:
+  /// Allocates a fresh cell; addresses are never reused within one run,
+  /// which keeps allocation deterministic across restores.
+  std::uint32_t allocate(Value initial);
+
+  /// Releases a cell. Returns false if the address was not live (double
+  /// dispose or wild pointer).
+  bool release(std::uint32_t addr);
+
+  /// Live cell lookup; nullptr when the address is not allocated.
+  [[nodiscard]] Value* cell(std::uint32_t addr);
+  [[nodiscard]] const Value* cell(std::uint32_t addr) const;
+
+  [[nodiscard]] std::size_t live_cells() const { return cells_.size(); }
+
+  void hash_into(std::uint64_t& h) const;
+
+ private:
+  std::map<std::uint32_t, Value> cells_;
+  std::uint32_t next_ = 1;
+};
+
+}  // namespace tango::rt

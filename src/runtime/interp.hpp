@@ -1,0 +1,82 @@
+// Tree-walking interpreter for compiled specifications. Implements the
+// *update* operation of the paper's §2.2 (execute a transition) plus
+// provided-clause evaluation for *generate*. Outputs produced by `output`
+// statements are streamed to an OutputSink; the trace analyzer's sink
+// matches them against the trace and vetoes mismatching paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "estelle/spec.hpp"
+#include "runtime/machine.hpp"
+#include "support/diagnostics.hpp"
+
+namespace tango::rt {
+
+/// Receives interactions produced while executing a transition block.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+
+  /// Return false to veto the current execution path (the transition is
+  /// aborted and fire() returns false). The analyzer uses this to reject
+  /// outputs that do not match the trace.
+  virtual bool on_output(int ip_index, int interaction_id,
+                         std::vector<Value> params, SourceLoc loc) = 0;
+};
+
+/// Accepts and ignores every output (useful for warm-up and tests).
+class NullSink final : public OutputSink {
+ public:
+  bool on_output(int, int, std::vector<Value>, SourceLoc) override {
+    return true;
+  }
+};
+
+/// Strict mode faults on any *use* of an undefined value. Partial mode
+/// implements the paper's §5 semantics: undefined propagates through
+/// expressions, provided clauses that evaluate to undefined are assumed
+/// true, and undefined output parameters compare equal to anything.
+enum class EvalMode : std::uint8_t { Strict, Partial };
+
+struct InterpLimits {
+  /// Statement budget per transition firing; guards against runaway loops
+  /// inside transition blocks.
+  std::uint64_t max_statements = 1'000'000;
+  int max_call_depth = 256;
+};
+
+class Interp {
+ public:
+  explicit Interp(const est::Spec& spec, EvalMode mode = EvalMode::Strict,
+                  InterpLimits limits = {});
+
+  /// Executes an initialize clause: runs its block against `m` and enters
+  /// its target state. Returns false if an output was vetoed by the sink.
+  bool run_initializer(MachineState& m, const est::Initializer& init,
+                       OutputSink& sink);
+
+  /// Fires a transition whose when-parameters are bound to `when_args`
+  /// (empty for spontaneous transitions). Returns false if vetoed; in that
+  /// case `m` is left partially updated and must be restored by the caller.
+  bool fire(MachineState& m, const est::Transition& tr,
+            const std::vector<Value>& when_args, OutputSink& sink);
+
+  /// Evaluates a transition's provided clause read-only (writes to module
+  /// variables or the heap fault). Missing clause means true; an undefined
+  /// result is true in partial mode (paper §5.1) and faults in strict mode.
+  bool provided_holds(MachineState& m, const est::Transition& tr,
+                      const std::vector<Value>& when_args);
+  bool provided_holds(MachineState& m, const est::Initializer& init);
+
+  [[nodiscard]] const est::Spec& spec() const { return spec_; }
+  [[nodiscard]] EvalMode mode() const { return mode_; }
+
+ private:
+  const est::Spec& spec_;
+  EvalMode mode_;
+  InterpLimits limits_;
+};
+
+}  // namespace tango::rt

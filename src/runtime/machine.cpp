@@ -1,0 +1,14 @@
+#include "runtime/machine.hpp"
+
+namespace tango::rt {
+
+MachineState make_initial_machine(const est::Spec& spec) {
+  MachineState m;
+  m.vars.reserve(spec.module_vars.size());
+  for (const est::ModuleVarInfo& var : spec.module_vars) {
+    m.vars.push_back(default_value(var.type));
+  }
+  return m;
+}
+
+}  // namespace tango::rt

@@ -1,0 +1,34 @@
+// The module-state part of a TAM state (paper §2.3): the Estelle FSM state
+// as an ordinal, the module variables, and the dynamic memory. Trace-queue
+// cursors live in core/search_state.hpp; together they form the full
+// composite search state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "estelle/spec.hpp"
+#include "runtime/heap.hpp"
+#include "runtime/value.hpp"
+
+namespace tango::rt {
+
+struct MachineState {
+  int fsm_state = -1;  // -1 before the initialize transition has fired
+  std::vector<Value> vars;
+  Heap heap;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h ^= static_cast<std::uint64_t>(fsm_state) * 0x100000001b3ULL;
+    for (const Value& v : vars) v.hash_into(h);
+    heap.hash_into(h);
+    return h;
+  }
+};
+
+/// Fresh machine: every module variable gets its type's default value
+/// (structure in place, scalar leaves undefined), no FSM state yet.
+[[nodiscard]] MachineState make_initial_machine(const est::Spec& spec);
+
+}  // namespace tango::rt

@@ -1,0 +1,79 @@
+#include "sim/mutate.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace tango::sim {
+
+namespace {
+
+tr::Trace rebuild(const tr::Trace& source,
+                  const std::vector<tr::TraceEvent>& events, bool eof) {
+  tr::Trace out(source.ip_count());
+  for (const tr::TraceEvent& e : events) out.append(e);
+  if (eof) out.mark_eof();
+  return out;
+}
+
+/// Returns the index of a mutable integer parameter of `e`, or -1.
+int int_param_index(const tr::TraceEvent& e) {
+  for (std::size_t i = 0; i < e.params.size(); ++i) {
+    if (e.params[i].kind() == rt::Value::Kind::Int) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+tr::Trace copy_trace(const tr::Trace& trace) {
+  return rebuild(trace, trace.events(), trace.eof());
+}
+
+tr::Trace mutate_output_param_from_last(const tr::Trace& trace,
+                                        int nth_from_last) {
+  std::vector<tr::TraceEvent> events = trace.events();
+  int remaining = nth_from_last;
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->dir != tr::Dir::Out) continue;
+    const int pi = int_param_index(*it);
+    if (pi < 0) continue;
+    if (remaining-- > 0) continue;
+    it->params[static_cast<std::size_t>(pi)] = rt::Value::make_int(
+        it->params[static_cast<std::size_t>(pi)].scalar() + 1);
+    return rebuild(trace, events, trace.eof());
+  }
+  throw CompileError({}, "mutate: no output event with an integer parameter");
+}
+
+tr::Trace mutate_last_output_param(const tr::Trace& trace) {
+  return mutate_output_param_from_last(trace, 0);
+}
+
+tr::Trace drop_event(const tr::Trace& trace, std::uint32_t seq) {
+  std::vector<tr::TraceEvent> events;
+  for (const tr::TraceEvent& e : trace.events()) {
+    if (e.seq != seq) events.push_back(e);
+  }
+  if (events.size() == trace.events().size()) {
+    throw CompileError({}, "mutate: no event with seq " + std::to_string(seq));
+  }
+  return rebuild(trace, events, trace.eof());
+}
+
+tr::Trace swap_adjacent(const tr::Trace& trace, std::uint32_t seq) {
+  std::vector<tr::TraceEvent> events = trace.events();
+  if (seq + 1 >= events.size()) {
+    throw CompileError({}, "mutate: cannot swap at trace end");
+  }
+  std::swap(events[seq], events[seq + 1]);
+  return rebuild(trace, events, trace.eof());
+}
+
+tr::Trace truncate(const tr::Trace& trace, std::size_t n, bool keep_eof) {
+  std::vector<tr::TraceEvent> events = trace.events();
+  if (events.size() > n) events.resize(n);
+  return rebuild(trace, events, keep_eof && trace.eof());
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,35 @@
+// Trace mutation helpers for generating *invalid* traces, following the
+// paper's §4.2 procedure: "One parameter in the last data interaction of
+// the trace file was edited slightly to cause a mismatch."
+#pragma once
+
+#include "estelle/spec.hpp"
+#include "trace/event.hpp"
+
+namespace tango::sim {
+
+/// Deep copy (events keep their order; seq numbers are reassigned).
+[[nodiscard]] tr::Trace copy_trace(const tr::Trace& trace);
+
+/// Adds 1 to the first integer-valued parameter of the last output event
+/// that has one (searching backwards). Throws if no such event exists.
+[[nodiscard]] tr::Trace mutate_last_output_param(const tr::Trace& trace);
+
+/// Same, but for the `nth_from_last` output with an integer parameter
+/// (0 = last).
+[[nodiscard]] tr::Trace mutate_output_param_from_last(const tr::Trace& trace,
+                                                      int nth_from_last);
+
+/// Removes the event with global sequence number `seq`.
+[[nodiscard]] tr::Trace drop_event(const tr::Trace& trace, std::uint32_t seq);
+
+/// Swaps the events at `seq` and `seq + 1`.
+[[nodiscard]] tr::Trace swap_adjacent(const tr::Trace& trace,
+                                      std::uint32_t seq);
+
+/// Keeps only the first `n` events (and drops the eof marker when
+/// `keep_eof` is false) — used to build partial traces.
+[[nodiscard]] tr::Trace truncate(const tr::Trace& trace, std::size_t n,
+                                 bool keep_eof = true);
+
+}  // namespace tango::sim

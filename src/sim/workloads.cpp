@@ -1,0 +1,142 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace tango::sim {
+
+tr::Trace tp0_trace(const est::Spec& spec, int n_up, int n_down,
+                    bool disconnect, std::uint32_t seed) {
+  std::vector<Feed> feeds;
+  std::uint64_t step = 0;
+  feeds.push_back(make_feed(spec, step, "u", "tconreq"));
+  step += 2;
+  feeds.push_back(make_feed(spec, step, "n", "cc"));
+  step += 2;
+  // The paper's §4.2 setting: "the upper and lower modules can
+  // simultaneously send data to each other" — both stimuli of round i are
+  // delivered at the same step, so the recorded trace clusters inputs
+  // before the outputs they trigger. That leaves the input-vs-output
+  // interleaving freedom that makes invalid-trace analysis exponential
+  // even under full order checking (Figure 4).
+  const int total = std::max(n_up, n_down);
+  for (int i = 0; i < total; ++i) {
+    if (i < n_up) {
+      feeds.push_back(make_feed(spec, step, "u", "tdtreq",
+                                {rt::Value::make_int(100 + i)}));
+    }
+    if (i < n_down) {
+      feeds.push_back(make_feed(spec, step, "n", "dt",
+                                {rt::Value::make_int(200 + i)}));
+    }
+    step += 4;
+  }
+  if (disconnect) {
+    step += 4;  // let the buffers flush first
+    feeds.push_back(make_feed(spec, step, "u", "tdisreq"));
+  }
+
+  SimOptions so;
+  so.seed = seed;
+  SimResult r = simulate(spec, std::move(feeds), so);
+  if (!r.note.empty()) {
+    throw CompileError({}, "tp0_trace: simulation incomplete: " + r.note);
+  }
+  return std::move(r.trace);
+}
+
+namespace {
+tr::TraceEvent event(const est::Spec& spec, tr::Dir dir, const char* ip_name,
+                     const char* msg, std::vector<rt::Value> params) {
+  tr::TraceEvent e;
+  e.dir = dir;
+  e.ip = spec.ip_index(ip_name);
+  e.interaction = dir == tr::Dir::In
+                      ? spec.input_id(e.ip, msg)
+                      : spec.output_id(e.ip, msg);
+  if (e.ip < 0 || e.interaction < 0) {
+    throw CompileError({}, std::string("tp0_paper_trace: bad event ") +
+                               ip_name + "." + msg);
+  }
+  e.params = std::move(params);
+  return e;
+}
+}  // namespace
+
+tr::Trace tp0_paper_trace(const est::Spec& spec, int n) {
+  tr::Trace t(static_cast<int>(spec.ips.size()));
+  t.append(event(spec, tr::Dir::In, "u", "tconreq", {}));
+  t.append(event(spec, tr::Dir::Out, "n", "cr", {}));
+  t.append(event(spec, tr::Dir::In, "n", "cc", {}));
+  t.append(event(spec, tr::Dir::Out, "u", "tconcnf", {}));
+  for (int i = 0; i < n; ++i) {
+    t.append(event(spec, tr::Dir::In, "n", "dt",
+                   {rt::Value::make_int(200 + i)}));
+    t.append(event(spec, tr::Dir::In, "u", "tdtreq",
+                   {rt::Value::make_int(100 + i)}));
+    t.append(event(spec, tr::Dir::Out, "n", "dt",
+                   {rt::Value::make_int(100 + i)}));
+    t.append(event(spec, tr::Dir::Out, "u", "tdtind",
+                   {rt::Value::make_int(200 + i)}));
+  }
+  t.append(event(spec, tr::Dir::In, "u", "tdisreq", {}));
+  t.append(event(spec, tr::Dir::Out, "n", "dr", {}));
+  t.mark_eof();
+  return t;
+}
+
+tr::Trace inres_trace(const est::Spec& spec, int n, std::uint32_t seed) {
+  std::vector<Feed> feeds;
+  feeds.push_back(make_feed(spec, 0, "u", "iconreq"));
+  feeds.push_back(make_feed(spec, 1, "m", "cc"));
+  std::uint64_t step = 3;
+  int bit = 1;
+  for (int i = 0; i < n; ++i) {
+    feeds.push_back(make_feed(spec, step, "u", "idatreq",
+                              {rt::Value::make_int(500 + i)}));
+    feeds.push_back(
+        make_feed(spec, step + 2, "m", "ak", {rt::Value::make_int(bit)}));
+    bit = 1 - bit;
+    step += 3;
+  }
+
+  SimOptions so;
+  so.seed = seed;
+  // The spontaneous repeat_cr / repeat_dt transitions never quiesce on
+  // their own; bound the run and accept the step-limited result.
+  so.max_steps = static_cast<std::uint64_t>(16 + 8 * n);
+  SimResult r = simulate(spec, std::move(feeds), so);
+  return std::move(r.trace);
+}
+
+tr::Trace lapd_trace(const est::Spec& spec, int di, std::uint32_t seed) {
+  std::vector<Feed> feeds;
+  feeds.push_back(make_feed(spec, 0, "u", "dl_establish_req"));
+  feeds.push_back(make_feed(spec, 1, "l", "ua"));
+  std::uint64_t step = 3;
+  for (int i = 0; i < di; ++i) {
+    feeds.push_back(make_feed(spec, step, "u", "dl_data_req",
+                              {rt::Value::make_int(100 + i)}));
+    // The peer acknowledges each outgoing I frame by piggybacking
+    // N(R)=(i+1) mod 8 on its own I frame (N(S)=i mod 8). Piggybacking is
+    // the paper's §1 example of specification nondeterminism: the N(R)
+    // values of subsequent outgoing frames depend on when this incoming
+    // frame was processed, so order-unchecked analysis must backtrack.
+    feeds.push_back(make_feed(spec, step + 2, "l", "iframe",
+                              {rt::Value::make_int(i % 8),
+                               rt::Value::make_int((i + 1) % 8),
+                               rt::Value::make_int(300 + i)}));
+    step += 3;
+  }
+
+  SimOptions so;
+  so.seed = seed;
+  SimResult r = simulate(spec, std::move(feeds), so);
+  if (!r.note.empty()) {
+    throw CompileError({}, "lapd_trace: simulation incomplete: " + r.note);
+  }
+  return std::move(r.trace);
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,40 @@
+// Canned workloads reproducing the paper's evaluation traces:
+//  - §4.1: LAPD traces whose size is the number of data interactions sent
+//    by the user module to the LAPD module (the DI column of Figure 3);
+//  - §4.2: TP0 traces with the initial handshake followed by data in both
+//    directions (Figure 4's invalid traces are these with the last data
+//    parameter edited — see mutate.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+
+namespace tango::sim {
+
+/// Valid TP0 trace: handshake, `n_up` tdtreq and `n_down` dt data
+/// interactions relayed through the buffers, optionally a user disconnect
+/// at the end (the paper's t17 discussion needs one).
+[[nodiscard]] tr::Trace tp0_trace(const est::Spec& tp0_spec, int n_up,
+                                  int n_down, bool disconnect,
+                                  std::uint32_t seed = 1);
+
+/// The exact §4.2 evaluation trace shape, constructed rather than
+/// simulated: handshake, then per round `in tdtreq / in dt / out dt /
+/// out tdtind` (inputs recorded before the outputs they trigger — the
+/// simultaneous-senders setting), then `in tdisreq / out dr`. Under full
+/// order checking this leaves two valid interleavings per round, giving
+/// the exponential invalid-trace blowup of Figure 4.
+[[nodiscard]] tr::Trace tp0_paper_trace(const est::Spec& tp0_spec, int n);
+
+/// Valid INRES initiator trace: connection setup, then `n` confirmed
+/// data transfers with the alternating sequence bit.
+[[nodiscard]] tr::Trace inres_trace(const est::Spec& inres_spec, int n,
+                                    std::uint32_t seed = 1);
+
+/// Valid LAPD trace: link establishment, then `di` dl_data_req packets
+/// acknowledged in order by the peer with RR frames.
+[[nodiscard]] tr::Trace lapd_trace(const est::Spec& lapd_spec, int di,
+                                   std::uint32_t seed = 1);
+
+}  // namespace tango::sim

@@ -1,0 +1,745 @@
+#include "specs/builtin_specs.hpp"
+
+namespace tango::specs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Paper Figure 1: specification `ack`.
+// ---------------------------------------------------------------------
+constexpr std::string_view kAck = R"est(
+{ Paper Figure 1: pseudo-Estelle specification "ack".
+  The module consumes x interactions at A and y at B; after taking the
+  nondeterministic T2 branch and then T3 it acknowledges at A. }
+specification ack_spec;
+
+channel CA(Env, Sys);
+  by Env: x;
+  by Sys: ack;
+
+channel CB(Env, Sys);
+  by Env: y;
+
+module M systemprocess;
+  ip A: CA(Sys);
+     B: CB(Sys);
+end;
+
+body MB for M;
+
+state S1, S2;
+
+initialize to S1 begin end;
+
+trans
+
+from S1 to S1 when A.x name T1:
+begin end;
+
+from S1 to S2 when A.x name T2:
+begin end;
+
+from S2 to S1 when B.y name T3:
+begin
+  output A.ack;
+end;
+
+end;
+
+end.
+)est";
+
+// ---------------------------------------------------------------------
+// Paper Figure 2: specification `ip3` (and ip3' without t4/t5).
+// ---------------------------------------------------------------------
+constexpr std::string_view kIp3 = R"est(
+{ Paper Figure 2: specification "ip3". B and C relay data to each other;
+  output o at A is only reachable after "finished" arrives at B. }
+specification ip3_spec;
+
+channel CA(Env, Sys);
+  by Env: x;
+  by Sys: p; o;
+
+channel CB(Env, Sys);
+  by Env: data; finished;
+  by Sys: data;
+
+channel CC(Env, Sys);
+  by Env, Sys: data;
+
+module M systemprocess;
+  ip A: CA(Sys);
+     B: CB(Sys);
+     C: CC(Sys);
+end;
+
+body MB for M;
+
+state s1, s2;
+
+initialize to s1 begin end;
+
+trans
+
+from s1 to s1 when B.data name t1:
+begin output C.data; end;
+
+from s1 to s1 when C.data name t2:
+begin output B.data; end;
+
+from s1 to s1 when A.x name t3:
+begin output A.p; end;
+
+from s1 to s2 when B.finished name t4:
+begin end;
+
+from s2 to s1 when A.x name t5:
+begin output A.o; end;
+
+end;
+
+end.
+)est";
+
+constexpr std::string_view kIp3Prime = R"est(
+{ Paper Figure 2 variant "ip3'": only t1, t2 and t3 are defined, so output
+  o can never be produced and on-line analysis cycles through PG-nodes
+  without ever detecting the invalid o (paper section 3.1.2). }
+specification ip3prime_spec;
+
+channel CA(Env, Sys);
+  by Env: x;
+  by Sys: p; o;
+
+channel CB(Env, Sys);
+  by Env: data; finished;
+  by Sys: data;
+
+channel CC(Env, Sys);
+  by Env, Sys: data;
+
+module M systemprocess;
+  ip A: CA(Sys);
+     B: CB(Sys);
+     C: CC(Sys);
+end;
+
+body MB for M;
+
+state s1;
+
+initialize to s1 begin end;
+
+trans
+
+from s1 to s1 when B.data name t1:
+begin output C.data; end;
+
+from s1 to s1 when C.data name t2:
+begin output B.data; end;
+
+from s1 to s1 when A.x name t3:
+begin output A.p; end;
+
+end;
+
+end.
+)est";
+
+// ---------------------------------------------------------------------
+// Alternating-bit protocol sender (examples/tests).
+// ---------------------------------------------------------------------
+constexpr std::string_view kAbp = R"est(
+{ Alternating-bit protocol sender. Retransmission is modelled as a
+  spontaneous transition (Estelle delay clauses are not supported by the
+  trace analyzer, exactly as in Tango). }
+specification abp_spec;
+
+channel UCH(User, Provider);
+  by User: send(msg: integer);
+  by Provider: confirm;
+
+channel MCH(Station, Medium);
+  by Station: frame(seq: integer; msg: integer);
+  by Medium: ack(seq: integer);
+
+module S systemprocess;
+  ip U: UCH(Provider);
+     M: MCH(Station);
+end;
+
+body SB for S;
+
+var
+  vs: integer;
+  buf: integer;
+
+state idle, wait_ack;
+
+initialize to idle
+begin
+  vs := 0;
+  buf := 0;
+end;
+
+trans
+
+from idle to wait_ack when U.send name snd:
+begin
+  buf := msg;
+  output M.frame(vs, buf);
+end;
+
+from wait_ack to wait_ack name retransmit:
+begin
+  output M.frame(vs, buf);
+end;
+
+from wait_ack to idle when M.ack provided seq = vs name acked:
+begin
+  vs := 1 - vs;
+  output U.confirm;
+end;
+
+from wait_ack to wait_ack when M.ack provided seq <> vs name badack:
+begin end;
+
+end;
+
+end.
+)est";
+
+// ---------------------------------------------------------------------
+// TP0 — ISO Class 0 Transport (paper §4.2). Infinite buffers implemented
+// as heap-allocated linked lists, exercising dynamic-memory save/restore
+// (§3.2.2). Transition names t13..t17 match the paper's description.
+// ---------------------------------------------------------------------
+constexpr std::string_view kTp0 = R"est(
+specification tp0_spec;
+
+channel UCH(User, Provider);
+  by User:
+    tconreq;
+    tdtreq(data: integer);
+    tdisreq;
+  by Provider:
+    tconcnf;
+    tconind;
+    tdtind(data: integer);
+    tdisind;
+
+channel NCH(Station, Peer);
+  by Station, Peer:
+    cr;
+    cc;
+    dt(data: integer);
+    dr;
+
+module TP0 systemprocess;
+  ip U: UCH(Provider);
+     N: NCH(Station);
+end;
+
+body TP0Body for TP0;
+
+type
+  CellPtr = ^Cell;
+  Cell = record
+    data: integer;
+    next: CellPtr;
+  end;
+
+var
+  b1head, b1tail: CellPtr;   { network -> user buffer (buffer1) }
+  b2head, b2tail: CellPtr;   { user -> network buffer (buffer2) }
+
+procedure enq(var head: CellPtr; var tail: CellPtr; d: integer);
+var c: CellPtr;
+begin
+  new(c);
+  c^.data := d;
+  c^.next := nil;
+  if tail = nil then
+    begin head := c; tail := c; end
+  else
+    begin tail^.next := c; tail := c; end;
+end;
+
+procedure deq(var head: CellPtr; var tail: CellPtr);
+var c: CellPtr;
+begin
+  c := head;
+  head := c^.next;
+  if head = nil then tail := nil;
+  dispose(c);
+end;
+
+procedure clearbuf(var head: CellPtr; var tail: CellPtr);
+begin
+  while head <> nil do deq(head, tail);
+end;
+
+state closed, wfcc, data_state;
+
+initialize to closed
+begin
+  b1head := nil; b1tail := nil;
+  b2head := nil; b2tail := nil;
+end;
+
+trans
+
+{ --- connection establishment --- }
+
+from closed to wfcc when U.tconreq name t1:
+begin output N.cr; end;
+
+from wfcc to data_state when N.cc name t2:
+begin output U.tconcnf; end;
+
+from closed to data_state when N.cr name t3:
+begin output N.cc; output U.tconind; end;
+
+from wfcc to closed when N.dr name t4:
+begin output U.tdisind; end;
+
+{ --- data transfer (paper transitions T13..T17) --- }
+
+from data_state to data_state when U.tdtreq name t13:
+begin enq(b2head, b2tail, data); end;
+
+from data_state to data_state provided b2head <> nil name t14:
+begin
+  output N.dt(b2head^.data);
+  deq(b2head, b2tail);
+end;
+
+from data_state to data_state when N.dt name t15:
+begin enq(b1head, b1tail, data); end;
+
+from data_state to data_state provided b1head <> nil name t16:
+begin
+  output U.tdtind(b1head^.data);
+  deq(b1head, b1tail);
+end;
+
+from data_state to closed when U.tdisreq name t17:
+begin
+  clearbuf(b1head, b1tail);
+  clearbuf(b2head, b2tail);
+  output N.dr;
+end;
+
+{ --- disconnection from the network side --- }
+
+from data_state to closed when N.dr name t18:
+begin
+  clearbuf(b1head, b1tail);
+  clearbuf(b2head, b2tail);
+  output U.tdisind;
+end;
+
+from closed to closed when N.dr name t19:
+begin end;
+
+end;
+
+end.
+)est";
+
+// ---------------------------------------------------------------------
+// LAPD — CCITT Recommendation Q.921 subset (paper §4.1): mod-8 sequence
+// numbering with V(S)/V(A)/V(R), SABME/UA/DM/DISC establishment and
+// release, I-frame data transfer with RR/RNR/REJ supervision and
+// go-back-N retransmission. Timer-driven behaviour (T200/T203) is absent
+// because delay clauses are unsupported (paper §2.1).
+// ---------------------------------------------------------------------
+constexpr std::string_view kLapd = R"est(
+specification lapd_spec;
+
+channel DLS(User, Provider);
+  by User:
+    dl_establish_req;
+    dl_release_req;
+    dl_data_req(data: integer);
+  by Provider:
+    dl_establish_ind;
+    dl_establish_cnf;
+    dl_release_ind;
+    dl_release_cnf;
+    dl_data_ind(data: integer);
+
+channel PHS(Station, Peer);
+  by Station, Peer:
+    sabme;
+    ua;
+    dm;
+    disc;
+    frmr;
+    iframe(ns: integer; nr: integer; data: integer);
+    rr(nr: integer);
+    rnr(nr: integer);
+    rej(nr: integer);
+
+module LAPD systemprocess;
+  ip U: DLS(Provider);
+     L: PHS(Station);
+end;
+
+body LAPDBody for LAPD;
+
+const
+  modulus = 8;     { sequence numbers are mod 8 (basic operation) }
+  window = 7;      { k: maximum outstanding I frames }
+  qsize = 128;
+
+var
+  vs, va, vr: integer;
+  peer_busy: boolean;
+  sentbuf: array [0 .. 7] of integer;   { retransmission buffer, by N(S) }
+  pend: array [0 .. 127] of integer;    { layer-3 outgoing queue }
+  phead, ptail, pcount: integer;
+
+function outstanding: integer;
+begin
+  outstanding := (vs - va + modulus) mod modulus;
+end;
+
+function inwindow(n: integer): boolean;
+begin
+  { n acknowledges va..n-1; legal iff va <= n <= vs, mod 8 }
+  inwindow := ((n - va + modulus) mod modulus) <= outstanding;
+end;
+
+procedure resetlink;
+begin
+  vs := 0; va := 0; vr := 0;
+  peer_busy := false;
+  phead := 0; ptail := 0; pcount := 0;
+end;
+
+state tei_assigned, awaiting_establishment, awaiting_release,
+      multiple_frame_established;
+
+stateset anystate = [tei_assigned, awaiting_establishment,
+                     awaiting_release, multiple_frame_established];
+
+initialize to tei_assigned
+var i: integer;
+begin
+  resetlink;
+  for i := 0 to 7 do sentbuf[i] := 0;
+  for i := 0 to qsize - 1 do pend[i] := 0;
+end;
+
+trans
+
+{ --- establishment --- }
+
+from tei_assigned to awaiting_establishment
+  when U.dl_establish_req name est_req:
+begin
+  output L.sabme;
+end;
+
+from tei_assigned to multiple_frame_established
+  when L.sabme name passive_open:
+begin
+  resetlink;
+  output L.ua;
+  output U.dl_establish_ind;
+end;
+
+from awaiting_establishment to multiple_frame_established
+  when L.ua name est_confirmed:
+begin
+  resetlink;
+  output U.dl_establish_cnf;
+end;
+
+from awaiting_establishment to tei_assigned
+  when L.dm name est_refused:
+begin
+  output U.dl_release_ind;
+end;
+
+from awaiting_establishment to same
+  when L.sabme name est_collision:
+begin
+  output L.ua;
+end;
+
+{ --- release --- }
+
+from multiple_frame_established to awaiting_release
+  when U.dl_release_req name rel_req:
+begin
+  output L.disc;
+end;
+
+from awaiting_release to tei_assigned
+  when L.ua name rel_confirmed:
+begin
+  output U.dl_release_cnf;
+end;
+
+from awaiting_release to tei_assigned
+  when L.dm name rel_dm:
+begin
+  output U.dl_release_cnf;
+end;
+
+from multiple_frame_established to tei_assigned
+  when L.disc name peer_release:
+begin
+  output L.ua;
+  output U.dl_release_ind;
+end;
+
+from tei_assigned to same
+  when L.disc name disc_while_down:
+begin
+  output L.dm;
+end;
+
+{ --- data transfer --- }
+
+from multiple_frame_established to same
+  when U.dl_data_req
+  provided pcount < qsize
+  name t_enq:
+begin
+  pend[ptail] := data;
+  ptail := (ptail + 1) mod qsize;
+  pcount := pcount + 1;
+end;
+
+from multiple_frame_established to same
+  provided (pcount > 0) and (outstanding < window) and (not peer_busy)
+  name t_send:
+begin
+  sentbuf[vs] := pend[phead];
+  output L.iframe(vs, vr, pend[phead]);
+  phead := (phead + 1) mod qsize;
+  pcount := pcount - 1;
+  vs := (vs + 1) mod modulus;
+end;
+
+from multiple_frame_established to same
+  when L.iframe
+  provided ns = vr
+  name t_recv:
+begin
+  vr := (vr + 1) mod modulus;
+  if inwindow(nr) then va := nr;
+  output U.dl_data_ind(data);
+  output L.rr(vr);
+end;
+
+from multiple_frame_established to same
+  when L.iframe
+  provided ns <> vr
+  name t_recv_oos:
+begin
+  if inwindow(nr) then va := nr;
+  output L.rej(vr);
+end;
+
+from multiple_frame_established to same
+  when L.rr
+  provided inwindow(nr)
+  name t_ack:
+begin
+  va := nr;
+  peer_busy := false;
+end;
+
+from multiple_frame_established to same
+  when L.rr
+  provided not inwindow(nr)
+  name t_ack_bad:
+begin end;
+
+from multiple_frame_established to same
+  when L.rnr
+  provided inwindow(nr)
+  name t_peer_busy:
+begin
+  va := nr;
+  peer_busy := true;
+end;
+
+from multiple_frame_established to same
+  when L.rnr
+  provided not inwindow(nr)
+  name t_rnr_bad:
+begin end;
+
+from multiple_frame_established to same
+  when L.rej
+  provided inwindow(nr)
+  name t_rej:
+var i, cnt: integer;
+begin
+  va := nr;
+  cnt := (vs - nr + modulus) mod modulus;
+  vs := nr;
+  for i := 1 to cnt do
+  begin
+    output L.iframe(vs, vr, sentbuf[vs]);
+    vs := (vs + 1) mod modulus;
+  end;
+end;
+
+from multiple_frame_established to same
+  when L.rej
+  provided not inwindow(nr)
+  name t_rej_bad:
+begin end;
+
+from anystate to tei_assigned
+  when L.frmr name t_frmr:
+begin
+  output U.dl_release_ind;
+end;
+
+{ stray supervisory frames outside multiple-frame operation are discarded }
+
+from tei_assigned to same when L.rr name drop_rr: begin end;
+from tei_assigned to same when L.rej name drop_rej: begin end;
+from tei_assigned to same when L.rnr name drop_rnr: begin end;
+from tei_assigned to same when L.iframe name drop_i: begin end;
+from tei_assigned to same when L.ua name drop_ua: begin end;
+from tei_assigned to same when L.dm name drop_dm: begin end;
+
+end;
+
+end.
+)est";
+
+// ---------------------------------------------------------------------
+// INRES initiator (Hogrefe's classic conformance-testing protocol): a
+// connection-oriented, alternating-bit data transfer over an unreliable
+// medium. Retransmissions are spontaneous transitions (no delay support,
+// as in Tango). Used by tests as a fourth realistic protocol.
+// ---------------------------------------------------------------------
+constexpr std::string_view kInres = R"est(
+specification inres_spec;
+
+channel ISAP(User, Provider);
+  by User:
+    iconreq;
+    idatreq(data: integer);
+  by Provider:
+    iconconf;
+    idisind;
+
+channel MSAP(Station, Medium);
+  by Station:
+    cr;
+    dt(seq: integer; data: integer);
+  by Medium:
+    cc;
+    ak(seq: integer);
+    dr;
+
+module Initiator systemprocess;
+  ip U: ISAP(Provider);
+     M: MSAP(Station);
+end;
+
+body InitiatorBody for Initiator;
+
+var
+  number: integer;   { alternating sequence bit of the next DT }
+  buf: integer;      { last user data, kept for retransmission }
+
+state disconnected, wait_cc, connected, sending;
+
+stateset anywhere = [disconnected, wait_cc, connected, sending];
+
+initialize to disconnected
+begin
+  number := 1;
+  buf := 0;
+end;
+
+trans
+
+from disconnected to wait_cc when U.iconreq name conn_req:
+begin
+  output M.cr;
+end;
+
+from wait_cc to same name repeat_cr:
+begin
+  output M.cr;
+end;
+
+from wait_cc to connected when M.cc name conn_conf:
+begin
+  number := 1;
+  output U.iconconf;
+end;
+
+from connected to sending when U.idatreq name data_req:
+begin
+  buf := data;
+  output M.dt(number, buf);
+end;
+
+from sending to same name repeat_dt:
+begin
+  output M.dt(number, buf);
+end;
+
+from sending to connected when M.ak provided seq = number name acked:
+begin
+  number := 1 - number;
+end;
+
+from sending to same when M.ak provided seq <> number name wrong_ak:
+begin
+  output M.dt(number, buf);
+end;
+
+from anywhere to disconnected when M.dr name disconnected_by_peer:
+begin
+  output U.idisind;
+end;
+
+end;
+
+end.
+)est";
+
+}  // namespace
+
+std::string_view ack() { return kAck; }
+std::string_view ip3() { return kIp3; }
+std::string_view ip3prime() { return kIp3Prime; }
+std::string_view abp() { return kAbp; }
+std::string_view inres() { return kInres; }
+std::string_view tp0() { return kTp0; }
+std::string_view lapd() { return kLapd; }
+
+const std::vector<std::pair<std::string_view, std::string_view>>&
+all_builtin_specs() {
+  static const std::vector<std::pair<std::string_view, std::string_view>>
+      table = {
+          {"ack", kAck},     {"ip3", kIp3},     {"ip3prime", kIp3Prime},
+          {"abp", kAbp},     {"inres", kInres}, {"tp0", kTp0},
+          {"lapd", kLapd},
+      };
+  return table;
+}
+
+std::string_view builtin_spec(std::string_view name) {
+  for (const auto& [n, text] : all_builtin_specs()) {
+    if (n == name) return text;
+  }
+  return {};
+}
+
+}  // namespace tango::specs

@@ -1,0 +1,37 @@
+#include "support/diagnostics.hpp"
+
+namespace tango {
+
+namespace {
+const char* severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "diagnostic";
+}
+}  // namespace
+
+std::string Diagnostic::render() const {
+  return to_string(loc) + ": " + severity_name(severity) + ": " + message;
+}
+
+void DiagnosticSink::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::render() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tango

@@ -1,0 +1,25 @@
+// Source positions for diagnostics. Lines and columns are 1-based; a
+// default-constructed location means "no position" (e.g. synthesized AST).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tango {
+
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Renders "line:column", or "?" for an invalid location.
+inline std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "?";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace tango

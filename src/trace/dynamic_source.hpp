@@ -1,0 +1,64 @@
+// Dynamic trace files (paper §3): a trace that can grow while the analyzer
+// runs. A TraceSource is polled periodically by the on-line analyzer; any
+// process can keep appending to the underlying file/feed. The end-of-file
+// marker turns every partially-generated search node into a fully generated
+// one, allowing a conclusive verdict (§3.1.2).
+#pragma once
+
+#include <deque>
+#include <fstream>
+#include <string>
+
+#include "estelle/spec.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::tr {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Appends newly available events to `trace` (and marks eof when the
+  /// source signalled it). Returns true if anything new was delivered.
+  virtual bool poll(Trace& trace) = 0;
+};
+
+/// In-memory feed: tests and embedding programs push events (or event
+/// lines) and the analyzer picks them up at its next poll.
+class MemoryFeed final : public TraceSource {
+ public:
+  explicit MemoryFeed(const est::Spec& spec) : spec_(spec) {}
+
+  void push(TraceEvent e) { pending_.push_back(std::move(e)); }
+  /// Parses and queues one `in ip.msg(...)` line.
+  void push_line(std::string_view line);
+  void push_eof() { eof_ = true; }
+
+  bool poll(Trace& trace) override;
+
+ private:
+  const est::Spec& spec_;
+  std::deque<TraceEvent> pending_;
+  std::uint32_t line_no_ = 0;
+  bool eof_ = false;
+  bool eof_delivered_ = false;
+};
+
+/// Follows a growing trace file on disk: each poll reads any new complete
+/// lines appended since the previous poll.
+class FileFollower final : public TraceSource {
+ public:
+  FileFollower(const est::Spec& spec, std::string path);
+
+  bool poll(Trace& trace) override;
+
+ private:
+  const est::Spec& spec_;
+  std::string path_;
+  std::streamoff offset_ = 0;
+  std::string carry_;  // incomplete last line from the previous poll
+  std::uint32_t line_no_ = 0;
+  bool eof_seen_ = false;
+};
+
+}  // namespace tango::tr

@@ -1,0 +1,16 @@
+#include "trace/event.hpp"
+
+namespace tango::tr {
+
+Trace::Trace(int ip_count) : ip_count_(ip_count) {
+  index_.resize(static_cast<std::size_t>(ip_count) * 2);
+}
+
+void Trace::append(TraceEvent e) {
+  e.seq = static_cast<std::uint32_t>(events_.size());
+  index_[static_cast<std::size_t>(e.ip) * 2 + (e.dir == Dir::Out ? 1 : 0)]
+      .push_back(e.seq);
+  events_.push_back(std::move(e));
+}
+
+}  // namespace tango::tr

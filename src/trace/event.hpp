@@ -1,0 +1,60 @@
+// Trace model: a trace is the observed log of interactions at the IUT's
+// interaction points (paper §1). Each event is an input (arrived at the
+// IUT) or an output (emitted by the IUT) at one ip, with typed parameter
+// values. Events carry a global sequence number; per-(ip, direction) index
+// lists support the analyzer's queue cursors (paper §2.3 "queue states").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/value.hpp"
+#include "support/source_location.hpp"
+
+namespace tango::tr {
+
+enum class Dir : std::uint8_t { In, Out };
+
+struct TraceEvent {
+  Dir dir = Dir::In;
+  int ip = -1;
+  int interaction = -1;
+  std::vector<rt::Value> params;
+  std::uint32_t seq = 0;  // global position; assigned by Trace::append
+  SourceLoc loc;          // trace-file line, for diagnostics
+};
+
+/// A (possibly growing) trace. In static mode the whole trace is loaded up
+/// front and `mark_eof` is called immediately; in dynamic mode (on-line
+/// analysis, §3) events keep arriving and the end-of-file marker is the
+/// operator's way to force a conclusive verdict (§3.1.2).
+class Trace {
+ public:
+  explicit Trace(int ip_count);
+
+  void append(TraceEvent e);
+  void mark_eof() { eof_ = true; }
+
+  [[nodiscard]] bool eof() const { return eof_; }
+  [[nodiscard]] int ip_count() const { return ip_count_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const TraceEvent& event(std::uint32_t seq) const {
+    return events_[seq];
+  }
+
+  /// Global event indices of all events at (ip, dir), in trace order.
+  [[nodiscard]] const std::vector<std::uint32_t>& list(int ip, Dir d) const {
+    return index_[static_cast<std::size_t>(ip) * 2 +
+                  (d == Dir::Out ? 1 : 0)];
+  }
+
+ private:
+  int ip_count_;
+  bool eof_ = false;
+  std::vector<TraceEvent> events_;
+  std::vector<std::vector<std::uint32_t>> index_;  // [ip*2 + dir]
+};
+
+}  // namespace tango::tr

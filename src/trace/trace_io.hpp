@@ -1,0 +1,42 @@
+// Text representation of traces.
+//
+// Grammar, one event per line:
+//   in  <ip>.<interaction>            no-parameter interaction
+//   out <ip>.<interaction>(v1, v2)    parameters in channel-declaration order
+//   eof                               end-of-file marker (forces termination
+//                                     of on-line analysis, paper §3.1.2)
+//   # ...                             comment
+//
+// Parameter values: integers, true/false, 'c' characters, enumeration
+// literal names, `_` for an undefined value (partial traces), `(...)` for
+// records and `[...]` for arrays. Trace files carry NO time stamps — a
+// deliberate Tango restriction (§2.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "estelle/spec.hpp"
+#include "trace/event.hpp"
+
+namespace tango::tr {
+
+/// Renders one event (without trailing newline).
+[[nodiscard]] std::string format_event(const est::Spec& spec,
+                                       const TraceEvent& e);
+
+/// Renders the whole trace, one event per line, plus `eof` when marked.
+[[nodiscard]] std::string to_text(const est::Spec& spec, const Trace& trace);
+
+/// Parses one event line (no comments/blank lines/`eof` here).
+/// `line_no` is used for error reporting.
+[[nodiscard]] TraceEvent parse_event_line(const est::Spec& spec,
+                                          std::string_view line,
+                                          std::uint32_t line_no);
+
+/// Parses a complete trace text. The trace is marked eof when the text
+/// contains an `eof` line or `assume_eof` is set (static mode).
+[[nodiscard]] Trace parse_trace(const est::Spec& spec, std::string_view text,
+                                bool assume_eof = true);
+
+}  // namespace tango::tr

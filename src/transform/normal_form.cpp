@@ -1,0 +1,212 @@
+#include "transform/normal_form.hpp"
+
+#include <deque>
+
+#include "estelle/parser.hpp"
+#include "estelle/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace tango::transform {
+
+namespace {
+
+using est::BinOp;
+using est::Expr;
+using est::ExprKind;
+using est::ExprPtr;
+using est::Stmt;
+using est::StmtKind;
+using est::StmtPtr;
+using est::Transition;
+using est::UnOp;
+
+constexpr int kMaxSplits = 4096;
+
+ExprPtr conj(ExprPtr a, ExprPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  ExprPtr e = est::make_expr(ExprKind::Binary, a->loc);
+  e->bin_op = BinOp::And;
+  e->children.push_back(std::move(a));
+  e->children.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr negate(ExprPtr a) {
+  ExprPtr e = est::make_expr(ExprKind::Unary, a->loc);
+  e->un_op = UnOp::Not;
+  e->children.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr equals_expr(const Expr& sel, const Expr& label) {
+  ExprPtr e = est::make_expr(ExprKind::Binary, label.loc);
+  e->bin_op = BinOp::Eq;
+  e->children.push_back(est::clone(sel));
+  e->children.push_back(est::clone(label));
+  return e;
+}
+
+/// Flattens a leading nested compound so the first *simple* statement of
+/// the block surfaces at body[0]; drops leading empty statements.
+void surface_first(Stmt& block) {
+  for (;;) {
+    if (block.body.empty()) return;
+    Stmt& first = *block.body.front();
+    if (first.kind == StmtKind::Empty) {
+      block.body.erase(block.body.begin());
+      continue;
+    }
+    if (first.kind == StmtKind::Compound) {
+      std::vector<StmtPtr> inner = std::move(first.body);
+      block.body.erase(block.body.begin());
+      block.body.insert(block.body.begin(),
+                        std::make_move_iterator(inner.begin()),
+                        std::make_move_iterator(inner.end()));
+      continue;
+    }
+    return;
+  }
+}
+
+/// New transition: same clauses as `base`, provided conjoined with `extra`,
+/// block = [branch?, rest of base's block after the first statement].
+Transition derive(const Transition& base, ExprPtr extra,
+                  const Stmt* branch) {
+  Transition t;
+  t.loc = base.loc;
+  t.from_states = base.from_states;
+  t.to_state = base.to_state;
+  t.to_same = base.to_same;
+  if (base.when) {
+    est::WhenClause w;
+    w.loc = base.when->loc;
+    w.ip = base.when->ip;
+    w.interaction = base.when->interaction;
+    t.when = std::move(w);
+  }
+  t.provided = conj(base.provided ? est::clone(*base.provided) : nullptr,
+                    std::move(extra));
+  t.priority = base.priority;
+  for (const est::VarDecl& v : base.locals) {
+    est::VarDecl copy;
+    copy.loc = v.loc;
+    copy.names = v.names;
+    copy.type = est::clone(*v.type);
+    t.locals.push_back(std::move(copy));
+  }
+  t.block = est::make_stmt(StmtKind::Compound, base.block->loc);
+  if (branch != nullptr) t.block->body.push_back(est::clone(*branch));
+  for (std::size_t i = 1; i < base.block->body.size(); ++i) {
+    t.block->body.push_back(est::clone(*base.block->body[i]));
+  }
+  return t;
+}
+
+bool has_control(const Stmt& s) {
+  if (s.kind == StmtKind::If || s.kind == StmtKind::Case ||
+      s.kind == StmtKind::While || s.kind == StmtKind::For ||
+      s.kind == StmtKind::Repeat) {
+    return true;
+  }
+  for (const StmtPtr& c : s.body) {
+    if (c && has_control(*c)) return true;
+  }
+  if (s.s0 && has_control(*s.s0)) return true;
+  if (s.s1 && has_control(*s.s1)) return true;
+  for (const est::CaseArm& arm : s.arms) {
+    if (arm.body && has_control(*arm.body)) return true;
+  }
+  for (const StmtPtr& c : s.otherwise) {
+    if (c && has_control(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+NormalFormResult to_normal_form(const est::SpecAst& spec) {
+  NormalFormResult result;
+  // Round-trip through the printer for a deep copy of the whole AST.
+  result.spec = est::parse(est::print_spec(spec));
+  if (result.spec.bodies.empty()) return result;
+
+  est::BodyDef& body = result.spec.bodies[0];
+  std::deque<Transition> work;
+  for (Transition& tr : body.transitions) work.push_back(std::move(tr));
+  body.transitions.clear();
+
+  while (!work.empty()) {
+    Transition tr = std::move(work.front());
+    work.pop_front();
+    surface_first(*tr.block);
+
+    const Stmt* first =
+        tr.block->body.empty() ? nullptr : tr.block->body.front().get();
+
+    if (first != nullptr && first->kind == StmtKind::If) {
+      if ((result.splits += 2) > kMaxSplits) {
+        throw CompileError(tr.loc,
+                           "normal-form transformation exploded past " +
+                               std::to_string(kMaxSplits) + " transitions");
+      }
+      work.push_front(derive(tr, negate(est::clone(*first->e0)),
+                             first->s1 ? first->s1.get() : nullptr));
+      work.push_front(derive(tr, est::clone(*first->e0), first->s0.get()));
+      continue;
+    }
+
+    if (first != nullptr && first->kind == StmtKind::Case) {
+      ExprPtr no_match;  // conjunction of <> for the otherwise branch
+      std::vector<Transition> pieces;
+      for (const est::CaseArm& arm : first->arms) {
+        ExprPtr any_label;  // disjunction of = over this arm's labels
+        for (const ExprPtr& label : arm.labels) {
+          ExprPtr eq = equals_expr(*first->e0, *label);
+          no_match = conj(std::move(no_match), negate(est::clone(*eq)));
+          if (!any_label) {
+            any_label = std::move(eq);
+          } else {
+            ExprPtr e = est::make_expr(ExprKind::Binary, label->loc);
+            e->bin_op = BinOp::Or;
+            e->children.push_back(std::move(any_label));
+            e->children.push_back(std::move(eq));
+            any_label = std::move(e);
+          }
+        }
+        pieces.push_back(derive(tr, std::move(any_label), arm.body.get()));
+      }
+      if (first->has_otherwise) {
+        Stmt wrapper(StmtKind::Compound, first->loc);
+        for (const StmtPtr& c : first->otherwise) {
+          wrapper.body.push_back(est::clone(*c));
+        }
+        pieces.push_back(derive(tr, std::move(no_match), &wrapper));
+      }
+      if ((result.splits += static_cast<int>(pieces.size())) > kMaxSplits) {
+        throw CompileError(tr.loc,
+                           "normal-form transformation exploded past " +
+                               std::to_string(kMaxSplits) + " transitions");
+      }
+      for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+        work.push_front(std::move(*it));
+      }
+      continue;
+    }
+
+    if (has_control(*tr.block)) {
+      result.residual.push_back(tr.name.empty() ? "<unnamed>" : tr.name);
+    }
+    body.transitions.push_back(std::move(tr));
+  }
+  return result;
+}
+
+std::string normal_form_source(std::string_view source,
+                               std::vector<std::string>* residual) {
+  NormalFormResult result = to_normal_form(est::parse(source));
+  if (residual != nullptr) *residual = result.residual;
+  return est::print_spec(result.spec);
+}
+
+}  // namespace tango::transform

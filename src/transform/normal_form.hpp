@@ -1,0 +1,37 @@
+// Normal-form transformation (paper §5.3, after Sarikaya & Bochmann): lifts
+// leading `if`/`case` statements of transition blocks into `provided`
+// clauses by splitting the transition, so that partial-trace analysis never
+// lets an undefined value control a branch — the branch choice becomes a
+// nondeterministic alternative that provided-clause evaluation (where
+// undefined means "assume true") explores on both sides.
+//
+// The transformation is applied while the *first* statement of a block is a
+// conditional. A conditional buried behind earlier statements cannot be
+// lifted soundly (the earlier statements may change variables the condition
+// reads), so such transitions are left alone and reported in the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estelle/ast.hpp"
+
+namespace tango::transform {
+
+struct NormalFormResult {
+  est::SpecAst spec;
+  /// Names of transitions that still contain control statements the
+  /// transform could not lift (deep/interior conditionals).
+  std::vector<std::string> residual;
+  int splits = 0;  // how many transition splits were performed
+};
+
+/// Transforms a parsed (unresolved) specification. The result must be
+/// re-analyzed (est::analyze / est::compile) before use.
+[[nodiscard]] NormalFormResult to_normal_form(const est::SpecAst& spec);
+
+/// Convenience: parse, transform, and return the transformed source text.
+[[nodiscard]] std::string normal_form_source(std::string_view source,
+                                             std::vector<std::string>* residual = nullptr);
+
+}  // namespace tango::transform

@@ -1,0 +1,87 @@
+// Transition-coverage report tests (conformance-campaign view).
+#include "analysis/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::analysis {
+namespace {
+
+TEST(Coverage, WitnessPathsAccumulate) {
+  est::Spec spec = est::compile_spec(specs::ack());
+  std::vector<tr::Trace> traces;
+  traces.push_back(
+      tr::parse_trace(spec, "in a.x\nin a.x\nin b.y\nout a.ack\n"));
+  traces.push_back(tr::parse_trace(spec, "in a.x\nin b.y\nout a.ack\n"));
+
+  CoverageReport r = coverage(spec, traces, core::Options::none());
+  EXPECT_EQ(r.traces_total, 2u);
+  EXPECT_EQ(r.traces_valid, 2u);
+  // Both traces need t2 and t3; the first also needs one t1.
+  EXPECT_EQ(r.hits.at("t2"), 2u);
+  EXPECT_EQ(r.hits.at("t3"), 2u);
+  EXPECT_EQ(r.hits.at("t1"), 1u);
+  EXPECT_TRUE(r.uncovered.empty());
+  EXPECT_DOUBLE_EQ(r.ratio(), 1.0);
+}
+
+TEST(Coverage, UncoveredTransitionsListed) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  std::vector<tr::Trace> traces;
+  traces.push_back(tr::parse_trace(spec,
+                                   "in  u.tconreq\n"
+                                   "out n.cr\n"
+                                   "in  n.cc\n"
+                                   "out u.tconcnf\n"));
+  CoverageReport r = coverage(spec, traces, core::Options::full());
+  EXPECT_EQ(r.traces_valid, 1u);
+  EXPECT_EQ(r.hits.count("t1"), 1u);
+  EXPECT_EQ(r.hits.count("t2"), 1u);
+  // The data-phase transitions were never exercised.
+  EXPECT_NE(std::find(r.uncovered.begin(), r.uncovered.end(), "t13"),
+            r.uncovered.end());
+  EXPECT_NE(std::find(r.uncovered.begin(), r.uncovered.end(), "t17"),
+            r.uncovered.end());
+  EXPECT_LT(r.ratio(), 1.0);
+}
+
+TEST(Coverage, InvalidTracesAreCountedButContributeNothing) {
+  est::Spec spec = est::compile_spec(specs::ack());
+  std::vector<tr::Trace> traces;
+  traces.push_back(tr::parse_trace(spec, "out a.ack\n"));  // unproducible
+  CoverageReport r = coverage(spec, traces, core::Options::none());
+  EXPECT_EQ(r.traces_total, 1u);
+  EXPECT_EQ(r.traces_valid, 0u);
+  EXPECT_TRUE(r.hits.empty());
+  ASSERT_EQ(r.invalid_notes.size(), 1u);
+  EXPECT_NE(r.invalid_notes[0].find("invalid"), std::string::npos);
+}
+
+TEST(Coverage, FullLapdCampaignCoversTheDataPath) {
+  est::Spec spec = est::compile_spec(specs::lapd());
+  std::vector<tr::Trace> traces;
+  traces.push_back(sim::lapd_trace(spec, 6));
+  traces.push_back(tr::parse_trace(spec,
+                                   "in  l.sabme\n"
+                                   "out l.ua\n"
+                                   "out u.dl_establish_ind\n"
+                                   "in  l.iframe(0, 0, 1)\n"
+                                   "out u.dl_data_ind(1)\n"
+                                   "out l.rr(1)\n"));
+  CoverageReport r = coverage(spec, traces, core::Options::io());
+  EXPECT_EQ(r.traces_valid, 2u);
+  EXPECT_GE(r.hits.at("t_enq"), 6u);
+  EXPECT_GE(r.hits.at("t_send"), 6u);
+  EXPECT_EQ(r.hits.count("passive_open"), 1u);
+  // Release and error handling remain uncovered by this campaign.
+  EXPECT_NE(std::find(r.uncovered.begin(), r.uncovered.end(), "rel_req"),
+            r.uncovered.end());
+  const std::string text = r.render();
+  EXPECT_NE(text.find("NEVER COVERED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tango::analysis

@@ -1,0 +1,145 @@
+// Lint pass tests: the §2.1 input requirements made mechanically checkable.
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "specs/builtin_specs.hpp"
+
+namespace tango::analysis {
+namespace {
+
+LintReport lint_src(std::string_view src) {
+  return lint(est::compile_spec(src));
+}
+
+bool mentions(const LintReport& r, std::string_view fragment) {
+  for (const Diagnostic& d : r.findings) {
+    if (d.message.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Lint, CleanSpecHasNoFindings) {
+  LintReport r = lint_src(specs::ack());
+  EXPECT_TRUE(r.findings.empty()) << r.render();
+}
+
+TEST(Lint, BuiltinSpecsAreFreeOfErrors) {
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    LintReport r = lint(est::compile_spec(text));
+    EXPECT_FALSE(r.has_errors()) << name << ":\n" << r.render();
+  }
+}
+
+TEST(Lint, UnreachableStateDetected) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state a, b, orphan;
+  initialize to a begin end;
+  trans
+    from a to b when P.m name t1: begin end;
+    from orphan to a when P.m name dead: begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(r, "'orphan' is unreachable"));
+  EXPECT_TRUE(mentions(r, "'dead' can never fire"));
+}
+
+TEST(Lint, UnguardedNonProgressSelfLoopIsAnError) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to same name spin: begin end;
+    from z to z when P.m name ok: begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(mentions(r, "non-progress cycle"));
+  EXPECT_TRUE(mentions(r, "WILL diverge"));
+}
+
+TEST(Lint, GuardedNonProgressCycleIsOnlyAWarning) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to same provided x < 3 name bounded: begin x := x + 1; end;
+    from z to z when P.m name consume: begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(mentions(r, "non-progress cycle"));
+}
+
+TEST(Lint, MultiStateNonProgressCycleDetected) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state a, b;
+  initialize to a begin end;
+  trans
+    from a to b name hop: begin end;
+    from b to a name back: begin end;
+    from a to a when P.m name ok: begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(mentions(r, "non-progress cycle"));
+}
+
+TEST(Lint, SpontaneousTransitionWithOutputIsProgress) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to same name beacon: begin output P.o; end;
+    from z to z when P.m name consume: begin end;
+end;
+end.
+)");
+  EXPECT_FALSE(mentions(r, "non-progress cycle")) << r.render();
+}
+
+TEST(Lint, DeadInteractionsReported) {
+  LintReport r = lint_src(R"(
+specification s;
+channel CH(A, B); by A: used; ignored; by B: sent; never;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.used name t: begin output P.sent; end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(r, "'p.ignored' is never consumed"));
+  EXPECT_TRUE(mentions(r, "'p.never' is never produced"));
+  EXPECT_FALSE(mentions(r, "'p.used'"));
+  EXPECT_FALSE(mentions(r, "'p.sent'"));
+}
+
+}  // namespace
+}  // namespace tango::analysis

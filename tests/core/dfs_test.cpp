@@ -1,0 +1,264 @@
+#include "core/dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+namespace {
+
+est::Spec ack() { return est::compile_spec(specs::ack()); }
+
+TEST(Dfs, EmptyTraceIsValid) {
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec, "", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+  ASSERT_EQ(r.solution.size(), 1u);
+  EXPECT_EQ(r.solution[0], "initialize to s1");
+}
+
+TEST(Dfs, PaperAckTraceIsValid) {
+  // Paper §3.1: inputs [x x x] at A, [y] at B, output [ack] — valid via
+  // T1, T2, T3, T1.
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec,
+                             "in A.x\nin A.x\nin A.x\nin B.y\nout A.ack\n",
+                             Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+  // Solution: initialize + 4 transitions.
+  ASSERT_EQ(r.solution.size(), 5u);
+  EXPECT_GT(r.stats.transitions_executed, 0u);
+}
+
+TEST(Dfs, BacktrackingIsRequiredAndCounted) {
+  // The greedy path takes T1 first and dead-ends; DFS must backtrack into
+  // the T2 branch.
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec, "in A.x\nin B.y\nout A.ack\n",
+                             Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_GE(r.stats.restores, 1u);
+  EXPECT_GE(r.stats.saves, 1u);
+  ASSERT_EQ(r.solution.size(), 3u);
+  EXPECT_EQ(r.solution[1], "t2");
+  EXPECT_EQ(r.solution[2], "t3");
+}
+
+TEST(Dfs, MissingOutputMakesTraceInvalid) {
+  est::Spec spec = ack();
+  // y consumed means T3 fired, which must output ack; the trace has none.
+  DfsResult r = analyze_text(spec, "in A.x\nin B.y\n", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+  EXPECT_FALSE(r.note.empty());
+}
+
+TEST(Dfs, UnproducibleOutputMakesTraceInvalid) {
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec, "out A.ack\n", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+}
+
+TEST(Dfs, UnconsumableInputMakesTraceInvalid) {
+  est::Spec spec = ack();
+  // y can only be consumed from S2; with no x, S2 is unreachable.
+  DfsResult r = analyze_text(spec, "in B.y\n", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+}
+
+TEST(Dfs, SameIpSameDirectionOrderIsAlwaysChecked) {
+  // ack output before its cause is fine for mode NONE only across ips;
+  // within one ip the trace order is authoritative. Here the second y
+  // cannot be consumed before the first — trivially satisfied — but an ack
+  // before any y is unproducible.
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec, "out A.ack\nin A.x\nin B.y\n",
+                             Options::none());
+  // With no order options the analyzer may consume x,y first and then
+  // produce ack; the trace stays valid because out-events only constrain
+  // their own ip's output order.
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+}
+
+TEST(Dfs, ParameterMismatchDetected) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  const char* good =
+      "in  U.send(5)\n"
+      "out M.frame(0, 5)\n"
+      "in  M.ack(0)\n"
+      "out U.confirm\n";
+  EXPECT_EQ(analyze_text(spec, good, Options::io()).verdict, Verdict::Valid);
+  const char* bad =
+      "in  U.send(5)\n"
+      "out M.frame(0, 6)\n"  // wrong payload
+      "in  M.ack(0)\n"
+      "out U.confirm\n";
+  DfsResult r = analyze_text(spec, bad, Options::io());
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+  EXPECT_NE(r.note.find("parameter"), std::string::npos);
+}
+
+TEST(Dfs, RetransmissionNondeterminismIsSearched) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  // Two identical frames: the second is the spontaneous retransmission.
+  const char* trace =
+      "in  U.send(9)\n"
+      "out M.frame(0, 9)\n"
+      "out M.frame(0, 9)\n"
+      "in  M.ack(0)\n"
+      "out U.confirm\n";
+  DfsResult r = analyze_text(spec, trace, Options::io());
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+}
+
+TEST(Dfs, WrongAckIsIgnoredByBadackTransition) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  const char* trace =
+      "in  U.send(9)\n"
+      "out M.frame(0, 9)\n"
+      "in  M.ack(1)\n"   // wrong sequence number: badack consumes it
+      "in  M.ack(0)\n"
+      "out U.confirm\n";
+  EXPECT_EQ(analyze_text(spec, trace, Options::io()).verdict, Verdict::Valid);
+}
+
+TEST(Dfs, InitialStateSearchRecoversMidStream) {
+  // Paper §2.4.1: a trace collected after the IUT ran for a while — here a
+  // lone "in B.y; out A.ack" is only explainable from S2.
+  est::Spec spec = ack();
+  const char* trace = "in B.y\nout A.ack\n";
+  EXPECT_EQ(analyze_text(spec, trace, Options::none()).verdict,
+            Verdict::Invalid);
+  Options opts = Options::none();
+  opts.initial_state_search = true;
+  DfsResult r = analyze_text(spec, trace, opts);
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_EQ(r.solution[0], "initialize to s2");
+}
+
+TEST(Dfs, DisabledIpSkipsOutputChecking) {
+  est::Spec spec = ack();
+  // Without A's outputs observed, the ack is not in the trace; disabling A
+  // must make the input-only trace valid.
+  Options opts = Options::none();
+  opts.disabled_ips.push_back("a");
+  // Inputs at A are part of the trace => disabling A rejects the trace.
+  EXPECT_THROW(analyze_text(spec, "in A.x\nin B.y\n", opts), CompileError);
+  DfsResult r = analyze_text(spec, "in B.y\n", opts);
+  // y still needs S2, reachable only by consuming an x at A — but A is
+  // disabled, so its when-transitions never fire: invalid.
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+}
+
+TEST(Dfs, TransitionBudgetYieldsInconclusive) {
+  est::Spec spec = ack();
+  Options opts = Options::none();
+  opts.max_transitions = 2;
+  DfsResult r = analyze_text(
+      spec, "in A.x\nin A.x\nin A.x\nin B.y\nout A.ack\n", opts);
+  EXPECT_EQ(r.verdict, Verdict::Inconclusive);
+}
+
+TEST(Dfs, DepthBoundYieldsInconclusiveNotInvalid) {
+  est::Spec spec = ack();
+  Options opts = Options::none();
+  opts.max_depth = 2;
+  DfsResult r = analyze_text(
+      spec, "in A.x\nin A.x\nin A.x\nin B.y\nout A.ack\n", opts);
+  EXPECT_EQ(r.verdict, Verdict::Inconclusive);
+}
+
+TEST(Dfs, StateHashingPreservesVerdicts) {
+  est::Spec spec = ack();
+  for (const char* trace :
+       {"in A.x\nin A.x\nin A.x\nin B.y\nout A.ack\n", "in A.x\nin B.y\n"}) {
+    DfsResult plain = analyze_text(spec, trace, Options::none());
+    Options hashed = Options::none();
+    hashed.hash_states = true;
+    DfsResult pruned = analyze_text(spec, trace, hashed);
+    EXPECT_EQ(plain.verdict, pruned.verdict);
+    EXPECT_LE(pruned.stats.transitions_executed,
+              plain.stats.transitions_executed);
+  }
+}
+
+TEST(Dfs, PriorityRestrictsChoice) {
+  est::Spec spec = est::compile_spec(R"(
+specification s;
+channel CH(A, B); by A: m; by B: lo; hi;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.m priority 5 name slow: begin output P.lo; end;
+    from z to z when P.m priority 1 name fast: begin output P.hi; end;
+end;
+end.
+)");
+  // Only the priority-1 transition may fire: hi is producible, lo is not.
+  EXPECT_EQ(analyze_text(spec, "in P.m\nout P.hi\n", Options::none()).verdict,
+            Verdict::Valid);
+  EXPECT_EQ(analyze_text(spec, "in P.m\nout P.lo\n", Options::none()).verdict,
+            Verdict::Invalid);
+}
+
+TEST(Dfs, MultipleInitializersAreAlternatives) {
+  est::Spec spec = est::compile_spec(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r1; r2;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state a, b;
+  initialize to a begin end;
+  initialize to b begin end;
+  trans
+    from a to a when P.m name ta: begin output P.r1; end;
+    from b to b when P.m name tb: begin output P.r2; end;
+end;
+end.
+)");
+  EXPECT_EQ(analyze_text(spec, "in P.m\nout P.r1\n", Options::none()).verdict,
+            Verdict::Valid);
+  EXPECT_EQ(analyze_text(spec, "in P.m\nout P.r2\n", Options::none()).verdict,
+            Verdict::Valid);
+}
+
+TEST(Dfs, RuntimeFaultKillsOnlyTheOffendingPath) {
+  est::Spec spec = est::compile_spec(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r(v: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.d name crash: begin output P.r(1 div (v - v)); end;
+    from z to z when P.d name ok: begin output P.r(v); end;
+end;
+end.
+)");
+  DfsResult r = analyze_text(spec, "in P.d(4)\nout P.r(4)\n", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Valid);  // `ok` path survives
+}
+
+TEST(Dfs, SolutionPathReplaysTransitionNames) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  const char* trace =
+      "in  U.tconreq\n"
+      "out N.cr\n"
+      "in  N.cc\n"
+      "out U.tconcnf\n"
+      "in  U.tdtreq(1)\n"
+      "out N.dt(1)\n";
+  DfsResult r = analyze_text(spec, trace, Options::full());
+  ASSERT_EQ(r.verdict, Verdict::Valid);
+  ASSERT_EQ(r.solution.size(), 5u);
+  EXPECT_EQ(r.solution[1], "t1");
+  EXPECT_EQ(r.solution[2], "t2");
+  EXPECT_EQ(r.solution[3], "t13");
+  EXPECT_EQ(r.solution[4], "t14");
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,206 @@
+// On-line trace analysis — the paper's §3 scenarios: the ack example that
+// deadlocks plain DFS, PG/PGAV verdict semantics on ip3/ip3', eof-forced
+// termination, and the dynamic node-reordering option.
+#include "core/mdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "specs/builtin_specs.hpp"
+
+namespace tango::core {
+namespace {
+
+struct Online {
+  explicit Online(std::string_view spec_text, Options opts = Options::none())
+      : spec(est::compile_spec(spec_text)), feed(spec) {
+    OnlineConfig config;
+    config.options = opts;
+    analyzer = std::make_unique<OnlineAnalyzer>(spec, feed, config);
+  }
+
+  OnlineStatus pump() { return analyzer->step_round(100000); }
+
+  est::Spec spec;
+  tr::MemoryFeed feed;
+  std::unique_ptr<OnlineAnalyzer> analyzer;
+};
+
+TEST(Mdfs, PaperAckScenarioAvoidsDeadlock) {
+  // §3.1: inputs [x x x] at A and [y] at B arrive, output [ack]. A greedy
+  // DFS that fires T1 three times starves; MDFS saves the PG states and
+  // revisits them, reaching the T1,T2,T3,T1 solution.
+  Online o(specs::ack());
+  for (const char* line :
+       {"in a.x", "in a.x", "in a.x", "in b.y", "out a.ack"}) {
+    o.feed.push_line(line);
+  }
+  OnlineStatus s = o.pump();
+  // Everything observed so far is explained: a PGAV node exists.
+  EXPECT_EQ(s, OnlineStatus::ValidSoFar);
+  EXPECT_GT(o.analyzer->pg_count(), 0u);
+
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+  EXPECT_TRUE(o.analyzer->conclusive());
+}
+
+TEST(Mdfs, IncrementalFeedingTracksVerdicts) {
+  Online o(specs::ack());
+  o.feed.push_line("in a.x");
+  EXPECT_EQ(o.pump(), OnlineStatus::ValidSoFar);
+  o.feed.push_line("in a.x");
+  o.feed.push_line("in b.y");
+  // Consuming y forces an ack the trace has not recorded yet, so no PGAV
+  // node exists — the honest verdict is "likely invalid" (§3.1.2's
+  // "maybe") until the ack shows up.
+  EXPECT_EQ(o.pump(), OnlineStatus::LikelyInvalid);
+  o.feed.push_line("out a.ack");
+  EXPECT_EQ(o.pump(), OnlineStatus::ValidSoFar);
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+}
+
+TEST(Mdfs, UnexplainedOutputIsOnlyLikelyInvalidWhileTraceMayGrow) {
+  // "out a.ack" with nothing before it cannot be explained YET — but more
+  // inputs could still arrive and make T3 produce it, so the on-line
+  // verdict must stay inconclusive (§3.1.2), unlike the batch analyzer.
+  Online o(specs::ack());
+  o.feed.push_line("out a.ack");
+  EXPECT_EQ(o.pump(), OnlineStatus::LikelyInvalid);
+  EXPECT_FALSE(o.analyzer->conclusive());
+  o.feed.push_line("in a.x");
+  o.feed.push_line("in b.y");
+  o.feed.push_eof();
+  // With x and y available, T2;T3 produces the ack after all: valid.
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+}
+
+TEST(Mdfs, InvalidPrefixConcludesWithoutEof) {
+  // §3.1.2: a conclusive on-line "invalid" is possible when the bad prefix
+  // kills every branch and leaves no PG node. A one-shot machine whose
+  // final state has no when-transitions gives exactly that.
+  Online o(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z, done;
+  initialize to z begin end;
+  trans from z to done when P.m name t: begin output P.r; end;
+end;
+end.
+)");
+  o.feed.push_line("in p.m");
+  o.feed.push_line("out p.r");
+  o.feed.push_line("in p.m");  // one-shot: a second m can never be consumed
+  EXPECT_EQ(o.pump(), OnlineStatus::Invalid);
+  EXPECT_TRUE(o.analyzer->conclusive());
+}
+
+TEST(Mdfs, Ip3PrimeInvalidOutputIsNotDetected) {
+  // §3.1.2, specification ip3': the o output can never be produced, but
+  // B/C data keeps the PG cycle alive — the TAM reports "likely invalid",
+  // never a conclusive verdict, while data keeps flowing.
+  Online o(specs::ip3prime());
+  o.feed.push_line("in a.x");
+  o.feed.push_line("out a.p");
+  o.feed.push_line("out a.o");  // invalid: ip3' never produces o
+  o.feed.push_line("in b.data");
+  o.feed.push_line("out c.data");
+  OnlineStatus s = o.pump();
+  EXPECT_EQ(s, OnlineStatus::LikelyInvalid);
+  EXPECT_FALSE(o.analyzer->conclusive());
+
+  // More B/C data is verified and the TAM keeps waiting (§3.1.2).
+  o.feed.push_line("in c.data");
+  o.feed.push_line("out b.data");
+  EXPECT_EQ(o.pump(), OnlineStatus::LikelyInvalid);
+
+  // Only the operator's eof marker forces the conclusive verdict.
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Invalid);
+}
+
+TEST(Mdfs, Ip3FinishedUnlocksTheOutput) {
+  // §3.1.2, full ip3: once finished arrives at B, t4 fires, s2 is reached
+  // and o is verified.
+  Online o(specs::ip3());
+  o.feed.push_line("in b.data");
+  o.feed.push_line("out c.data");
+  o.feed.push_line("in b.finished");
+  o.feed.push_line("in a.x");
+  o.feed.push_line("out a.o");
+  EXPECT_EQ(o.pump(), OnlineStatus::ValidSoFar);
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+}
+
+TEST(Mdfs, EofWithUnexplainedEventsIsInvalid) {
+  Online o(specs::ack());
+  o.feed.push_line("in b.y");  // y is only consumable from S2
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Invalid);
+}
+
+TEST(Mdfs, ReorderingOffStillConcludesCorrectly) {
+  Options basic = Options::none();
+  basic.reorder_pg_nodes = false;  // basic MDFS of §3.1.1
+  Online o(specs::ack(), basic);
+  for (const char* line :
+       {"in a.x", "in a.x", "in a.x", "in b.y", "out a.ack"}) {
+    o.feed.push_line(line);
+  }
+  EXPECT_EQ(o.pump(), OnlineStatus::ValidSoFar);
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+}
+
+TEST(Mdfs, PiecemealArrivalMatchesBatchVerdict) {
+  // Feeding one event per round must reach the same verdict as a batch
+  // feed (here: a valid abp exchange with a retransmission).
+  const char* lines[] = {
+      "in  u.send(9)",  "out m.frame(0, 9)", "out m.frame(0, 9)",
+      "in  m.ack(0)",   "out u.confirm",
+  };
+  Online o(specs::abp(), Options::io());
+  for (const char* line : lines) {
+    o.feed.push_line(line);
+    OnlineStatus s = o.pump();
+    EXPECT_NE(s, OnlineStatus::Invalid) << line;
+  }
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Valid);
+}
+
+TEST(Mdfs, RunLoopTerminatesOnIdleSource) {
+  Online o(specs::ack());
+  o.feed.push_line("in a.x");
+  OnlineStatus s = o.analyzer->run(4096, /*idle_rounds=*/2);
+  EXPECT_EQ(s, OnlineStatus::ValidSoFar);
+}
+
+TEST(Mdfs, TransitionBudgetYieldsInconclusive) {
+  Options opts = Options::none();
+  opts.max_transitions = 3;
+  Online o(specs::ack(), opts);
+  for (const char* line :
+       {"in a.x", "in a.x", "in a.x", "in b.y", "out a.ack"}) {
+    o.feed.push_line(line);
+  }
+  o.feed.push_eof();
+  EXPECT_EQ(o.pump(), OnlineStatus::Inconclusive);
+}
+
+TEST(Mdfs, StatsArePopulated) {
+  Online o(specs::ack());
+  o.feed.push_line("in a.x");
+  o.feed.push_line("in b.y");  // will require exploring both T1/T2
+  o.feed.push_line("out a.ack");
+  (void)o.pump();
+  EXPECT_GT(o.analyzer->stats().transitions_executed, 0u);
+  EXPECT_GT(o.analyzer->stats().generates, 0u);
+  EXPECT_GT(o.analyzer->stats().saves, 0u);
+}
+
+}  // namespace
+}  // namespace tango::core

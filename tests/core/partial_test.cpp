@@ -1,0 +1,166 @@
+// Partial trace analysis (paper §5): unknown initial states, unobservable
+// ips with synthesized undefined inputs, undefined-tolerant comparisons,
+// and the infinite-tree hazards of §5.4 handled by search bounds.
+#include <gtest/gtest.h>
+
+#include "core/dfs.hpp"
+#include "specs/builtin_specs.hpp"
+#include "transform/normal_form.hpp"
+
+namespace tango::core {
+namespace {
+
+Options lower_interface_only(std::initializer_list<const char*> hidden) {
+  Options opts = Options::full();
+  opts.partial = true;
+  for (const char* ip : hidden) {
+    opts.unobservable_ips.push_back(ip);
+    opts.disabled_ips.push_back(ip);  // outputs there are unobserved too
+  }
+  opts.max_depth = 32;
+  return opts;
+}
+
+TEST(Partial, Tp0LowerInterfaceOnlyTrace) {
+  // §4.1's wish, applied to TP0: analyze only the packets at the lower
+  // interface; everything at U is synthesized with undefined parameters.
+  est::Spec spec = est::compile_spec(specs::tp0());
+  const char* trace =
+      "out n.cr\n"
+      "in  n.cc\n"
+      "out n.dt(5)\n"
+      "out n.dt(6)\n";
+  DfsResult r = analyze_text(spec, trace, lower_interface_only({"u"}));
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+}
+
+TEST(Partial, LowerInterfaceTraceWithImpossibleOrderIsInvalid) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  // cc before cr is impossible no matter what the user side did: the
+  // module only sends cr from closed, and consumes cc only in wfcc.
+  const char* trace =
+      "in  n.cc\n"
+      "out n.cr\n"
+      "out n.dt(5)\n";
+  DfsResult r = analyze_text(spec, trace, lower_interface_only({"u"}));
+  EXPECT_NE(r.verdict, Verdict::Valid);
+}
+
+TEST(Partial, UndefinedParametersCompareEqual) {
+  // An undefined synthesized tdtreq payload matches ANY dt payload in the
+  // trace (§5.1) — so two different payloads are both explainable.
+  est::Spec spec = est::compile_spec(specs::tp0());
+  for (const char* trace : {"out n.cr\nin n.cc\nout n.dt(1)\n",
+                            "out n.cr\nin n.cc\nout n.dt(999)\n"}) {
+    EXPECT_EQ(analyze_text(spec, trace, lower_interface_only({"u"})).verdict,
+              Verdict::Valid);
+  }
+}
+
+TEST(Partial, UndefinedTraceValuesMatchConcreteOutputs) {
+  // `_` in the trace file is an undefined observation (e.g. a field the
+  // monitor could not decode); it matches whatever the TAM produces.
+  est::Spec spec = est::compile_spec(specs::abp());
+  Options opts = Options::io();
+  opts.partial = true;
+  const char* trace =
+      "in  u.send(5)\n"
+      "out m.frame(_, 5)\n"
+      "in  m.ack(0)\n"
+      "out u.confirm\n";
+  EXPECT_EQ(analyze_text(spec, trace, opts).verdict, Verdict::Valid);
+  // In strict mode the same trace parses but the undefined parameter can
+  // never equal the produced 0.
+  EXPECT_EQ(analyze_text(spec, trace, Options::io()).verdict,
+            Verdict::Invalid);
+}
+
+TEST(Partial, SearchBudgetBoundsTheInfiniteTree) {
+  // §5.4: with an unobservable ip, a cycle reading only that ip yields an
+  // infinite search tree. Without a depth bound the analysis must stop at
+  // the transition budget and admit inconclusiveness, not spin forever.
+  est::Spec spec = est::compile_spec(specs::tp0());
+  Options opts = Options::full();
+  opts.partial = true;
+  opts.unobservable_ips = {"u"};
+  opts.disabled_ips = {"u"};
+  opts.max_transitions = 5000;
+  // After the handshake the second cc can never be consumed, so no
+  // solution exists — but t13 keeps synthesizing tdtreq enqueues (no
+  // output, fresh heap cell each time), an infinite outputless chain.
+  DfsResult r = analyze_text(spec, "out n.cr\nin n.cc\nin n.cc\n", opts);
+  EXPECT_EQ(r.verdict, Verdict::Inconclusive);
+  EXPECT_GE(r.stats.transitions_executed, 5000u);
+}
+
+TEST(Partial, UnknownInitialStateWithSearchOption) {
+  // §5: a partial trace "begins with trace data from an IUT which is not
+  // necessarily in its initial state" — combine the §2.4.1 search with
+  // partial mode. A lone rr ack is only consumable in
+  // multiple_frame_established.
+  est::Spec spec = est::compile_spec(specs::lapd());
+  // An incoming I frame answered with data-indication and RR is only
+  // explainable in multiple_frame_established.
+  const char* trace =
+      "in  l.iframe(0, 0, 7)\n"
+      "out u.dl_data_ind(7)\n"
+      "out l.rr(1)\n";
+  Options opts = Options::io();
+  opts.partial = true;  // module vars hold whatever initialize left; the
+                        // FSM state alone is searched (§2.4.1 caveat)
+  opts.initial_state_search = true;
+  DfsResult r = analyze_text(spec, trace, opts);
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_EQ(r.solution[0], "initialize to multiple_frame_established");
+  // Without the option the same trace is invalid: tei_assigned silently
+  // drops the frame and can never emit the indication.
+  EXPECT_EQ(analyze_text(spec, trace, Options::io()).verdict,
+            Verdict::Invalid);
+}
+
+TEST(Partial, ControlStatementOnUndefinedNeedsNormalForm) {
+  // §5.3: an if over an undefined (synthesized) parameter cannot be
+  // analyzed directly...
+  constexpr std::string_view src = R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: big; small;
+module M systemprocess; ip P: CH(B); Q: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when Q.d name t:
+    begin
+      if v > 10 then output P.big else output P.small;
+    end;
+end;
+end.
+)";
+  est::Spec spec = est::compile_spec(src);
+  Options opts;
+  opts.partial = true;
+  opts.unobservable_ips = {"q"};
+  opts.max_depth = 4;
+  DfsResult direct = analyze_text(spec, "out p.big\n", opts);
+  EXPECT_NE(direct.verdict, Verdict::Valid);
+  EXPECT_NE(direct.note.find("normal-form"), std::string::npos);
+
+  // ... but after the §5.3 transformation both branches become provided
+  // alternatives and the trace validates.
+  std::string transformed = transform::normal_form_source(src);
+  est::Spec nf = est::compile_spec(transformed);
+  EXPECT_EQ(analyze_text(nf, "out p.big\n", opts).verdict, Verdict::Valid);
+  EXPECT_EQ(analyze_text(nf, "out p.small\n", opts).verdict, Verdict::Valid);
+}
+
+TEST(Partial, StrictModeIsUnaffectedByPartialScaffolding) {
+  // Sanity: partial mode off, fully observed traces behave identically
+  // whether or not the options struct carries partial-related defaults.
+  est::Spec spec = est::compile_spec(specs::ack());
+  DfsResult r = analyze_text(spec, "in a.x\nin b.y\nout a.ack\n",
+                             Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Valid);
+}
+
+}  // namespace
+}  // namespace tango::core

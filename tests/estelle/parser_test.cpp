@@ -1,0 +1,303 @@
+#include "estelle/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace tango::est {
+namespace {
+
+constexpr std::string_view kMinimal = R"(
+specification s;
+channel CH(A, B);
+  by A: ping;
+  by B: pong;
+module M systemprocess;
+  ip P: CH(B);
+end;
+body MB for M;
+  state s0;
+  initialize to s0 begin end;
+  trans
+    from s0 to s0 when P.ping name t1:
+    begin output P.pong; end;
+end;
+end.
+)";
+
+TEST(Parser, MinimalSpecification) {
+  SpecAst ast = parse(kMinimal);
+  EXPECT_EQ(ast.name, "s");
+  ASSERT_EQ(ast.channels.size(), 1u);
+  ASSERT_EQ(ast.modules.size(), 1u);
+  ASSERT_EQ(ast.bodies.size(), 1u);
+  EXPECT_EQ(ast.channels[0].roles[0], "a");
+  EXPECT_EQ(ast.channels[0].roles[1], "b");
+  ASSERT_EQ(ast.channels[0].interactions.size(), 2u);
+  EXPECT_TRUE(ast.channels[0].interactions[0].by_role[0]);
+  EXPECT_FALSE(ast.channels[0].interactions[0].by_role[1]);
+  ASSERT_EQ(ast.modules[0].ips.size(), 1u);
+  EXPECT_EQ(ast.modules[0].ips[0].role, "b");
+  const BodyDef& body = ast.bodies[0];
+  ASSERT_EQ(body.transitions.size(), 1u);
+  EXPECT_EQ(body.transitions[0].name, "t1");
+  ASSERT_TRUE(body.transitions[0].when.has_value());
+  EXPECT_EQ(body.transitions[0].when->ip, "p");
+  EXPECT_EQ(body.transitions[0].when->interaction, "ping");
+}
+
+TEST(Parser, NamesAreCanonicalizedToLowerCase) {
+  SpecAst ast = parse(R"(
+specification UPPER;
+channel CH(RoleA, RoleB); by RoleA: Msg;
+module M systemprocess; ip Q: CH(RoleB); end;
+body B for M;
+  state IDLE;
+  initialize to IDLE begin end;
+  trans from IDLE to SAME when Q.MSG begin end;
+end;
+end.
+)");
+  EXPECT_EQ(ast.name, "upper");
+  EXPECT_EQ(ast.bodies[0].states[0], "idle");
+  EXPECT_TRUE(ast.bodies[0].transitions[0].to_same);
+}
+
+TEST(Parser, ByTwoRolesMarksBoth) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B);
+  by A, B: data(x: integer);
+module M systemprocess; ip P: CH(A); end;
+body MB for M; state z; initialize to z begin end;
+end;
+end.
+)");
+  const InteractionDef& def = ast.channels[0].interactions[0];
+  EXPECT_TRUE(def.by_role[0]);
+  EXPECT_TRUE(def.by_role[1]);
+  ASSERT_EQ(def.params.size(), 1u);
+  EXPECT_EQ(def.params[0].name, "x");
+}
+
+TEST(Parser, DuplicateByClausesMergeRoles) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B);
+  by A: m;
+  by B: m;
+module M systemprocess; ip P: CH(A); end;
+body MB for M; state z; initialize to z begin end; end;
+end.
+)");
+  ASSERT_EQ(ast.channels[0].interactions.size(), 1u);
+  EXPECT_TRUE(ast.channels[0].interactions[0].by_role[0]);
+  EXPECT_TRUE(ast.channels[0].interactions[0].by_role[1]);
+}
+
+TEST(Parser, TypeSections) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  const n = 4;
+  type
+    Color = (red, green, blue);
+    Small = 0 .. n;
+    Vec = array [1 .. 3] of integer;
+    Pair = record a, b: integer; c: Color; end;
+    Link = ^Node;
+    Node = record v: integer; next: Link; end;
+  var p: Pair; l: Link;
+  state z;
+  initialize to z begin end;
+end;
+end.
+)");
+  const BodyDef& body = ast.bodies[0];
+  ASSERT_EQ(body.types.size(), 6u);
+  EXPECT_EQ(body.types[0].type->kind, TypeExprKind::Enum);
+  EXPECT_EQ(body.types[1].type->kind, TypeExprKind::Subrange);
+  EXPECT_EQ(body.types[2].type->kind, TypeExprKind::Array);
+  EXPECT_EQ(body.types[3].type->kind, TypeExprKind::Record);
+  EXPECT_EQ(body.types[4].type->kind, TypeExprKind::Pointer);
+  EXPECT_EQ(body.types[4].type->name, "node");
+  ASSERT_EQ(body.types[3].type->fields.size(), 2u);
+  EXPECT_EQ(body.types[3].type->fields[0].names.size(), 2u);
+}
+
+TEST(Parser, StatementForms) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r(v: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x, y: integer; b: boolean;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to z when P.m name t:
+    var i: integer;
+    begin
+      x := x + 1;
+      if x > 3 then y := 1 else y := 2;
+      while x > 0 do x := x - 1;
+      repeat y := y + 1 until y >= 5;
+      for i := 1 to 3 do y := y + i;
+      for i := 3 downto 1 do y := y - 1;
+      case y of
+        1: x := 10;
+        2, 3: x := 20;
+        otherwise x := 0
+      end;
+      output P.r(x * 2)
+    end;
+end;
+end.
+)");
+  const Transition& tr = ast.bodies[0].transitions[0];
+  ASSERT_EQ(tr.locals.size(), 1u);
+  const Stmt& block = *tr.block;
+  ASSERT_EQ(block.body.size(), 8u);
+  EXPECT_EQ(block.body[0]->kind, StmtKind::Assign);
+  EXPECT_EQ(block.body[1]->kind, StmtKind::If);
+  EXPECT_EQ(block.body[2]->kind, StmtKind::While);
+  EXPECT_EQ(block.body[3]->kind, StmtKind::Repeat);
+  EXPECT_EQ(block.body[4]->kind, StmtKind::For);
+  EXPECT_EQ(block.body[5]->kind, StmtKind::For);
+  EXPECT_TRUE(block.body[5]->downto);
+  EXPECT_EQ(block.body[6]->kind, StmtKind::Case);
+  EXPECT_TRUE(block.body[6]->has_otherwise);
+  ASSERT_EQ(block.body[6]->arms.size(), 2u);
+  EXPECT_EQ(block.body[6]->arms[1].labels.size(), 2u);
+  EXPECT_EQ(block.body[7]->kind, StmtKind::Output);
+  EXPECT_EQ(block.body[7]->args.size(), 1u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  ExprPtr e = parse_expression("1 + 2 * 3 = 7");
+  ASSERT_EQ(e->kind, ExprKind::Binary);
+  EXPECT_EQ(e->bin_op, BinOp::Eq);
+  const Expr& lhs = *e->children[0];
+  EXPECT_EQ(lhs.bin_op, BinOp::Add);
+  EXPECT_EQ(lhs.children[1]->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, AndBindsTighterThanOr) {
+  ExprPtr e = parse_expression("a or b and c");
+  EXPECT_EQ(e->bin_op, BinOp::Or);
+  EXPECT_EQ(e->children[1]->bin_op, BinOp::And);
+}
+
+TEST(Parser, DesignatorChains) {
+  ExprPtr e = parse_expression("head^.next^.data");
+  EXPECT_EQ(e->kind, ExprKind::Field);
+  EXPECT_EQ(e->field, "data");
+  EXPECT_EQ(e->children[0]->kind, ExprKind::Deref);
+}
+
+TEST(Parser, ArrayIndexAndCall) {
+  ExprPtr e = parse_expression("f(a[i + 1], 2)");
+  ASSERT_EQ(e->kind, ExprKind::Call);
+  ASSERT_EQ(e->children.size(), 2u);
+  EXPECT_EQ(e->children[0]->kind, ExprKind::Index);
+}
+
+TEST(Parser, RoutineDeclarations) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  function add(a, b: integer): integer;
+  begin add := a + b; end;
+  procedure bump(var x: integer; d: integer);
+  begin x := x + d; end;
+  state z;
+  initialize to z begin end;
+end;
+end.
+)");
+  ASSERT_EQ(ast.bodies[0].routines.size(), 2u);
+  EXPECT_TRUE(ast.bodies[0].routines[0].is_function);
+  EXPECT_FALSE(ast.bodies[0].routines[1].is_function);
+  EXPECT_TRUE(ast.bodies[0].routines[1].params[0].by_ref);
+}
+
+TEST(Parser, MultipleFromStatesAndPriority) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state s1, s2, s3;
+  stateset busy = [s2, s3];
+  initialize to s1 begin end;
+  trans
+    from s1, busy to s1 when P.m priority 2 name t:
+    begin end;
+end;
+end.
+)");
+  const Transition& tr = ast.bodies[0].transitions[0];
+  EXPECT_EQ(tr.from_states.size(), 2u);
+  ASSERT_TRUE(tr.priority.has_value());
+  EXPECT_EQ(*tr.priority, 2);
+}
+
+TEST(Parser, DelayClauseIsParsedAndFlagged) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z delay(5) name t:
+    begin end;
+end;
+end.
+)");
+  EXPECT_TRUE(ast.bodies[0].transitions[0].has_delay);
+}
+
+TEST(Parser, AnyClauseIsRejected) {
+  EXPECT_THROW(parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    any i: integer do from z to z begin end;
+end;
+end.
+)"),
+               CompileError);
+}
+
+TEST(Parser, SyntaxErrorsCarryLocations) {
+  try {
+    (void)parse("specification ; x");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.loc().line, 1u);
+  }
+}
+
+TEST(Parser, TrailingGarbageRejected) {
+  EXPECT_THROW(parse(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M systemprocess; ip P: CH(B); end;
+body MB for M; state z; initialize to z begin end; end;
+end. extra
+)"),
+               CompileError);
+}
+
+}  // namespace
+}  // namespace tango::est

@@ -1,0 +1,98 @@
+// Pretty-printer round-trip tests: print(parse(x)) must re-parse to an
+// equivalent specification, and printing is idempotent after one round.
+#include "estelle/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estelle/parser.hpp"
+#include "estelle/spec.hpp"
+#include "specs/builtin_specs.hpp"
+
+namespace tango::est {
+namespace {
+
+TEST(Printer, ExpressionForms) {
+  EXPECT_EQ(print_expr(*parse_expression("1 + 2 * 3")), "1 + 2 * 3");
+  EXPECT_EQ(print_expr(*parse_expression("(1 + 2) * 3")), "(1 + 2) * 3");
+  EXPECT_EQ(print_expr(*parse_expression("not (a or b)")), "not (a or b)");
+  EXPECT_EQ(print_expr(*parse_expression("a[i]^.f")), "a[i]^.f");
+  EXPECT_EQ(print_expr(*parse_expression("f(x, y + 1)")), "f(x, y + 1)");
+  EXPECT_EQ(print_expr(*parse_expression("-x + 3")), "-x + 3");
+  EXPECT_EQ(print_expr(*parse_expression("nil")), "nil");
+  EXPECT_EQ(print_expr(*parse_expression("'c'")), "'c'");
+}
+
+TEST(Printer, PrecedenceIsPreservedOnReparse) {
+  for (const char* src :
+       {"1 + 2 * 3", "(1 + 2) * 3", "a or b and c", "(a or b) and c",
+        "not (x > 1)", "1 - (2 - 3)", "-(x + 1)"}) {
+    ExprPtr once = parse_expression(src);
+    ExprPtr twice = parse_expression(print_expr(*once));
+    EXPECT_EQ(print_expr(*once), print_expr(*twice)) << src;
+  }
+}
+
+TEST(Printer, RoundTripIsIdempotent) {
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    std::string once = print_spec(parse(text));
+    std::string twice = print_spec(parse(once));
+    EXPECT_EQ(once, twice) << "builtin: " << name;
+  }
+}
+
+TEST(Printer, RoundTripPreservesCompiledStructure) {
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    Spec a = compile_spec(text);
+    Spec b = compile_spec(print_spec(parse(text)));
+    EXPECT_EQ(a.states, b.states) << name;
+    EXPECT_EQ(a.ips.size(), b.ips.size()) << name;
+    EXPECT_EQ(a.interactions.size(), b.interactions.size()) << name;
+    EXPECT_EQ(a.module_vars.size(), b.module_vars.size()) << name;
+    EXPECT_EQ(a.body().transitions.size(), b.body().transitions.size())
+        << name;
+    for (std::size_t i = 0; i < a.body().transitions.size(); ++i) {
+      const Transition& ta = a.body().transitions[i];
+      const Transition& tb = b.body().transitions[i];
+      EXPECT_EQ(ta.name, tb.name) << name;
+      EXPECT_EQ(ta.from_ordinals, tb.from_ordinals) << name;
+      EXPECT_EQ(ta.to_ordinal, tb.to_ordinal) << name;
+      EXPECT_EQ(ta.when.has_value(), tb.when.has_value()) << name;
+    }
+  }
+}
+
+TEST(Printer, StatementRendering) {
+  SpecAst ast = parse(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r(v: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to z when P.m name t:
+    begin
+      if x > 1 then x := 0 else x := x + 1;
+      case x of 0: x := 1; 1, 2: x := 2 otherwise x := 3 end;
+      while x > 0 do x := x - 1;
+      repeat x := x + 1 until x = 3;
+      output P.r(x)
+    end;
+end;
+end.
+)");
+  const std::string out = print_spec(ast);
+  EXPECT_NE(out.find("if x > 1 then"), std::string::npos);
+  EXPECT_NE(out.find("case x of"), std::string::npos);
+  EXPECT_NE(out.find("otherwise"), std::string::npos);
+  EXPECT_NE(out.find("while x > 0 do"), std::string::npos);
+  EXPECT_NE(out.find("repeat"), std::string::npos);
+  EXPECT_NE(out.find("until x = 3"), std::string::npos);
+  EXPECT_NE(out.find("output p.r(x)"), std::string::npos);
+  // It must still be parseable.
+  EXPECT_NO_THROW((void)compile_spec(out));
+}
+
+}  // namespace
+}  // namespace tango::est

@@ -1,0 +1,374 @@
+#include "estelle/sema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estelle/spec.hpp"
+#include "specs/builtin_specs.hpp"
+
+namespace tango::est {
+namespace {
+
+Spec compile(std::string_view src) {
+  DiagnosticSink sink;
+  return compile_spec(src, sink);
+}
+
+void expect_error(std::string_view src, std::string_view fragment) {
+  try {
+    (void)compile(src);
+    FAIL() << "expected CompileError containing '" << fragment << "'";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+constexpr std::string_view kHeader = R"(
+specification s;
+channel CH(A, B);
+  by A: m; d(v: integer);
+  by B: r(v: integer);
+module M systemprocess; ip P: CH(B); end;
+)";
+
+std::string with_body(std::string_view body) {
+  return std::string(kHeader) + "body MB for M;\n" + std::string(body) +
+         "\nend;\nend.\n";
+}
+
+TEST(Sema, ResolvesStatesIpsAndInteractions) {
+  Spec spec = compile(with_body(R"(
+  state s1, s2;
+  initialize to s1 begin end;
+  trans from s1 to s2 when P.m name t: begin output P.r(1); end;
+)"));
+  EXPECT_EQ(spec.states.size(), 2u);
+  EXPECT_EQ(spec.state_ordinal("s2"), 1);
+  ASSERT_EQ(spec.ips.size(), 1u);
+  // Module plays role B: inputs are A's messages, outputs are B's.
+  EXPECT_GE(spec.input_id(0, "m"), 0);
+  EXPECT_GE(spec.input_id(0, "d"), 0);
+  EXPECT_EQ(spec.input_id(0, "r"), -1);
+  EXPECT_GE(spec.output_id(0, "r"), 0);
+  EXPECT_EQ(spec.output_id(0, "m"), -1);
+  const Transition& tr = spec.body().transitions[0];
+  EXPECT_EQ(tr.from_ordinals, std::vector<int>{0});
+  EXPECT_EQ(tr.to_ordinal, 1);
+  EXPECT_EQ(tr.when->ip_index, 0);
+}
+
+TEST(Sema, AutoNamesUnnamedTransitions) {
+  Spec spec = compile(with_body(R"(
+  state s1;
+  initialize to s1 begin end;
+  trans
+    from s1 to s1 when P.m begin end;
+    from s1 to s1 when P.d begin end;
+)"));
+  EXPECT_EQ(spec.body().transitions[0].name, "t1");
+  EXPECT_EQ(spec.body().transitions[1].name, "t2");
+}
+
+TEST(Sema, RejectsMultipleModules) {
+  expect_error(R"(
+specification s;
+channel CH(A, B); by A: m;
+module M1 systemprocess; ip P: CH(B); end;
+module M2 systemprocess; ip Q: CH(B); end;
+body B1 for M1; state z; initialize to z begin end; end;
+end.
+)",
+               "single-process");
+}
+
+TEST(Sema, RejectsDelayClauses) {
+  expect_error(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to z delay(3) begin end;
+)"),
+               "delay");
+}
+
+TEST(Sema, RejectsPrimitiveRoutines) {
+  expect_error(with_body(R"(
+  function f(x: integer): integer; primitive;
+  state z;
+  initialize to z begin end;
+)"),
+               "primitive");
+}
+
+TEST(Sema, RejectsUnknownState) {
+  expect_error(with_body(R"(
+  state z;
+  initialize to nowhere begin end;
+)"),
+               "nowhere");
+}
+
+TEST(Sema, RejectsWhenOnOutputInteraction) {
+  expect_error(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.r begin end;
+)"),
+               "not an input");
+}
+
+TEST(Sema, RejectsOutputOfInputInteraction) {
+  expect_error(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to z begin output P.m; end;
+)"),
+               "not an output");
+}
+
+TEST(Sema, TypeChecksAssignments) {
+  expect_error(with_body(R"(
+  var x: integer; b: boolean;
+  state z;
+  initialize to z begin x := true; end;
+)"),
+               "cannot assign");
+}
+
+TEST(Sema, BooleanConditionRequired) {
+  expect_error(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin if x then x := 1; end;
+)"),
+               "must be boolean");
+}
+
+TEST(Sema, WhenParamsAreVisibleAndReadOnly) {
+  Spec spec = compile(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans from z to z when P.d provided v > 0 name t:
+  begin x := v; output P.r(v + 1); end;
+)"));
+  EXPECT_EQ(spec.body().transitions[0].when->param_types.size(), 1u);
+  expect_error(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.d name t: begin v := 3; end;
+)"),
+               "not assignable");
+}
+
+TEST(Sema, StatesetExpansion) {
+  Spec spec = compile(with_body(R"(
+  state a, b, c;
+  stateset ab = [a, b];
+  initialize to a begin end;
+  trans from ab to c when P.m name t: begin end;
+)"));
+  EXPECT_EQ(spec.body().transitions[0].from_ordinals,
+            (std::vector<int>{0, 1}));
+}
+
+TEST(Sema, ConstAndTypeFixpoint) {
+  Spec spec = compile(with_body(R"(
+  const n = 3; m = n * 2;
+  type Vec = array [0 .. m - 1] of integer;
+  var v: Vec;
+  state z;
+  initialize to z begin v[5] := 1; end;
+)"));
+  EXPECT_EQ(spec.module_vars[0].type->hi, 5);
+}
+
+TEST(Sema, EnumLiteralsBecomeConstants) {
+  Spec spec = compile(with_body(R"(
+  type Color = (red, green, blue);
+  var c: Color;
+  state z;
+  initialize to z begin c := green; end;
+  trans from z to z when P.m provided c = blue name t: begin c := red; end;
+)"));
+  EXPECT_EQ(spec.module_vars[0].type->kind, TypeKind::Enum);
+}
+
+TEST(Sema, RecursiveRecordThroughPointer) {
+  Spec spec = compile(with_body(R"(
+  type L = ^N;
+       N = record v: integer; next: L; end;
+  var head: L;
+  state z;
+  initialize to z begin head := nil; end;
+)"));
+  const Type* l = spec.module_vars[0].type;
+  ASSERT_EQ(l->kind, TypeKind::Pointer);
+  ASSERT_NE(l->pointee, nullptr);
+  EXPECT_EQ(l->pointee->fields[1].type, l);
+}
+
+TEST(Sema, VarParamRequiresExactType) {
+  expect_error(with_body(R"(
+  type Small = 0 .. 9;
+  procedure bump(var x: integer); begin x := x + 1; end;
+  var s: Small;
+  state z;
+  initialize to z begin bump(s); end;
+)"),
+               "var parameter");
+}
+
+TEST(Sema, FunctionResultAssignment) {
+  Spec spec = compile(with_body(R"(
+  function twice(x: integer): integer;
+  begin twice := x * 2; end;
+  var y: integer;
+  state z;
+  initialize to z begin y := twice(21); end;
+)"));
+  EXPECT_EQ(spec.body().routines[0].result_slot, 1);
+}
+
+TEST(Sema, WarnsOnLikelyNonProgressCycle) {
+  DiagnosticSink sink;
+  (void)compile_spec(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to same name spin: begin end;
+)"),
+                     sink);
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].severity, Severity::Warning);
+  EXPECT_NE(sink.all()[0].message.find("non-progress"), std::string::npos);
+}
+
+TEST(Sema, NoWarningWhenCycleProducesOutput) {
+  DiagnosticSink sink;
+  (void)compile_spec(with_body(R"(
+  state z;
+  initialize to z begin end;
+  trans from z to same name ok: begin output P.r(1); end;
+)"),
+                     sink);
+  EXPECT_TRUE(sink.all().empty());
+}
+
+TEST(Sema, AllBuiltinSpecsCompile) {
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    DiagnosticSink sink;
+    EXPECT_NO_THROW({
+      Spec spec = compile_spec(text, sink);
+      EXPECT_FALSE(spec.states.empty()) << name;
+    }) << "builtin spec: " << name;
+  }
+}
+
+TEST(Sema, CaseLabelDuplicatesRejected) {
+  expect_error(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin
+    case x of 1: x := 1; 1: x := 2 end;
+  end;
+)"),
+               "duplicate case label");
+}
+
+TEST(Sema, DivisionInConstantsChecked) {
+  expect_error(with_body(R"(
+  const bad = 1 div 0;
+  state z;
+  initialize to z begin end;
+)"),
+               "division by zero");
+}
+
+TEST(Sema, DuplicateStateRejected) {
+  expect_error(with_body(R"(
+  state z, z;
+  initialize to z begin end;
+)"),
+               "duplicate state");
+}
+
+TEST(Sema, StatesetWithUnknownMemberRejected) {
+  expect_error(with_body(R"(
+  state a;
+  stateset bad = [a, ghost];
+  initialize to a begin end;
+)"),
+               "ghost");
+}
+
+TEST(Sema, OutputArityChecked) {
+  expect_error(with_body(R"(
+  state z;
+  initialize to z begin output P.r; end;
+)"),
+               "expects 1 parameter");
+}
+
+TEST(Sema, FunctionCalledAsProcedureRejected) {
+  expect_error(with_body(R"(
+  function f: integer; begin f := 1; end;
+  state z;
+  initialize to z begin f; end;
+)"),
+               "result must be used");
+}
+
+TEST(Sema, UnknownIdentifierInExpression) {
+  expect_error(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin x := ghost + 1; end;
+)"),
+               "unknown identifier");
+}
+
+TEST(Sema, IndexingNonArrayRejected) {
+  expect_error(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin x := x[1]; end;
+)"),
+               "non-array");
+}
+
+TEST(Sema, DerefNonPointerRejected) {
+  expect_error(with_body(R"(
+  var x: integer;
+  state z;
+  initialize to z begin x := x^; end;
+)"),
+               "non-pointer");
+}
+
+TEST(Sema, MissingInitializeRejected) {
+  expect_error(with_body(R"(
+  state z;
+)"),
+               "no initialize");
+}
+
+TEST(Sema, PointerComparisonAcrossTypesRejected) {
+  expect_error(with_body(R"(
+  type PA = ^integer; PB = ^boolean;
+  var a: PA; b: PB; ok: boolean;
+  state z;
+  initialize to z begin ok := a = b; end;
+)"),
+               "unrelated pointer");
+}
+
+TEST(Sema, SubrangeBoundsMustBeOrdered) {
+  expect_error(with_body(R"(
+  type Bad = 9 .. 3;
+  state z;
+  initialize to z begin end;
+)"),
+               "empty subrange");
+}
+
+}  // namespace
+}  // namespace tango::est

@@ -1,0 +1,149 @@
+// Property-style parameterized sweeps over specs × seeds × modes:
+//  P1  every simulator-produced trace is accepted by the analyzer;
+//  P2  editing an output parameter of a valid trace makes it invalid;
+//  P3  every order-checking mode agrees on fully-observed valid traces;
+//  P4  the on-line analyzer agrees with the batch analyzer once eof is in;
+//  P5  analysis is deterministic (identical counters across runs).
+#include <gtest/gtest.h>
+
+#include "core/dfs.hpp"
+#include "core/mdfs.hpp"
+#include "sim/mutate.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+namespace {
+
+struct Params {
+  const char* spec_name;
+  std::uint32_t seed;
+  int size;
+};
+
+std::ostream& operator<<(std::ostream& os, const Params& p) {
+  return os << p.spec_name << "/seed" << p.seed << "/n" << p.size;
+}
+
+tr::Trace make_trace(const est::Spec& spec, const Params& p) {
+  const std::string_view name = p.spec_name;
+  if (name == "tp0") {
+    return sim::tp0_trace(spec, p.size, p.size, /*disconnect=*/true, p.seed);
+  }
+  if (name == "inres") return sim::inres_trace(spec, p.size, p.seed);
+  return sim::lapd_trace(spec, p.size, p.seed);
+}
+
+class TraceProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    spec_ = std::make_unique<est::Spec>(
+        est::compile_spec(specs::builtin_spec(GetParam().spec_name)));
+    trace_ = std::make_unique<tr::Trace>(make_trace(*spec_, GetParam()));
+  }
+
+  std::unique_ptr<est::Spec> spec_;
+  std::unique_ptr<tr::Trace> trace_;
+};
+
+TEST_P(TraceProperty, SimulatedTracesAreValidUnderEveryMode) {
+  for (const Options& opts :
+       {Options::none(), Options::io(), Options::ip(), Options::full()}) {
+    DfsResult r = analyze(*spec_, *trace_, opts);
+    EXPECT_EQ(r.verdict, Verdict::Valid)
+        << GetParam() << " mode=" << opts.order_mode_name()
+        << " note=" << r.note;
+  }
+}
+
+TEST_P(TraceProperty, MutatedTracesAreInvalid) {
+  tr::Trace bad = sim::mutate_last_output_param(*trace_);
+  DfsResult r = analyze(*spec_, bad, Options::full());
+  EXPECT_EQ(r.verdict, Verdict::Invalid) << GetParam();
+}
+
+TEST_P(TraceProperty, OrderModesAgreeOnFullyObservedTraces) {
+  // On consumption-recorded traces every mode must reach the same verdict.
+  // (Order checking usually shrinks the search, but on a VALID trace an
+  // unchecked greedy descent can get lucky, so no TE monotonicity is
+  // asserted here — the search-size claims are benchmarked on Figure 3/4
+  // workloads instead.)
+  DfsResult none = analyze(*spec_, *trace_, Options::none());
+  DfsResult full = analyze(*spec_, *trace_, Options::full());
+  EXPECT_EQ(none.verdict, Verdict::Valid) << GetParam();
+  EXPECT_EQ(full.verdict, Verdict::Valid) << GetParam();
+}
+
+TEST_P(TraceProperty, OnlineAgreesWithBatch) {
+  // Feed the full trace through the on-line analyzer; with eof it must
+  // reach the batch verdict (valid here).
+  tr::MemoryFeed feed(*spec_);
+  for (const tr::TraceEvent& e : trace_->events()) feed.push(e);
+  feed.push_eof();
+  OnlineConfig config;
+  config.options = Options::io();
+  OnlineAnalyzer online(*spec_, feed, config);
+  EXPECT_EQ(online.run(1u << 20, 4), OnlineStatus::Valid) << GetParam();
+}
+
+TEST_P(TraceProperty, AnalysisIsDeterministic) {
+  DfsResult a = analyze(*spec_, *trace_, Options::io());
+  DfsResult b = analyze(*spec_, *trace_, Options::io());
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.stats.transitions_executed, b.stats.transitions_executed);
+  EXPECT_EQ(a.stats.generates, b.stats.generates);
+  EXPECT_EQ(a.stats.restores, b.stats.restores);
+  EXPECT_EQ(a.stats.saves, b.stats.saves);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceProperty,
+    ::testing::Values(Params{"tp0", 1, 2}, Params{"tp0", 2, 3},
+                      Params{"tp0", 3, 5}, Params{"lapd", 1, 2},
+                      Params{"lapd", 2, 4}, Params{"lapd", 3, 6},
+                      Params{"lapd", 4, 9}, Params{"inres", 1, 2},
+                      Params{"inres", 2, 4}, Params{"inres", 5, 3}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::string(info.param.spec_name) + "_s" +
+             std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.size);
+    });
+
+// --- truncation property: every prefix of a valid trace is "valid so far"
+// on-line (PGAV), though not necessarily batch-valid ------------------------
+
+class PrefixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixProperty, PrefixesOfValidTracesNeverConcludeInvalid) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  tr::Trace full = sim::tp0_trace(spec, 3, 3, false);
+  const auto keep = static_cast<std::size_t>(GetParam());
+  tr::MemoryFeed feed(spec);
+  for (std::size_t i = 0; i < keep && i < full.events().size(); ++i) {
+    feed.push(full.events()[i]);
+  }
+  OnlineConfig config;
+  config.options = Options::io();
+  OnlineAnalyzer online(spec, feed, config);
+  OnlineStatus s = online.run(1u << 18, 3);
+  // A prefix may cut between an input and the output it causes, in which
+  // case no PGAV node exists (the paper's honest "maybe", §3.1.2) — but it
+  // must never be conclusively invalid.
+  EXPECT_NE(s, OnlineStatus::Invalid) << "prefix length " << keep;
+  EXPECT_FALSE(online.conclusive()) << "prefix length " << keep;
+  // Delivering the rest of the trace and the eof marker resolves it.
+  for (std::size_t i = keep; i < full.events().size(); ++i) {
+    feed.push(full.events()[i]);
+  }
+  feed.push_eof();
+  EXPECT_EQ(online.run(1u << 20, 4), OnlineStatus::Valid)
+      << "prefix length " << keep;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixProperty,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace tango::core

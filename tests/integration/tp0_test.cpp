@@ -1,0 +1,157 @@
+// TP0 integration tests reproducing the paper's §4.2 observations in
+// miniature: valid traces analyze in roughly linear time under order
+// checking, invalid traces explode without it, and t17 (disconnect with
+// data still buffered) adds the extra fanout the paper describes.
+#include <gtest/gtest.h>
+
+#include "core/dfs.hpp"
+#include "sim/mutate.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+namespace {
+
+class Tp0Test : public ::testing::Test {
+ protected:
+  est::Spec spec = est::compile_spec(specs::tp0());
+};
+
+TEST_F(Tp0Test, HandshakeOnlyTrace) {
+  const char* trace =
+      "in  u.tconreq\n"
+      "out n.cr\n"
+      "in  n.cc\n"
+      "out u.tconcnf\n";
+  for (const Options& opts :
+       {Options::none(), Options::io(), Options::ip(), Options::full()}) {
+    EXPECT_EQ(analyze_text(spec, trace, opts).verdict, Verdict::Valid);
+  }
+}
+
+TEST_F(Tp0Test, PassiveOpenFromTheNetworkSide) {
+  const char* trace =
+      "in  n.cr\n"
+      "out n.cc\n"
+      "out u.tconind\n";
+  EXPECT_EQ(analyze_text(spec, trace, Options::full()).verdict,
+            Verdict::Valid);
+}
+
+TEST_F(Tp0Test, GeneratedTracesValidUnderAllModes) {
+  for (std::uint32_t seed : {1u, 7u}) {
+    tr::Trace trace = sim::tp0_trace(spec, 3, 3, /*disconnect=*/true, seed);
+    for (const Options& opts :
+         {Options::none(), Options::io(), Options::ip(), Options::full()}) {
+      EXPECT_EQ(analyze(spec, trace, opts).verdict, Verdict::Valid)
+          << "seed " << seed << " mode " << opts.order_mode_name();
+    }
+  }
+}
+
+TEST_F(Tp0Test, BuffersPreserveFifoOrder) {
+  const char* trace =
+      "in  u.tconreq\n"
+      "out n.cr\n"
+      "in  n.cc\n"
+      "out u.tconcnf\n"
+      "in  u.tdtreq(1)\n"
+      "in  u.tdtreq(2)\n"
+      "out n.dt(2)\n"   // FIFO violation: 1 must leave first
+      "out n.dt(1)\n";
+  EXPECT_EQ(analyze_text(spec, trace, Options::none()).verdict,
+            Verdict::Invalid);
+}
+
+TEST_F(Tp0Test, DisconnectMayDropBufferedData) {
+  // §4.2: "after receiving a disconnect request, TP0 can output a
+  // disconnect indication at any time, even if data remains in its
+  // buffers".
+  const char* trace =
+      "in  u.tconreq\n"
+      "out n.cr\n"
+      "in  n.cc\n"
+      "out u.tconcnf\n"
+      "in  u.tdtreq(1)\n"
+      "in  u.tdisreq\n"
+      "out n.dr\n";  // dt(1) was never sent: still valid
+  EXPECT_EQ(analyze_text(spec, trace, Options::full()).verdict,
+            Verdict::Valid);
+}
+
+TEST_F(Tp0Test, MutatedLastParameterIsDetectedUnderEveryMode) {
+  tr::Trace good = sim::tp0_trace(spec, 3, 3, /*disconnect=*/true);
+  tr::Trace bad = sim::mutate_last_output_param(good);
+  for (const Options& opts : {Options::io(), Options::ip(), Options::full()}) {
+    EXPECT_EQ(analyze(spec, bad, opts).verdict, Verdict::Invalid)
+        << opts.order_mode_name();
+  }
+}
+
+TEST_F(Tp0Test, OrderCheckingCollapsesTheInvalidTraceExplosion) {
+  // The §4.2 story: invalid-trace analysis is exponential without order
+  // checking and nearly linear with it. At this small depth both finish,
+  // but the NR search tree must already be much larger.
+  tr::Trace bad =
+      sim::mutate_last_output_param(sim::tp0_trace(spec, 3, 3, true));
+  DfsResult none = analyze(spec, bad, Options::none());
+  DfsResult full = analyze(spec, bad, Options::full());
+  ASSERT_EQ(none.verdict, Verdict::Invalid);
+  ASSERT_EQ(full.verdict, Verdict::Invalid);
+  EXPECT_GT(none.stats.transitions_executed,
+            2 * full.stats.transitions_executed);
+  // Order checking lowers the average fanout (paper: 2.6 -> 1.5).
+  EXPECT_LT(full.stats.average_fanout(), none.stats.average_fanout());
+}
+
+TEST_F(Tp0Test, ValidTraceSearchGrowsRoughlyLinearly) {
+  // §2.4.2 claim: under full order checking valid traces analyze in time
+  // linear in the trace length (no backtracking on the data exchange).
+  std::uint64_t te_small = 0, te_large = 0;
+  {
+    tr::Trace t = sim::tp0_trace(spec, 5, 5, false);
+    DfsResult r = analyze(spec, t, Options::full());
+    ASSERT_EQ(r.verdict, Verdict::Valid);
+    te_small = r.stats.transitions_executed;
+  }
+  {
+    tr::Trace t = sim::tp0_trace(spec, 20, 20, false);
+    DfsResult r = analyze(spec, t, Options::full());
+    ASSERT_EQ(r.verdict, Verdict::Valid);
+    te_large = r.stats.transitions_executed;
+  }
+  // 4x the data should cost roughly 4x the transitions — allow 8x before
+  // calling it superlinear.
+  EXPECT_LT(te_large, 8 * te_small);
+}
+
+TEST_F(Tp0Test, HashStatesAblationSpeedsUpInvalidAnalysis) {
+  // The paper's §4.2 "hash table of reached states" suggestion.
+  tr::Trace bad =
+      sim::mutate_last_output_param(sim::tp0_trace(spec, 3, 3, true));
+  Options hashed = Options::none();
+  hashed.hash_states = true;
+  DfsResult plain = analyze(spec, bad, Options::none());
+  DfsResult pruned = analyze(spec, bad, hashed);
+  EXPECT_EQ(plain.verdict, pruned.verdict);
+  EXPECT_LT(pruned.stats.transitions_executed,
+            plain.stats.transitions_executed);
+  EXPECT_GT(pruned.stats.pruned_by_hash, 0u);
+}
+
+TEST_F(Tp0Test, DynamicMemoryIsPartOfTheSearchState) {
+  // Backtracking must restore the heap: after an invalid analysis the
+  // verdict is reproducible (no state leaks between paths). Run twice and
+  // compare counters exactly.
+  tr::Trace bad =
+      sim::mutate_last_output_param(sim::tp0_trace(spec, 2, 2, false));
+  DfsResult a = analyze(spec, bad, Options::io());
+  DfsResult b = analyze(spec, bad, Options::io());
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.stats.transitions_executed, b.stats.transitions_executed);
+  EXPECT_EQ(a.stats.restores, b.stats.restores);
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,177 @@
+// Implementation-generation mode (simulator) and trace mutation helpers.
+// The key integration property: every simulator-produced trace must be
+// accepted by the analyzer — the simulator IS a conforming implementation.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dfs.hpp"
+#include "sim/mutate.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::sim {
+namespace {
+
+TEST(Simulator, AckRunProducesConsumableTrace) {
+  est::Spec spec = est::compile_spec(specs::ack());
+  std::vector<Feed> feeds = {
+      make_feed(spec, 0, "a", "x"),
+      make_feed(spec, 1, "a", "x"),
+      make_feed(spec, 2, "b", "y"),
+  };
+  SimResult r = simulate(spec, feeds, {});
+  // Depending on the seed the scheduler may strand y in its queue (T1 was
+  // taken for every x) — the recorded trace is a valid behaviour either way.
+  EXPECT_GE(r.trace.events().size(), 2u);
+  EXPECT_TRUE(r.trace.eof());
+  EXPECT_EQ(core::analyze(spec, r.trace, core::Options::none()).verdict,
+            core::Verdict::Valid);
+}
+
+TEST(Simulator, SimulatedTracesAreValid) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  std::vector<Feed> feeds = {
+      make_feed(spec, 0, "u", "tconreq"),
+      make_feed(spec, 2, "n", "cc"),
+      make_feed(spec, 4, "u", "tdtreq", {rt::Value::make_int(1)}),
+      make_feed(spec, 6, "n", "dt", {rt::Value::make_int(2)}),
+      make_feed(spec, 8, "u", "tdtreq", {rt::Value::make_int(3)}),
+  };
+  SimResult r = simulate(spec, feeds, {});
+  ASSERT_TRUE(r.completed);
+  for (const core::Options& opts :
+       {core::Options::none(), core::Options::io(), core::Options::ip(),
+        core::Options::full()}) {
+    EXPECT_EQ(core::analyze(spec, r.trace, opts).verdict,
+              core::Verdict::Valid)
+        << opts.order_mode_name();
+  }
+}
+
+TEST(Simulator, SeedsAreDeterministic) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  std::vector<Feed> feeds = {
+      make_feed(spec, 0, "u", "tconreq"),
+      make_feed(spec, 1, "n", "cc"),
+      make_feed(spec, 2, "u", "tdtreq", {rt::Value::make_int(7)}),
+      make_feed(spec, 2, "n", "dt", {rt::Value::make_int(8)}),
+  };
+  SimOptions a, b;
+  a.seed = b.seed = 42;
+  EXPECT_EQ(tr::to_text(spec, simulate(spec, feeds, a).trace),
+            tr::to_text(spec, simulate(spec, feeds, b).trace));
+}
+
+TEST(Simulator, DifferentSeedsExploreDifferentInterleavings) {
+  est::Spec spec = est::compile_spec(specs::tp0());
+  std::vector<Feed> feeds;
+  for (int i = 0; i < 4; ++i) {
+    feeds.push_back(make_feed(spec, 0, "u", i == 0 ? "tconreq" : "tdtreq",
+                              i == 0 ? std::vector<rt::Value>{}
+                                     : std::vector<rt::Value>{
+                                           rt::Value::make_int(i)}));
+  }
+  feeds.push_back(make_feed(spec, 1, "n", "cc"));
+  std::set<std::string> distinct;
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    SimOptions so;
+    so.seed = seed;
+    distinct.insert(tr::to_text(spec, simulate(spec, feeds, so).trace));
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Simulator, StepLimitIsHonoured) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  // The spontaneous retransmit transition never quiesces once a frame is
+  // outstanding: the step limit must cut the run.
+  std::vector<Feed> feeds = {
+      make_feed(spec, 0, "u", "send", {rt::Value::make_int(1)}),
+  };
+  SimOptions so;
+  so.max_steps = 50;
+  SimResult r = simulate(spec, feeds, so);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 50u);
+  EXPECT_EQ(r.note, "step limit reached");
+}
+
+TEST(Simulator, FeedValidationRejectsBadNames) {
+  est::Spec spec = est::compile_spec(specs::ack());
+  EXPECT_THROW(make_feed(spec, 0, "nosuch", "x"), CompileError);
+  EXPECT_THROW(make_feed(spec, 0, "a", "nosuch"), CompileError);
+  // ack is an output of A, not an input.
+  EXPECT_THROW(make_feed(spec, 0, "a", "ack"), CompileError);
+  EXPECT_THROW(make_feed(spec, 0, "a", "x", {rt::Value::make_int(1)}),
+               CompileError);
+}
+
+TEST(Mutate, CopyPreservesEverything) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  tr::Trace t = tr::parse_trace(spec, "in u.send(5)\nout m.frame(0, 5)\n");
+  tr::Trace c = copy_trace(t);
+  EXPECT_EQ(tr::to_text(spec, c), tr::to_text(spec, t));
+}
+
+TEST(Mutate, LastOutputParamEdit) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  tr::Trace t = tr::parse_trace(
+      spec, "in u.send(5)\nout m.frame(0, 5)\nin m.ack(0)\nout u.confirm\n");
+  // confirm has no parameters; the frame is the last output with an int.
+  tr::Trace m = mutate_last_output_param(t);
+  EXPECT_EQ(m.events()[1].params[0].scalar(), 1);  // seq bumped 0 -> 1
+  // The paper's §4.2 procedure: the analyzer must now reject the trace.
+  EXPECT_EQ(core::analyze(spec, m, core::Options::io()).verdict,
+            core::Verdict::Invalid);
+}
+
+TEST(Mutate, NthFromLastSelectsEarlierOutputs) {
+  est::Spec spec = est::compile_spec(specs::abp());
+  tr::Trace t = tr::parse_trace(
+      spec,
+      "in u.send(5)\nout m.frame(0, 5)\nin m.ack(0)\nout u.confirm\n"
+      "in u.send(6)\nout m.frame(1, 6)\nin m.ack(1)\nout u.confirm\n");
+  tr::Trace m = mutate_output_param_from_last(t, 1);
+  EXPECT_EQ(m.events()[1].params[0].scalar(), 1);     // first frame edited
+  EXPECT_EQ(m.events()[5].params[0].scalar(), 1);     // second untouched
+  EXPECT_THROW(mutate_output_param_from_last(t, 5), CompileError);
+}
+
+TEST(Mutate, DropSwapTruncate) {
+  est::Spec spec = est::compile_spec(specs::ack());
+  tr::Trace t =
+      tr::parse_trace(spec, "in a.x\nin a.x\nin b.y\nout a.ack\n");
+  EXPECT_EQ(drop_event(t, 1).events().size(), 3u);
+  EXPECT_THROW(drop_event(t, 9), CompileError);
+  tr::Trace s = swap_adjacent(t, 0);
+  EXPECT_EQ(s.events()[0].seq, 0u);  // seqs reassigned in new order
+  EXPECT_THROW(swap_adjacent(t, 3), CompileError);
+  tr::Trace cut = truncate(t, 2, /*keep_eof=*/false);
+  EXPECT_EQ(cut.events().size(), 2u);
+  EXPECT_FALSE(cut.eof());
+}
+
+TEST(Mutate, MutatedValidTracesBecomeInvalid) {
+  // End-to-end §4.2 procedure on TP0: simulate, edit one parameter of the
+  // last data interaction, reanalyze.
+  est::Spec spec = est::compile_spec(specs::tp0());
+  std::vector<Feed> feeds = {
+      make_feed(spec, 0, "u", "tconreq"),
+      make_feed(spec, 1, "n", "cc"),
+      make_feed(spec, 3, "u", "tdtreq", {rt::Value::make_int(10)}),
+      make_feed(spec, 5, "n", "dt", {rt::Value::make_int(20)}),
+  };
+  SimResult r = simulate(spec, feeds, {});
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(core::analyze(spec, r.trace, core::Options::full()).verdict,
+            core::Verdict::Valid);
+  tr::Trace bad = mutate_last_output_param(r.trace);
+  EXPECT_EQ(core::analyze(spec, bad, core::Options::full()).verdict,
+            core::Verdict::Invalid);
+}
+
+}  // namespace
+}  // namespace tango::sim

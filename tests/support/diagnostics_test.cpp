@@ -1,0 +1,44 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango {
+namespace {
+
+TEST(Diagnostics, SinkCountsErrors) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  sink.note({1, 1}, "informational");
+  sink.warn({2, 3}, "suspicious");
+  EXPECT_FALSE(sink.has_errors());
+  sink.error({4, 5}, "broken");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.all().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocationAndSeverity) {
+  DiagnosticSink sink;
+  sink.warn({12, 7}, "odd construct");
+  EXPECT_EQ(sink.render(), "12:7: warning: odd construct\n");
+}
+
+TEST(Diagnostics, InvalidLocationRendersQuestionMark) {
+  Diagnostic d{Severity::Error, {}, "no position"};
+  EXPECT_EQ(d.render(), "?: error: no position");
+}
+
+TEST(Diagnostics, CompileErrorCarriesLocation) {
+  CompileError err({3, 9}, "unexpected token");
+  EXPECT_EQ(err.loc().line, 3u);
+  EXPECT_STREQ(err.what(), "3:9: unexpected token");
+}
+
+TEST(Diagnostics, RuntimeFaultCarriesMessage) {
+  RuntimeFault fault({5, 2}, "nil pointer dereference");
+  EXPECT_NE(std::string(fault.what()).find("nil pointer"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,50 @@
+#include "support/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango {
+namespace {
+
+TEST(Text, IequalsMatchesCaseInsensitively) {
+  EXPECT_TRUE(iequals("Estelle", "estelle"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(Text, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD_09"), "mixed_09");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Text, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(starts_with("--order=full", "--order="));
+  EXPECT_FALSE(starts_with("-o", "--"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,202 @@
+// Normal-form transformation (§5.3): leading if/case statements become
+// provided alternatives; semantics on complete traces are preserved.
+#include "transform/normal_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dfs.hpp"
+#include "estelle/parser.hpp"
+#include "estelle/printer.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::transform {
+namespace {
+
+constexpr std::string_view kIfSpec = R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: big; small;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.d name t:
+    begin
+      if v > 10 then output P.big else output P.small;
+    end;
+end;
+end.
+)";
+
+TEST(NormalForm, IfSplitsIntoTwoGuardedTransitions) {
+  NormalFormResult result = to_normal_form(est::parse(kIfSpec));
+  ASSERT_EQ(result.spec.bodies[0].transitions.size(), 2u);
+  EXPECT_EQ(result.splits, 2);
+  EXPECT_TRUE(result.residual.empty());
+  const est::Transition& yes = result.spec.bodies[0].transitions[0];
+  const est::Transition& no = result.spec.bodies[0].transitions[1];
+  ASSERT_TRUE(yes.provided != nullptr);
+  ASSERT_TRUE(no.provided != nullptr);
+  EXPECT_EQ(no.provided->kind, est::ExprKind::Unary);
+}
+
+TEST(NormalForm, PreservesSemanticsOnCompleteTraces) {
+  est::Spec original = est::compile_spec(kIfSpec);
+  est::Spec transformed =
+      est::compile_spec(normal_form_source(kIfSpec));
+  for (const char* trace : {"in p.d(20)\nout p.big\n",
+                            "in p.d(3)\nout p.small\n",
+                            "in p.d(20)\nout p.small\n",
+                            "in p.d(3)\nout p.big\n"}) {
+    EXPECT_EQ(core::analyze_text(original, trace, {}).verdict,
+              core::analyze_text(transformed, trace, {}).verdict)
+        << trace;
+  }
+}
+
+TEST(NormalForm, ExistingProvidedIsConjoined) {
+  NormalFormResult result = to_normal_form(est::parse(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.d provided v > 0 name t:
+    begin
+      if v > 10 then output P.r;
+    end;
+end;
+end.
+)"));
+  const est::Transition& yes = result.spec.bodies[0].transitions[0];
+  // provided (v > 0) and (v > 10)
+  ASSERT_EQ(yes.provided->kind, est::ExprKind::Binary);
+  EXPECT_EQ(yes.provided->bin_op, est::BinOp::And);
+}
+
+TEST(NormalForm, CaseBecomesOneTransitionPerArm) {
+  NormalFormResult result = to_normal_form(est::parse(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r1; r2; r3;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.d name t:
+    begin
+      case v of
+        1: output P.r1;
+        2, 3: output P.r2;
+        otherwise output P.r3
+      end;
+    end;
+end;
+end.
+)"));
+  // Two labelled arms + otherwise.
+  ASSERT_EQ(result.spec.bodies[0].transitions.size(), 3u);
+  est::Spec compiled = est::compile_spec(est::print_spec(result.spec));
+  EXPECT_EQ(core::analyze_text(compiled, "in p.d(1)\nout p.r1\n", {}).verdict,
+            core::Verdict::Valid);
+  EXPECT_EQ(core::analyze_text(compiled, "in p.d(3)\nout p.r2\n", {}).verdict,
+            core::Verdict::Valid);
+  EXPECT_EQ(core::analyze_text(compiled, "in p.d(9)\nout p.r3\n", {}).verdict,
+            core::Verdict::Valid);
+  EXPECT_EQ(core::analyze_text(compiled, "in p.d(9)\nout p.r1\n", {}).verdict,
+            core::Verdict::Invalid);
+}
+
+TEST(NormalForm, NestedIfsSplitRepeatedly) {
+  NormalFormResult result = to_normal_form(est::parse(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r1; r2; r3;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans
+    from z to z when P.d name t:
+    begin
+      if v > 10 then
+        if v > 100 then output P.r1 else output P.r2
+      else output P.r3;
+    end;
+end;
+end.
+)"));
+  EXPECT_EQ(result.spec.bodies[0].transitions.size(), 3u);
+  EXPECT_TRUE(result.residual.empty());
+}
+
+TEST(NormalForm, StatementsAfterTheConditionalAreKept) {
+  est::Spec transformed = est::compile_spec(normal_form_source(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r(w: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to z when P.d name t:
+    begin
+      if v > 10 then x := 1 else x := 2;
+      output P.r(x);
+    end;
+end;
+end.
+)"));
+  EXPECT_EQ(core::analyze_text(transformed, "in p.d(20)\nout p.r(1)\n", {})
+                .verdict,
+            core::Verdict::Valid);
+  EXPECT_EQ(core::analyze_text(transformed, "in p.d(2)\nout p.r(2)\n", {})
+                .verdict,
+            core::Verdict::Valid);
+  EXPECT_EQ(core::analyze_text(transformed, "in p.d(2)\nout p.r(1)\n", {})
+                .verdict,
+            core::Verdict::Invalid);
+}
+
+TEST(NormalForm, LoopsAreReportedAsResidual) {
+  NormalFormResult result = to_normal_form(est::parse(R"(
+specification s;
+channel CH(A, B); by A: d(v: integer); by B: r;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to z when P.d name looper:
+    begin
+      while x < v do x := x + 1;
+    end;
+end;
+end.
+)"));
+  ASSERT_EQ(result.residual.size(), 1u);
+  EXPECT_EQ(result.residual[0], "looper");
+}
+
+TEST(NormalForm, UntransformedSpecsPassThrough) {
+  NormalFormResult result = to_normal_form(est::parse(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.m name t: begin output P.r; end;
+end;
+end.
+)"));
+  EXPECT_EQ(result.splits, 0);
+  EXPECT_EQ(result.spec.bodies[0].transitions.size(), 1u);
+  EXPECT_TRUE(result.residual.empty());
+}
+
+}  // namespace
+}  // namespace tango::transform
