@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_savecost.cpp" "bench/CMakeFiles/bench_ablation_savecost.dir/bench_ablation_savecost.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_savecost.dir/bench_ablation_savecost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

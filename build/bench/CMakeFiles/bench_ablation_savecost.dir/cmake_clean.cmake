@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_savecost.dir/bench_ablation_savecost.cpp.o"
+  "CMakeFiles/bench_ablation_savecost.dir/bench_ablation_savecost.cpp.o.d"
+  "bench_ablation_savecost"
+  "bench_ablation_savecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_savecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lapd.dir/bench_fig3_lapd.cpp.o"
+  "CMakeFiles/bench_fig3_lapd.dir/bench_fig3_lapd.cpp.o.d"
+  "bench_fig3_lapd"
+  "bench_fig3_lapd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lapd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tps.dir/bench_tps.cpp.o"
+  "CMakeFiles/bench_tps.dir/bench_tps.cpp.o.d"
+  "bench_tps"
+  "bench_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

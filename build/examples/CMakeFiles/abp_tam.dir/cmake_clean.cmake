@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_tam.dir/abp_tam.cpp.o"
+  "CMakeFiles/abp_tam.dir/abp_tam.cpp.o.d"
+  "abp_tam"
+  "abp_tam.cpp"
+  "abp_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inres_tam.dir/inres_tam.cpp.o"
+  "CMakeFiles/inres_tam.dir/inres_tam.cpp.o.d"
+  "inres_tam"
+  "inres_tam.cpp"
+  "inres_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inres_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_arbiter.dir/interop_arbiter.cpp.o"
+  "CMakeFiles/interop_arbiter.dir/interop_arbiter.cpp.o.d"
+  "interop_arbiter"
+  "interop_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

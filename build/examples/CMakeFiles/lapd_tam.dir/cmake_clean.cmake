@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapd_tam.dir/lapd_tam.cpp.o"
+  "CMakeFiles/lapd_tam.dir/lapd_tam.cpp.o.d"
+  "lapd_tam"
+  "lapd_tam.cpp"
+  "lapd_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapd_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

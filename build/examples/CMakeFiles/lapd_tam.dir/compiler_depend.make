@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lapd_tam.
+# This may be replaced when dependencies are built.

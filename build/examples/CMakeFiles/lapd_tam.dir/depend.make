@@ -1,0 +1,2 @@
+# Empty dependencies file for lapd_tam.
+# This may be replaced when dependencies are built.

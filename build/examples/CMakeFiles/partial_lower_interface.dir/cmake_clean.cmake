@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_lower_interface.dir/partial_lower_interface.cpp.o"
+  "CMakeFiles/partial_lower_interface.dir/partial_lower_interface.cpp.o.d"
+  "partial_lower_interface"
+  "partial_lower_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_lower_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp0_tam.dir/tp0_tam.cpp.o"
+  "CMakeFiles/tp0_tam.dir/tp0_tam.cpp.o.d"
+  "tp0_tam"
+  "tp0_tam.cpp"
+  "tp0_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp0_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango.dir/cli/main.cpp.o"
+  "CMakeFiles/tango.dir/cli/main.cpp.o.d"
+  "tango"
+  "tango.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_analysis.dir/analysis/coverage.cpp.o"
+  "CMakeFiles/tango_analysis.dir/analysis/coverage.cpp.o.d"
+  "CMakeFiles/tango_analysis.dir/analysis/lint.cpp.o"
+  "CMakeFiles/tango_analysis.dir/analysis/lint.cpp.o.d"
+  "libtango_analysis.a"
+  "libtango_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

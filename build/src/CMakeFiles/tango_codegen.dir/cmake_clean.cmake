@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_codegen.dir/codegen/cpp_generator.cpp.o"
+  "CMakeFiles/tango_codegen.dir/codegen/cpp_generator.cpp.o.d"
+  "libtango_codegen.a"
+  "libtango_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

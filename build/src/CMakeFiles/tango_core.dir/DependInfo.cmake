@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dfs.cpp" "src/CMakeFiles/tango_core.dir/core/dfs.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/dfs.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/tango_core.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/CMakeFiles/tango_core.dir/core/generator.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/generator.cpp.o.d"
+  "/root/repo/src/core/mdfs.cpp" "src/CMakeFiles/tango_core.dir/core/mdfs.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/mdfs.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/tango_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/search_state.cpp" "src/CMakeFiles/tango_core.dir/core/search_state.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/search_state.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/tango_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_core.dir/core/dfs.cpp.o"
+  "CMakeFiles/tango_core.dir/core/dfs.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/executor.cpp.o"
+  "CMakeFiles/tango_core.dir/core/executor.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/generator.cpp.o"
+  "CMakeFiles/tango_core.dir/core/generator.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/mdfs.cpp.o"
+  "CMakeFiles/tango_core.dir/core/mdfs.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/options.cpp.o"
+  "CMakeFiles/tango_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/search_state.cpp.o"
+  "CMakeFiles/tango_core.dir/core/search_state.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/stats.cpp.o"
+  "CMakeFiles/tango_core.dir/core/stats.cpp.o.d"
+  "libtango_core.a"
+  "libtango_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estelle/ast.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/ast.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/ast.cpp.o.d"
+  "/root/repo/src/estelle/lexer.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/lexer.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/lexer.cpp.o.d"
+  "/root/repo/src/estelle/parser.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/parser.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/parser.cpp.o.d"
+  "/root/repo/src/estelle/printer.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/printer.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/printer.cpp.o.d"
+  "/root/repo/src/estelle/sema.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/sema.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/sema.cpp.o.d"
+  "/root/repo/src/estelle/spec.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/spec.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/spec.cpp.o.d"
+  "/root/repo/src/estelle/types.cpp" "src/CMakeFiles/tango_estelle.dir/estelle/types.cpp.o" "gcc" "src/CMakeFiles/tango_estelle.dir/estelle/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_estelle.dir/estelle/ast.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/ast.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/lexer.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/lexer.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/parser.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/parser.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/printer.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/printer.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/sema.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/sema.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/spec.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/spec.cpp.o.d"
+  "CMakeFiles/tango_estelle.dir/estelle/types.cpp.o"
+  "CMakeFiles/tango_estelle.dir/estelle/types.cpp.o.d"
+  "libtango_estelle.a"
+  "libtango_estelle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_estelle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

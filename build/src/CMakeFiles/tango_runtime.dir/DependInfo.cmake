@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap.cpp" "src/CMakeFiles/tango_runtime.dir/runtime/heap.cpp.o" "gcc" "src/CMakeFiles/tango_runtime.dir/runtime/heap.cpp.o.d"
+  "/root/repo/src/runtime/interp.cpp" "src/CMakeFiles/tango_runtime.dir/runtime/interp.cpp.o" "gcc" "src/CMakeFiles/tango_runtime.dir/runtime/interp.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/tango_runtime.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/tango_runtime.dir/runtime/machine.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/CMakeFiles/tango_runtime.dir/runtime/value.cpp.o" "gcc" "src/CMakeFiles/tango_runtime.dir/runtime/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_runtime.dir/runtime/heap.cpp.o"
+  "CMakeFiles/tango_runtime.dir/runtime/heap.cpp.o.d"
+  "CMakeFiles/tango_runtime.dir/runtime/interp.cpp.o"
+  "CMakeFiles/tango_runtime.dir/runtime/interp.cpp.o.d"
+  "CMakeFiles/tango_runtime.dir/runtime/machine.cpp.o"
+  "CMakeFiles/tango_runtime.dir/runtime/machine.cpp.o.d"
+  "CMakeFiles/tango_runtime.dir/runtime/value.cpp.o"
+  "CMakeFiles/tango_runtime.dir/runtime/value.cpp.o.d"
+  "libtango_runtime.a"
+  "libtango_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

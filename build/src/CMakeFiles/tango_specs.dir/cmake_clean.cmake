@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_specs.dir/specs/builtin_specs.cpp.o"
+  "CMakeFiles/tango_specs.dir/specs/builtin_specs.cpp.o.d"
+  "libtango_specs.a"
+  "libtango_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/tango_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/tango_support.dir/support/text.cpp.o"
+  "CMakeFiles/tango_support.dir/support/text.cpp.o.d"
+  "libtango_support.a"
+  "libtango_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dynamic_source.cpp" "src/CMakeFiles/tango_trace.dir/trace/dynamic_source.cpp.o" "gcc" "src/CMakeFiles/tango_trace.dir/trace/dynamic_source.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/CMakeFiles/tango_trace.dir/trace/event.cpp.o" "gcc" "src/CMakeFiles/tango_trace.dir/trace/event.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/tango_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/tango_trace.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

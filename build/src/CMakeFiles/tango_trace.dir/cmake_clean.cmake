@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_trace.dir/trace/dynamic_source.cpp.o"
+  "CMakeFiles/tango_trace.dir/trace/dynamic_source.cpp.o.d"
+  "CMakeFiles/tango_trace.dir/trace/event.cpp.o"
+  "CMakeFiles/tango_trace.dir/trace/event.cpp.o.d"
+  "CMakeFiles/tango_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/tango_trace.dir/trace/trace_io.cpp.o.d"
+  "libtango_trace.a"
+  "libtango_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

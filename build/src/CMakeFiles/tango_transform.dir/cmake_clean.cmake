@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_transform.dir/transform/normal_form.cpp.o"
+  "CMakeFiles/tango_transform.dir/transform/normal_form.cpp.o.d"
+  "libtango_transform.a"
+  "libtango_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inres_test.dir/integration/inres_test.cpp.o"
+  "CMakeFiles/inres_test.dir/integration/inres_test.cpp.o.d"
+  "inres_test"
+  "inres_test.pdb"
+  "inres_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapd_test.dir/integration/lapd_test.cpp.o"
+  "CMakeFiles/lapd_test.dir/integration/lapd_test.cpp.o.d"
+  "lapd_test"
+  "lapd_test.pdb"
+  "lapd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdfs_test.dir/core/mdfs_test.cpp.o"
+  "CMakeFiles/mdfs_test.dir/core/mdfs_test.cpp.o.d"
+  "mdfs_test"
+  "mdfs_test.pdb"
+  "mdfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

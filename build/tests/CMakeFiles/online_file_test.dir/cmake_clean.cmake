@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_file_test.dir/core/online_file_test.cpp.o"
+  "CMakeFiles/online_file_test.dir/core/online_file_test.cpp.o.d"
+  "online_file_test"
+  "online_file_test.pdb"
+  "online_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_test.dir/core/partial_test.cpp.o"
+  "CMakeFiles/partial_test.dir/core/partial_test.cpp.o.d"
+  "partial_test"
+  "partial_test.pdb"
+  "partial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

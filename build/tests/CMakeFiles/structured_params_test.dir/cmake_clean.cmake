@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_params_test.dir/integration/structured_params_test.cpp.o"
+  "CMakeFiles/structured_params_test.dir/integration/structured_params_test.cpp.o.d"
+  "structured_params_test"
+  "structured_params_test.pdb"
+  "structured_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tam_runtime_test.dir/codegen/tam_runtime_test.cpp.o"
+  "CMakeFiles/tam_runtime_test.dir/codegen/tam_runtime_test.cpp.o.d"
+  "tam_runtime_test"
+  "tam_runtime_test.pdb"
+  "tam_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tam_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

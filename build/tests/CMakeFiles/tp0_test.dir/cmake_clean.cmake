@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp0_test.dir/integration/tp0_test.cpp.o"
+  "CMakeFiles/tp0_test.dir/integration/tp0_test.cpp.o.d"
+  "tp0_test"
+  "tp0_test.pdb"
+  "tp0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
