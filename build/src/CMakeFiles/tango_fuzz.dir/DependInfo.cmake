@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/differential.cpp" "src/CMakeFiles/tango_fuzz.dir/fuzz/differential.cpp.o" "gcc" "src/CMakeFiles/tango_fuzz.dir/fuzz/differential.cpp.o.d"
+  "/root/repo/src/fuzz/fuzz.cpp" "src/CMakeFiles/tango_fuzz.dir/fuzz/fuzz.cpp.o" "gcc" "src/CMakeFiles/tango_fuzz.dir/fuzz/fuzz.cpp.o.d"
+  "/root/repo/src/fuzz/generator.cpp" "src/CMakeFiles/tango_fuzz.dir/fuzz/generator.cpp.o" "gcc" "src/CMakeFiles/tango_fuzz.dir/fuzz/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_fuzz.dir/fuzz/differential.cpp.o"
+  "CMakeFiles/tango_fuzz.dir/fuzz/differential.cpp.o.d"
+  "CMakeFiles/tango_fuzz.dir/fuzz/fuzz.cpp.o"
+  "CMakeFiles/tango_fuzz.dir/fuzz/fuzz.cpp.o.d"
+  "CMakeFiles/tango_fuzz.dir/fuzz/generator.cpp.o"
+  "CMakeFiles/tango_fuzz.dir/fuzz/generator.cpp.o.d"
+  "libtango_fuzz.a"
+  "libtango_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_smoke_test.dir/fuzz/fuzz_smoke_test.cpp.o"
+  "CMakeFiles/fuzz_smoke_test.dir/fuzz/fuzz_smoke_test.cpp.o.d"
+  "fuzz_smoke_test"
+  "fuzz_smoke_test.pdb"
+  "fuzz_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/mutate_property_test.cpp" "tests/CMakeFiles/mutate_property_test.dir/sim/mutate_property_test.cpp.o" "gcc" "tests/CMakeFiles/mutate_property_test.dir/sim/mutate_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

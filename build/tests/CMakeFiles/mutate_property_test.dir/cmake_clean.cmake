@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutate_property_test.dir/sim/mutate_property_test.cpp.o"
+  "CMakeFiles/mutate_property_test.dir/sim/mutate_property_test.cpp.o.d"
+  "mutate_property_test"
+  "mutate_property_test.pdb"
+  "mutate_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/tango_codegen.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tango_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tango_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_fuzz.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tango_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tango_estelle.dir/DependInfo.cmake"

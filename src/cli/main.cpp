@@ -8,6 +8,8 @@
 //   tango generate-cpp <spec> [-o out.cpp]  emit a standalone C++ TAM
 //   tango normal-form <spec>                §5.3 transformation, to stdout
 //   tango workload <lapd|tp0> [--size=N]    emit a benchmark workload trace
+//   tango fuzz [spec...] [--seed=N]         differential conformance fuzzing
+//                                           across DFS / hash-DFS / MDFS
 //   tango lint <spec>                       reachability / non-progress checks
 //   tango coverage <spec> <trace...>        transition coverage of a campaign
 //   tango print <spec>                      parse + pretty-print round trip
@@ -29,6 +31,7 @@
 #include "core/dfs.hpp"
 #include "core/mdfs.hpp"
 #include "estelle/parser.hpp"
+#include "fuzz/fuzz.hpp"
 #include "estelle/printer.hpp"
 #include "sim/mutate.hpp"
 #include "sim/simulator.hpp"
@@ -67,6 +70,15 @@ commands:
   workload <lapd|tp0> [--size=N] [--invalid] [--seed=N] [-o <trace>]
                                     emit the paper's evaluation workloads
                                     (Figure 3 / Figure 4 traces)
+  fuzz [spec...] [--seed=N] [--iterations=N] [--engines=dfs,hash,mdfs]
+       [--chunk=N] [--stats <file>] [--out-dir <dir>] [--max-transitions=N]
+                                    differential conformance fuzzing: random
+                                    environments -> simulated + mutated
+                                    traces -> cross-check DFS, hash-pruned
+                                    DFS and on-line MDFS under all order
+                                    presets; disagreements are shrunk and
+                                    written as reproducer bundles
+                                    (see docs/FUZZING.md)
   lint <spec>                       unreachable states, non-progress cycles,
                                     dead interactions (paper 2.1 hygiene)
   coverage <spec> <trace...>        transition coverage over valid traces
@@ -125,6 +137,12 @@ struct Cli {
   std::string script;
   std::string output;
   std::uint32_t seed = 1;
+  // fuzz
+  int iterations = 100;
+  std::string engines;
+  std::size_t chunk = 3;
+  std::string stats_path;
+  std::string out_dir;
   std::vector<std::string> positional;
 };
 
@@ -173,6 +191,22 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.script = a == "--script" ? argv[++i] : value("--script=");
     } else if (starts_with(a, "--seed=")) {
       cli.seed = static_cast<std::uint32_t>(std::stoul(value("--seed=")));
+    } else if (starts_with(a, "--iterations=")) {
+      cli.iterations = std::stoi(value("--iterations="));
+    } else if (starts_with(a, "--engines=")) {
+      cli.engines = value("--engines=");
+    } else if (starts_with(a, "--chunk=")) {
+      cli.chunk = std::stoull(value("--chunk="));
+    } else if (starts_with(a, "--stats")) {
+      if (a == "--stats" && i + 1 >= argc) {
+        throw CompileError({}, "--stats needs a file name");
+      }
+      cli.stats_path = a == "--stats" ? argv[++i] : value("--stats=");
+    } else if (starts_with(a, "--out-dir")) {
+      if (a == "--out-dir" && i + 1 >= argc) {
+        throw CompileError({}, "--out-dir needs a directory");
+      }
+      cli.out_dir = a == "--out-dir" ? argv[++i] : value("--out-dir=");
     } else if (a == "-o") {
       if (i + 1 >= argc) throw CompileError({}, "-o needs a file name");
       cli.output = argv[++i];
@@ -364,6 +398,38 @@ int cmd_workload(const Cli& cli) {
   return 0;
 }
 
+int cmd_fuzz(const Cli& cli) {
+  fuzz::FuzzConfig config;
+  config.seed = cli.seed;
+  config.iterations = cli.iterations;
+  config.specs = cli.positional;  // empty = all fuzzable builtins
+  config.engines = fuzz::parse_engines(cli.engines);
+  config.chunk = cli.chunk;
+  config.out_dir = cli.out_dir;
+  config.verbose = cli.verbose;
+  if (cli.options.max_transitions != 0) {
+    config.max_transitions = cli.options.max_transitions;
+  }
+
+  fuzz::FuzzReport report = fuzz::run_fuzz(config, &std::cerr);
+  std::cout << report.summary();
+  if (!cli.stats_path.empty()) {
+    std::ofstream out(cli.stats_path, std::ios::binary);
+    out << report.to_json() << "\n";
+    std::cerr << "wrote " << cli.stats_path << "\n";
+  }
+  if (!report.clean()) {
+    std::cout << "result: " << report.disagreements.size()
+              << " disagreement(s) — see reproducer bundle(s)"
+              << (config.out_dir.empty() ? " (rerun with --out-dir to save)"
+                                         : "")
+              << "\n";
+    return 1;
+  }
+  std::cout << "result: all engines agree on all verdicts\n";
+  return 0;
+}
+
 int cmd_lint(const Cli& cli) {
   if (cli.positional.empty()) return usage();
   est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
@@ -427,6 +493,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate-cpp") return cmd_generate_cpp(cli);
     if (cmd == "normal-form") return cmd_normal_form(cli);
     if (cmd == "workload") return cmd_workload(cli);
+    if (cmd == "fuzz") return cmd_fuzz(cli);
     if (cmd == "lint") return cmd_lint(cli);
     if (cmd == "coverage") return cmd_coverage(cli);
     if (cmd == "print") return cmd_print(cli);

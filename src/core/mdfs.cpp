@@ -11,6 +11,10 @@ struct OnlineAnalyzer::MNode {
   SearchState state;
   GenResult gen;
   std::size_t next = 0;
+  /// Trace extent when `gen` was computed: a node that sat on the stack
+  /// while new events (or the eof marker) arrived has a stale firing list.
+  std::size_t gen_events = 0;
+  bool gen_eof = false;
   /// (transition index, consumed event seq or -1) pairs already explored;
   /// re-generation after new input must not repeat them (§3.1.1).
   std::set<std::pair<int, int>> explored;
@@ -18,7 +22,17 @@ struct OnlineAnalyzer::MNode {
   [[nodiscard]] bool pg(const tr::Trace& trace) const {
     return gen.incomplete && !trace.eof();
   }
+
+  [[nodiscard]] bool stale(const tr::Trace& trace) const {
+    return gen_events != trace.events().size() || gen_eof != trace.eof();
+  }
 };
+
+void OnlineAnalyzer::compute_gen(MNode& node) {
+  node.gen = generate(interp_, trace_, ro_, node.state, stats_);
+  node.gen_events = trace_.events().size();
+  node.gen_eof = trace_.eof();
+}
 
 OnlineAnalyzer::OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
                                OnlineConfig config)
@@ -61,7 +75,7 @@ bool OnlineAnalyzer::poll_source() {
       }
       auto node = std::make_unique<MNode>();
       node->state = std::move(init.state);
-      node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+      compute_gen(*node);
       ++stats_.saves;
       stack_.push_back(std::move(node));
     }
@@ -98,7 +112,7 @@ void OnlineAnalyzer::regenerate(std::unique_ptr<MNode> node) {
     final_status_ = OnlineStatus::Valid;
     return;
   }
-  node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+  compute_gen(*node);
   std::erase_if(node->gen.firings, [&](const Firing& f) {
     return node->explored.count({f.transition, f.input_event}) != 0;
   });
@@ -128,7 +142,7 @@ void OnlineAnalyzer::seed_roots() {
       auto node = std::make_unique<MNode>();
       node->state = init.state;
       node->state.machine.fsm_state = start;
-      node->gen = generate(interp_, trace_, ro_, node->state, stats_);
+      compute_gen(*node);
       ++stats_.saves;
       roots.push_back(std::move(node));
     }
@@ -176,6 +190,12 @@ bool OnlineAnalyzer::do_step() {
     }
     if (finished->pg(trace_)) {
       pg_.push_back(std::move(finished));  // park for re-generation (§3.1.1)
+    } else if (finished->gen.incomplete && finished->stale(trace_)) {
+      // The eof marker (or new events) arrived while this partially
+      // generated node sat on the stack: its firing list misses whatever
+      // the late events enable. Dropping it here would lose valid paths —
+      // re-generate against the full trace instead.
+      regenerate(std::move(finished));
     }
     return true;
   }
@@ -215,7 +235,7 @@ bool OnlineAnalyzer::do_step() {
     return true;  // depth-clipped child is abandoned
   }
 
-  child->gen = generate(interp_, trace_, ro_, child->state, stats_);
+  compute_gen(*child);
   stack_.push_back(std::move(child));
   return true;
 }
@@ -248,8 +268,10 @@ OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
     do_step();
   }
 
-  if (stack_.empty() && pg_.empty() && pending_roots_.empty()) {
+  if (!concluded_ && stack_.empty() && pg_.empty() && pending_roots_.empty()) {
     // Tree exhausted with nothing parked: conclusively invalid (§3.1.2).
+    // (reactivate_pg can conclude Valid while draining pg_, leaving every
+    // container empty — concluded_ must win over this emptiness test.)
     concluded_ = true;
     final_status_ = OnlineStatus::Invalid;
     return final_status_;

@@ -78,6 +78,7 @@ class OnlineAnalyzer {
   struct MNode;
 
   bool poll_source();
+  void compute_gen(MNode& node);  // generate() + trace-extent snapshot
   void reactivate_pg(bool all);
   void regenerate(std::unique_ptr<MNode> node);
   void seed_roots();

@@ -2,7 +2,22 @@
 
 #include <ctime>
 
+#include <algorithm>
+
 namespace tango::core {
+
+Stats& Stats::operator+=(const Stats& other) {
+  transitions_executed += other.transitions_executed;
+  generates += other.generates;
+  restores += other.restores;
+  saves += other.saves;
+  pruned_by_hash += other.pruned_by_hash;
+  fanout_sum += other.fanout_sum;
+  fanout_samples += other.fanout_samples;
+  max_depth = std::max(max_depth, other.max_depth);
+  cpu_seconds += other.cpu_seconds;
+  return *this;
+}
 
 std::string Stats::summary() const {
   char buf[160];
@@ -13,6 +28,24 @@ std::string Stats::summary() const {
                 static_cast<unsigned long long>(restores),
                 static_cast<unsigned long long>(saves), max_depth,
                 cpu_seconds);
+  return buf;
+}
+
+std::string Stats::to_json() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"te\":%llu,\"ge\":%llu,\"re\":%llu,\"sa\":%llu,"
+      "\"pruned_by_hash\":%llu,\"fanout_sum\":%llu,\"fanout_samples\":%llu,"
+      "\"max_depth\":%d,\"cpu_seconds\":%.6f}",
+      static_cast<unsigned long long>(transitions_executed),
+      static_cast<unsigned long long>(generates),
+      static_cast<unsigned long long>(restores),
+      static_cast<unsigned long long>(saves),
+      static_cast<unsigned long long>(pruned_by_hash),
+      static_cast<unsigned long long>(fanout_sum),
+      static_cast<unsigned long long>(fanout_samples), max_depth,
+      cpu_seconds);
   return buf;
 }
 

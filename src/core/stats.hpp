@@ -31,8 +31,17 @@ struct Stats {
                : static_cast<double>(transitions_executed) / cpu_seconds;
   }
 
+  /// Aggregation across analyses (differential/fuzz campaigns): counters
+  /// and cpu time add, max_depth takes the maximum.
+  Stats& operator+=(const Stats& other);
+
   /// One-line summary: "TE=… GE=… RE=… SA=… cpu=…s".
   [[nodiscard]] std::string summary() const;
+
+  /// One-line JSON object with the Figure 3/4 counter names
+  /// ({"te":…,"ge":…,"re":…,"sa":…,…}), for `tango fuzz --stats` output
+  /// comparable with the bench/ figures.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Scoped CPU-time measurement (process CPU clock, like the paper's CPUT).

@@ -1,0 +1,183 @@
+#include "fuzz/differential.hpp"
+
+#include <sstream>
+
+#include "support/text.hpp"
+#include "trace/dynamic_source.hpp"
+
+namespace tango::fuzz {
+
+std::string_view to_string(Engine e) {
+  switch (e) {
+    case Engine::Dfs: return "dfs";
+    case Engine::HashDfs: return "hash-dfs";
+    case Engine::Mdfs: return "mdfs";
+  }
+  return "?";
+}
+
+std::vector<Engine> parse_engines(std::string_view csv) {
+  if (trim(csv).empty()) return {Engine::Dfs, Engine::HashDfs, Engine::Mdfs};
+  std::vector<Engine> engines;
+  for (std::string_view part : split(csv, ',')) {
+    const std::string name = to_lower(trim(part));
+    if (name == "dfs") {
+      engines.push_back(Engine::Dfs);
+    } else if (name == "hash" || name == "hashdfs" || name == "hash-dfs") {
+      engines.push_back(Engine::HashDfs);
+    } else if (name == "mdfs" || name == "online") {
+      engines.push_back(Engine::Mdfs);
+    } else {
+      throw CompileError({}, "unknown engine '" + name +
+                                 "' (expected dfs, hash or mdfs)");
+    }
+  }
+  return engines;
+}
+
+const std::array<OrderPreset, 4>& order_presets() {
+  static const std::array<OrderPreset, 4> presets = {
+      OrderPreset{"NR", core::Options::none()},
+      OrderPreset{"IO", core::Options::io()},
+      OrderPreset{"IP", core::Options::ip()},
+      OrderPreset{"FULL", core::Options::full()}};
+  return presets;
+}
+
+core::Verdict to_verdict(core::OnlineStatus s) {
+  switch (s) {
+    case core::OnlineStatus::Valid: return core::Verdict::Valid;
+    case core::OnlineStatus::Invalid: return core::Verdict::Invalid;
+    case core::OnlineStatus::ValidSoFar: return core::Verdict::ValidSoFar;
+    case core::OnlineStatus::LikelyInvalid:
+      return core::Verdict::LikelyInvalid;
+    case core::OnlineStatus::Searching:
+    case core::OnlineStatus::Inconclusive:
+      return core::Verdict::Inconclusive;
+  }
+  return core::Verdict::Inconclusive;
+}
+
+namespace {
+
+EngineRun run_mdfs(const est::Spec& spec, const tr::Trace& trace,
+                   const core::Options& options, std::size_t chunk) {
+  EngineRun run;
+  run.engine = Engine::Mdfs;
+
+  core::CpuTimer timer;
+  tr::MemoryFeed feed(spec);
+  core::OnlineConfig config;
+  config.options = options;
+  core::OnlineAnalyzer analyzer(spec, feed, config);
+
+  // Deliver the trace in chunks, searching between deliveries, so the
+  // analyzer exercises the PG save/regenerate machinery instead of seeing
+  // a complete trace at its first poll.
+  const std::size_t step = chunk == 0 ? trace.events().size() + 1 : chunk;
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    feed.push(trace.events()[i]);
+    if ((i + 1) % step == 0) (void)analyzer.step_round(4096);
+  }
+  if (trace.eof()) feed.push_eof();
+  const core::OnlineStatus status = analyzer.run(1u << 18, /*idle_rounds=*/4);
+
+  run.verdict = to_verdict(status);
+  // With eof delivered the tree is finite: a non-conclusive terminal
+  // status means the run loop went idle (budget/depth clip), which in the
+  // batch verdict space is Inconclusive.
+  if (trace.eof() && !analyzer.conclusive()) {
+    run.verdict = core::Verdict::Inconclusive;
+  }
+  run.stats = analyzer.stats();
+  run.stats.cpu_seconds = timer.elapsed();
+  return run;
+}
+
+}  // namespace
+
+EngineRun run_engine(const est::Spec& spec, const tr::Trace& trace,
+                     const core::Options& base, Engine engine,
+                     std::size_t chunk) {
+  core::Options options = base;
+  options.hash_states = engine == Engine::HashDfs;
+  if (engine == Engine::Mdfs) {
+    EngineRun run = run_mdfs(spec, trace, options, chunk);
+    return run;
+  }
+  EngineRun run;
+  run.engine = engine;
+  core::DfsResult r = core::analyze(spec, trace, options);
+  run.verdict = r.verdict;
+  run.stats = r.stats;
+  run.note = r.note;
+  return run;
+}
+
+bool MatrixResult::all_agreed() const {
+  for (const MatrixColumn& c : columns) {
+    if (!c.agreed) return false;
+  }
+  return true;
+}
+
+core::Verdict MatrixResult::column_verdict(std::string_view order) const {
+  for (const MatrixColumn& c : columns) {
+    if (c.order != order) continue;
+    for (const EngineRun& r : c.runs) {
+      if (r.verdict != core::Verdict::Inconclusive) return r.verdict;
+    }
+  }
+  return core::Verdict::Inconclusive;
+}
+
+MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
+                        const std::vector<Engine>& engines,
+                        const core::Options& base, std::size_t chunk) {
+  MatrixResult result;
+  for (const OrderPreset& preset : order_presets()) {
+    MatrixColumn column;
+    column.order = preset.name;
+    core::Options options = preset.options;
+    options.initial_state_search = base.initial_state_search;
+    options.disabled_ips = base.disabled_ips;
+    options.unobservable_ips = base.unobservable_ips;
+    options.partial = base.partial;
+    options.reorder_pg_nodes = base.reorder_pg_nodes;
+    options.prune_on_pgav = base.prune_on_pgav;
+    options.max_transitions = base.max_transitions;
+    options.max_depth = base.max_depth;
+    options.interp = base.interp;
+    for (Engine e : engines) {
+      EngineRun run = run_engine(spec, trace, options, e, chunk);
+      run.order = preset.name;
+      column.runs.push_back(std::move(run));
+    }
+
+    // Agreement relation: every engine that reached a conclusive verdict
+    // must have reached the SAME verdict. Inconclusive cells (exhausted
+    // search budget) carry no information and are skipped.
+    const EngineRun* reference = nullptr;
+    for (const EngineRun& r : column.runs) {
+      if (r.verdict == core::Verdict::Inconclusive) continue;
+      if (reference == nullptr) {
+        reference = &r;
+      } else if (r.verdict != reference->verdict) {
+        column.agreed = false;
+      }
+    }
+    if (!column.agreed) {
+      std::ostringstream os;
+      os << "order=" << column.order << ":";
+      for (const EngineRun& r : column.runs) {
+        os << ' ' << to_string(r.engine) << '='
+           << core::to_string(r.verdict);
+      }
+      column.disagreement = os.str();
+    }
+    result.columns.push_back(std::move(column));
+  }
+  return result;
+}
+
+}  // namespace tango::fuzz

@@ -1,0 +1,89 @@
+// Differential execution of one trace under the analyzer engine matrix:
+// off-line DFS (§2.2), on-line MDFS fed through a chunked dynamic source
+// (§3), and hash-pruned DFS (§4.2's state-hashing ablation), each crossed
+// with the four relative-order presets (NR/IO/IP/FULL, §2.4.2). The paper's
+// conformance claim is that every cell of a column agrees — the engines are
+// different search strategies over the same validity relation.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/dfs.hpp"
+#include "core/mdfs.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/verdict.hpp"
+#include "trace/event.hpp"
+
+namespace tango::fuzz {
+
+enum class Engine { Dfs, HashDfs, Mdfs };
+
+[[nodiscard]] std::string_view to_string(Engine e);
+
+/// Parses a comma-separated engine list ("dfs,hash,mdfs"; "hashdfs" and
+/// "hash-dfs" are accepted for the ablation). Throws CompileError on an
+/// unknown name; returns all three engines for an empty string.
+[[nodiscard]] std::vector<Engine> parse_engines(std::string_view csv);
+
+/// The four order-checking presets of the paper's Figures 3 and 4.
+struct OrderPreset {
+  const char* name;
+  core::Options options;
+};
+[[nodiscard]] const std::array<OrderPreset, 4>& order_presets();
+
+struct EngineRun {
+  Engine engine = Engine::Dfs;
+  std::string order;  // preset name
+  core::Verdict verdict = core::Verdict::Inconclusive;
+  core::Stats stats;
+  std::string note;
+};
+
+/// Analyzes `trace` with one engine. `base` supplies the order flags and
+/// budgets; the engine-defining flags (hash_states, on-line delivery) are
+/// set here. For MDFS the trace is replayed through a MemoryFeed in chunks
+/// of `chunk` events with a search round between chunks, then eof — the
+/// closest off-line reproduction of a growing trace file.
+[[nodiscard]] EngineRun run_engine(const est::Spec& spec,
+                                   const tr::Trace& trace,
+                                   const core::Options& base, Engine engine,
+                                   std::size_t chunk);
+
+/// One order-preset column of the matrix: every engine's verdict.
+struct MatrixColumn {
+  std::string order;
+  std::vector<EngineRun> runs;
+  /// True when all non-Inconclusive verdicts in the column coincide
+  /// (Inconclusive cells are budget artifacts, not verdicts — §2.4's
+  /// max_transitions — and are excluded from the agreement relation).
+  bool agreed = true;
+  std::string disagreement;  // human-readable cell list when !agreed
+};
+
+struct MatrixResult {
+  std::vector<MatrixColumn> columns;
+  [[nodiscard]] bool all_agreed() const;
+  /// Verdict of the first non-Inconclusive DFS cell for `order`, or
+  /// Inconclusive when the whole column ran out of budget.
+  [[nodiscard]] core::Verdict column_verdict(std::string_view order) const;
+};
+
+/// Runs the full engines × order-presets matrix. `base` carries shared
+/// budgets (max_transitions etc.); its order flags are overwritten by each
+/// preset.
+[[nodiscard]] MatrixResult run_matrix(const est::Spec& spec,
+                                      const tr::Trace& trace,
+                                      const std::vector<Engine>& engines,
+                                      const core::Options& base,
+                                      std::size_t chunk);
+
+/// Maps an on-line status to the batch verdict space (ValidSoFar and
+/// LikelyInvalid pass through; with eof delivered they indicate an
+/// exhausted idle loop, which the caller treats as Inconclusive).
+[[nodiscard]] core::Verdict to_verdict(core::OnlineStatus s);
+
+}  // namespace tango::fuzz

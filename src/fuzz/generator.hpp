@@ -1,0 +1,43 @@
+// Random environment synthesis for the differential conformance fuzzer:
+// well-typed stimulus scripts drawn from a specification's interaction
+// signatures. Every choice is made through the caller's RNG, so a (spec,
+// seed) pair reproduces the exact same environment script.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "estelle/spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace tango::fuzz {
+
+struct GenConfig {
+  /// Bounds on the number of stimuli per script.
+  int min_feeds = 1;
+  int max_feeds = 12;
+  /// Maximum simulator-step gap between consecutive stimuli (0 delivers
+  /// everything up front; larger gaps interleave with spontaneous firings).
+  std::uint64_t max_step_gap = 6;
+  /// Magnitude bound for unconstrained integer parameters (inclusive).
+  std::int64_t int_bound = 9;
+};
+
+/// A type-correct random value: integers in [0, int_bound], subranges and
+/// enums within their declared bounds, recursive records/arrays, nil for
+/// pointers (the environment cannot forge heap addresses).
+[[nodiscard]] rt::Value random_value(const est::Type* type, std::mt19937& rng,
+                                     const GenConfig& config = {});
+
+/// All (ip, interaction) pairs the environment may stimulate, i.e. every
+/// peer-role message of every interaction point.
+[[nodiscard]] std::vector<std::pair<int, int>> stimulus_alphabet(
+    const est::Spec& spec);
+
+/// Synthesizes a random environment script: feeds with nondecreasing
+/// delivery steps, each a random entry of the stimulus alphabet with
+/// type-correct random parameters. Empty when the spec takes no input.
+[[nodiscard]] std::vector<sim::Feed> synthesize_feeds(
+    const est::Spec& spec, std::mt19937& rng, const GenConfig& config = {});
+
+}  // namespace tango::fuzz

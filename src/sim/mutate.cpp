@@ -30,6 +30,13 @@ tr::Trace copy_trace(const tr::Trace& trace) {
   return rebuild(trace, trace.events(), trace.eof());
 }
 
+bool has_mutable_output_param(const tr::Trace& trace) {
+  for (const tr::TraceEvent& e : trace.events()) {
+    if (e.dir == tr::Dir::Out && int_param_index(e) >= 0) return true;
+  }
+  return false;
+}
+
 tr::Trace mutate_output_param_from_last(const tr::Trace& trace,
                                         int nth_from_last) {
   std::vector<tr::TraceEvent> events = trace.events();

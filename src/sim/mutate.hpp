@@ -11,6 +11,10 @@ namespace tango::sim {
 /// Deep copy (events keep their order; seq numbers are reassigned).
 [[nodiscard]] tr::Trace copy_trace(const tr::Trace& trace);
 
+/// True when the trace has an output event with an integer-valued
+/// parameter, i.e. mutate_last_output_param will not throw.
+[[nodiscard]] bool has_mutable_output_param(const tr::Trace& trace);
+
 /// Adds 1 to the first integer-valued parameter of the last output event
 /// that has one (searching backwards). Throws if no such event exists.
 [[nodiscard]] tr::Trace mutate_last_output_param(const tr::Trace& trace);

@@ -1,0 +1,166 @@
+// Property tests for the sim::mutate operators the fuzzer builds its
+// invalid/partial trace variants from (§4.2's "edited slightly" procedure).
+// The traces come from the simulator driven by the fuzzer's own random
+// environment scripts, so the properties are checked across every builtin
+// specification shape.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "estelle/spec.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/generator.hpp"
+#include "runtime/value.hpp"
+#include "sim/mutate.hpp"
+#include "sim/simulator.hpp"
+#include "specs/builtin_specs.hpp"
+#include "support/diagnostics.hpp"
+
+namespace tango::sim {
+namespace {
+
+tr::Trace simulated_trace(const std::string& name, std::uint32_t seed) {
+  est::Spec spec = est::compile_spec(specs::builtin_spec(name));
+  std::mt19937 rng(seed);
+  SimOptions options;
+  options.seed = seed;
+  options.max_steps = 160;
+  return simulate(spec, fuzz::synthesize_feeds(spec, rng), options).trace;
+}
+
+bool same_event(const tr::TraceEvent& a, const tr::TraceEvent& b) {
+  if (a.dir != b.dir || a.ip != b.ip || a.interaction != b.interaction ||
+      a.params.size() != b.params.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (!rt::equals(a.params[i], b.params[i], /*partial=*/false)) return false;
+  }
+  return true;
+}
+
+TEST(MutateProperty, LastOutputMutationChangesExactlyOneIntParamByOne) {
+  int qualified = 0;
+  for (const std::string& name : fuzz::fuzzable_builtin_specs()) {
+    for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+      const tr::Trace trace = simulated_trace(name, seed);
+      if (!has_mutable_output_param(trace)) continue;
+      ++qualified;
+      const tr::Trace mutated = mutate_last_output_param(trace);
+      ASSERT_EQ(mutated.events().size(), trace.events().size());
+
+      int changed = -1;
+      for (std::size_t i = 0; i < trace.events().size(); ++i) {
+        if (same_event(trace.events()[i], mutated.events()[i])) continue;
+        EXPECT_EQ(changed, -1) << name << " seed " << seed
+                               << ": more than one event changed";
+        changed = static_cast<int>(i);
+      }
+      ASSERT_GE(changed, 0) << name << " seed " << seed;
+      const tr::TraceEvent& before =
+          trace.events()[static_cast<std::size_t>(changed)];
+      const tr::TraceEvent& after =
+          mutated.events()[static_cast<std::size_t>(changed)];
+      EXPECT_EQ(before.dir, tr::Dir::Out);
+
+      int params_changed = 0;
+      for (std::size_t p = 0; p < before.params.size(); ++p) {
+        if (rt::equals(before.params[p], after.params[p], false)) continue;
+        ++params_changed;
+        ASSERT_EQ(before.params[p].kind(), rt::Value::Kind::Int);
+        EXPECT_EQ(after.params[p].scalar(), before.params[p].scalar() + 1);
+      }
+      EXPECT_EQ(params_changed, 1);
+
+      // "Last": no later output event carries an integer parameter.
+      for (std::size_t i = static_cast<std::size_t>(changed) + 1;
+           i < trace.events().size(); ++i) {
+        const tr::TraceEvent& e = trace.events()[i];
+        if (e.dir != tr::Dir::Out) continue;
+        for (const rt::Value& v : e.params) {
+          EXPECT_NE(v.kind(), rt::Value::Kind::Int)
+              << name << " seed " << seed << ": event " << i
+              << " should have been mutated instead";
+        }
+      }
+    }
+  }
+  EXPECT_GT(qualified, 0) << "no builtin produced a mutable output";
+}
+
+TEST(MutateProperty, DropRemovesExactlyTheRequestedEvent) {
+  const tr::Trace trace = simulated_trace("abp", 3);
+  const std::size_t n = trace.events().size();
+  ASSERT_GE(n, 2u);
+  const std::uint32_t seq = static_cast<std::uint32_t>(n / 2);
+  const tr::Trace dropped = drop_event(trace, seq);
+  ASSERT_EQ(dropped.events().size(), n - 1);
+  // Remaining events keep their relative order; seqs are contiguous again.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == seq) continue;
+    EXPECT_TRUE(same_event(trace.events()[i], dropped.events()[j])) << i;
+    EXPECT_EQ(dropped.events()[j].seq, j);
+    ++j;
+  }
+  EXPECT_EQ(dropped.eof(), trace.eof());
+  EXPECT_THROW((void)drop_event(trace, static_cast<std::uint32_t>(n + 7)),
+               CompileError);
+}
+
+TEST(MutateProperty, SwapExchangesExactlyTwoAdjacentEvents) {
+  const tr::Trace trace = simulated_trace("abp", 3);
+  const std::size_t n = trace.events().size();
+  ASSERT_GE(n, 2u);
+  const std::uint32_t at = static_cast<std::uint32_t>(n / 2 - 1);
+  const tr::Trace swapped = swap_adjacent(trace, at);
+  ASSERT_EQ(swapped.events().size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t expect_from =
+        i == at ? at + 1 : (i == at + 1 ? at : i);
+    EXPECT_TRUE(same_event(trace.events()[expect_from], swapped.events()[i]))
+        << i;
+    EXPECT_EQ(swapped.events()[i].seq, i);  // seqs reassigned contiguously
+  }
+  EXPECT_THROW((void)swap_adjacent(trace, static_cast<std::uint32_t>(n - 1)),
+               CompileError);
+}
+
+TEST(MutateProperty, TruncateKeepsABoundedPrefix) {
+  const tr::Trace trace = simulated_trace("abp", 3);
+  const std::size_t n = trace.events().size();
+  ASSERT_GE(n, 2u);
+  for (std::size_t keep : {std::size_t{0}, n / 2, n, n + 5}) {
+    const tr::Trace cut = truncate(trace, keep);
+    ASSERT_EQ(cut.events().size(), std::min(n, keep));
+    for (std::size_t i = 0; i < cut.events().size(); ++i) {
+      EXPECT_TRUE(same_event(trace.events()[i], cut.events()[i])) << i;
+    }
+    EXPECT_EQ(cut.eof(), trace.eof());
+    EXPECT_FALSE(truncate(trace, keep, /*keep_eof=*/false).eof());
+  }
+}
+
+TEST(MutateProperty, EmptyTraceEdgeCases) {
+  tr::Trace empty(1);
+  empty.mark_eof();
+  EXPECT_FALSE(has_mutable_output_param(empty));
+  EXPECT_THROW((void)mutate_last_output_param(empty), CompileError);
+  EXPECT_THROW((void)drop_event(empty, 0), CompileError);
+  EXPECT_THROW((void)swap_adjacent(empty, 0), CompileError);
+  EXPECT_EQ(truncate(empty, 5).events().size(), 0u);
+}
+
+TEST(MutateProperty, ParameterlessOutputsAreNotMutable) {
+  // ack's only output interaction carries no parameters (Figure 1), so the
+  // §4.2 parameter edit is impossible no matter what the simulator emits.
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const tr::Trace trace = simulated_trace("ack", seed);
+    EXPECT_FALSE(has_mutable_output_param(trace));
+    EXPECT_THROW((void)mutate_last_output_param(trace), CompileError);
+  }
+}
+
+}  // namespace
+}  // namespace tango::sim
