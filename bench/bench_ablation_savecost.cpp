@@ -4,13 +4,20 @@
 // static-mode analysis for heap-heavy specifications. Also measures the
 // generate operation's dependence on the number of transition
 // declarations (the §4 transitions/second observation).
+// The copy-vs-trail benchmarks below quantify the undo-log alternative:
+// save() under trail checkpointing is an O(1) mark instead of a deep copy,
+// so its cost is flat in heap size, and branching-heavy searches spend
+// their time executing transitions instead of duplicating states.
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 
+#include "core/checkpoint.hpp"
 #include "core/dfs.hpp"
 #include "core/executor.hpp"
 #include "core/generator.hpp"
+#include "sim/mutate.hpp"
 #include "sim/workloads.hpp"
 #include "specs/builtin_specs.hpp"
 #include "trace/trace_io.hpp"
@@ -37,7 +44,8 @@ core::SearchState tp0_state_with_heap(int cells) {
   rt::Interp interp(spec);
   tr::Trace trace(static_cast<int>(spec.ips.size()));
   trace.mark_eof();
-  core::ResolvedOptions ro(spec, core::Options::none());
+  const core::Options ro_opts = core::Options::none();
+  core::ResolvedOptions ro(spec, ro_opts);
   core::Stats stats;
   core::InitResult init = core::apply_initializer(interp, trace, ro, 0,
                                                   stats);
@@ -72,7 +80,8 @@ void BM_SaveRestore_ScalarState(benchmark::State& state) {
   rt::Interp interp(spec);
   tr::Trace trace(static_cast<int>(spec.ips.size()));
   trace.mark_eof();
-  core::ResolvedOptions ro(spec, core::Options::none());
+  const core::Options ro_opts = core::Options::none();
+  core::ResolvedOptions ro(spec, ro_opts);
   core::Stats stats;
   core::InitResult init =
       core::apply_initializer(interp, trace, ro, 0, stats);
@@ -85,12 +94,60 @@ void BM_SaveRestore_ScalarState(benchmark::State& state) {
 }
 BENCHMARK(BM_SaveRestore_ScalarState);
 
+void BM_CheckpointSave(benchmark::State& state, core::CheckpointMode mode) {
+  // One save+forget pair through the Checkpointer interface: copy mode
+  // deep-copies the state, trail mode records an O(1) mark.
+  core::SearchState st = tp0_state_with_heap(static_cast<int>(state.range(0)));
+  core::Stats stats;
+  std::unique_ptr<core::Checkpointer> ckpt =
+      core::make_checkpointer(mode, stats);
+  for (auto _ : state) {
+    const std::size_t mark = ckpt->save(st);
+    benchmark::DoNotOptimize(mark);
+    ckpt->forget(mark);
+  }
+  state.SetLabel(std::to_string(st.machine.heap.live_cells()) +
+                 " heap cells");
+}
+BENCHMARK_CAPTURE(BM_CheckpointSave, copy, core::CheckpointMode::Copy)
+    ->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_CheckpointSave, trail, core::CheckpointMode::Trail)
+    ->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AnalyzeInvalidTp0Checkpoint(benchmark::State& state,
+                                    core::CheckpointMode mode) {
+  // Branching-heavy end-to-end workload: the Figure-4 invalid TP0 trace
+  // without order checking backtracks massively, so nearly every node
+  // branches and pays a save. This is where the checkpoint implementation
+  // dominates (§3.2.2's save-cost observation).
+  est::Spec& spec = spec_of("tp0");
+  tr::Trace bad = sim::mutate_last_output_param(
+      sim::tp0_paper_trace(spec, static_cast<int>(state.range(0))));
+  core::Options opts = core::Options::none();
+  opts.checkpoint = mode;
+  opts.max_transitions = 30'000'000;
+  std::uint64_t saves = 0;
+  for (auto _ : state) {
+    core::DfsResult r = core::analyze(spec, bad, opts);
+    saves = r.stats.saves;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(saves) + " saves/analysis");
+}
+BENCHMARK_CAPTURE(BM_AnalyzeInvalidTp0Checkpoint, copy,
+                  core::CheckpointMode::Copy)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AnalyzeInvalidTp0Checkpoint, trail,
+                  core::CheckpointMode::Trail)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Generate(benchmark::State& state, const char* name,
                  const char* trace_text) {
   est::Spec& spec = spec_of(name);
   rt::Interp interp(spec);
   tr::Trace trace = tr::parse_trace(spec, trace_text);
-  core::ResolvedOptions ro(spec, core::Options::none());
+  const core::Options ro_opts = core::Options::none();
+  core::ResolvedOptions ro(spec, ro_opts);
   core::Stats stats;
   core::InitResult init =
       core::apply_initializer(interp, trace, ro, 0, stats);

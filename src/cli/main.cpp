@@ -95,6 +95,9 @@ analysis options:
   --partial                         undefined-tolerant partial-trace mode
   --initial-state-search            try all initial FSM states (§2.4.1)
   --hash-states                     prune revisited states (hash table)
+  --checkpoint=copy|trail           save/restore implementation: deep-copy
+                                    states (§3.2.2 oracle) or undo-log
+                                    trail marks (default trail)
   --no-reorder                      disable MDFS dynamic node reordering
   --max-transitions=<n>             search budget
   --max-depth=<n>                   depth bound
@@ -180,6 +183,15 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.options.initial_state_search = true;
     } else if (a == "--hash-states") {
       cli.options.hash_states = true;
+    } else if (starts_with(a, "--checkpoint=")) {
+      std::string m = value("--checkpoint=");
+      if (m == "copy") cli.options.checkpoint = core::CheckpointMode::Copy;
+      else if (m == "trail") {
+        cli.options.checkpoint = core::CheckpointMode::Trail;
+      } else {
+        throw CompileError({}, "bad --checkpoint value '" + m +
+                                   "' (expected copy or trail)");
+      }
     } else if (a == "--no-reorder") {
       cli.options.reorder_pg_nodes = false;
     } else if (starts_with(a, "--max-transitions=")) {
@@ -407,6 +419,7 @@ int cmd_fuzz(const Cli& cli) {
   config.chunk = cli.chunk;
   config.out_dir = cli.out_dir;
   config.verbose = cli.verbose;
+  config.checkpoint = cli.options.checkpoint;
   if (cli.options.max_transitions != 0) {
     config.max_transitions = cli.options.max_transitions;
   }

@@ -64,7 +64,11 @@ auto& idx(A& arr, long long i, long long lo, long long hi) {
 
 // ---------------------------------------------------------------------
 // Dynamic memory: one typed heap per pointee type. Copyable by value so
-// save/restore of the whole State struct is a plain copy.
+// save/restore of the whole State struct is a plain copy — and that copy
+// is cheap: the cell map is copy-on-write (shared between a saved State
+// and the live one until the next mutating access clones it). This is the
+// generated-tool counterpart of the interpreter's trail checkpointing:
+// save cost stops scaling with heap size (§3.2.2).
 // ---------------------------------------------------------------------
 
 using Ref = std::uint32_t;  // 0 is nil
@@ -72,28 +76,53 @@ using Ref = std::uint32_t;  // 0 is nil
 template <typename T>
 class Heap {
  public:
+  Heap() : cells_(std::make_shared<Cells>()) {}
+
   Ref alloc() {
+    mut();
     const Ref r = next_++;
-    cells_.emplace(r, T{});
+    cells_->emplace(r, T{});
     return r;
   }
   void release(Ref r) {
     if (r == 0) throw Fault("dispose of nil");
-    if (cells_.erase(r) == 0) throw Fault("double dispose");
+    if (cells_->find(r) == cells_->end()) {
+      throw Fault("double dispose: cell ^" + std::to_string(r) +
+                  " was already released");
+    }
+    mut();
+    cells_->erase(r);
   }
   T& at(Ref r) {
-    if (r == 0) throw Fault("nil pointer dereference");
-    auto it = cells_.find(r);
-    if (it == cells_.end()) throw Fault("dangling pointer");
+    // Clone BEFORE handing out the reference: mutable access may write.
+    // References never outlive a firing, and saves only happen between
+    // firings, so a returned reference is never invalidated by a clone.
+    mut();
+    auto it = cells_->find(check(r));
+    if (it == cells_->end()) throw Fault("dangling pointer");
     return it->second;
   }
   const T& at(Ref r) const {
-    return const_cast<Heap*>(this)->at(r);
+    auto it = cells_->find(check(r));
+    if (it == cells_->end()) throw Fault("dangling pointer");
+    return it->second;
   }
-  bool operator==(const Heap&) const = default;
+  bool operator==(const Heap& o) const {
+    return next_ == o.next_ && (cells_ == o.cells_ || *cells_ == *o.cells_);
+  }
 
  private:
-  std::map<Ref, T> cells_;
+  using Cells = std::map<Ref, T>;
+
+  static Ref check(Ref r) {
+    if (r == 0) throw Fault("nil pointer dereference");
+    return r;
+  }
+  void mut() {
+    if (cells_.use_count() > 1) cells_ = std::make_shared<Cells>(*cells_);
+  }
+
+  std::shared_ptr<Cells> cells_;
   Ref next_ = 1;
 };
 

@@ -1,0 +1,93 @@
+#include "core/checkpoint.hpp"
+
+namespace tango::core {
+
+std::uint64_t Checkpointer::copy_cost_bytes(const SearchState& st) {
+  // Shallow estimate: top-level containers only. Enough to compare copy
+  // vs. trail orders of magnitude without a full value-tree walk (which
+  // would itself cost what we are trying to avoid measuring).
+  std::uint64_t bytes = sizeof(SearchState);
+  bytes += st.machine.vars.size() * sizeof(rt::Value);
+  bytes += st.machine.heap.live_cells() *
+           (sizeof(rt::Value) + sizeof(std::uint32_t));
+  bytes += (st.cursors.in_next.size() + st.cursors.out_next.size()) *
+           sizeof(std::uint32_t);
+  return bytes;
+}
+
+SearchState Checkpointer::snapshot(const SearchState& st) {
+  stats_.checkpoint_bytes += copy_cost_bytes(st);
+  return st;
+}
+
+void Checkpointer::log_cursor_advance(tr::Dir, int) {}
+
+// ---------------------------------------------------------------- copy --
+
+std::size_t CopyCheckpointer::save(const SearchState& st) {
+  stats_.checkpoint_bytes += copy_cost_bytes(st);
+  snapshots_.push_back(st);
+  return snapshots_.size() - 1;
+}
+
+void CopyCheckpointer::restore(std::size_t mark, SearchState& st) {
+  st = snapshots_[mark];
+}
+
+void CopyCheckpointer::forget(std::size_t mark) {
+  snapshots_.resize(mark);
+}
+
+// --------------------------------------------------------------- trail --
+
+TrailCheckpointer::~TrailCheckpointer() { sync_stats(); }
+
+void TrailCheckpointer::sync_stats() {
+  const std::uint64_t total = trail_.total_logged() + cursor_logged_total_;
+  stats_.trail_entries += total - synced_;
+  synced_ = total;
+}
+
+std::size_t TrailCheckpointer::save(const SearchState&) {
+  marks_.push_back(Mark{trail_.mark(), cursor_log_.size()});
+  return marks_.size() - 1;
+}
+
+void TrailCheckpointer::restore(std::size_t mark, SearchState& st) {
+  sync_stats();
+  const Mark& m = marks_[mark];
+  trail_.undo_to(m.trail, st.machine);
+  while (cursor_log_.size() > m.cursors) {
+    const CursorUndo& u = cursor_log_.back();
+    const auto ip = static_cast<std::size_t>(u.ip);
+    // Cursors only ever advance by one, so undo is a decrement.
+    if (u.dir == tr::Dir::In) {
+      --st.cursors.in_next[ip];
+    } else {
+      --st.cursors.out_next[ip];
+    }
+    cursor_log_.pop_back();
+  }
+}
+
+void TrailCheckpointer::forget(std::size_t mark) {
+  // Dropping a mark keeps its undo entries: they belong to an ancestor's
+  // span and will be rewound by that ancestor's restore (or never, if the
+  // search completes first).
+  marks_.resize(mark);
+}
+
+void TrailCheckpointer::log_cursor_advance(tr::Dir dir, int ip) {
+  cursor_log_.push_back(CursorUndo{dir, ip});
+  ++cursor_logged_total_;
+}
+
+std::unique_ptr<Checkpointer> make_checkpointer(CheckpointMode mode,
+                                                Stats& stats) {
+  if (mode == CheckpointMode::Copy) {
+    return std::make_unique<CopyCheckpointer>(stats);
+  }
+  return std::make_unique<TrailCheckpointer>(stats);
+}
+
+}  // namespace tango::core

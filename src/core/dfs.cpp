@@ -1,8 +1,10 @@
 #include "core/dfs.hpp"
 
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
+#include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/generator.hpp"
 #include "trace/trace_io.hpp"
@@ -37,8 +39,8 @@ namespace {
 struct NodeFrame {
   GenResult gen;
   std::size_t next = 0;
-  std::optional<SearchState> saved;  // present iff the node branches
-  std::string chosen;                // name of the firing taken to descend
+  std::optional<std::size_t> mark;  // checkpoint; present iff node branches
+  std::string chosen;               // name of the firing taken to descend
 };
 
 class DfsEngine {
@@ -129,12 +131,17 @@ class DfsEngine {
     }
 
     SearchState cur = std::move(root);
+    // One checkpointer per root: the trail rewinds exactly to this root's
+    // post-initializer state, never across roots.
+    std::unique_ptr<Checkpointer> ckpt =
+        make_checkpointer(options_.checkpoint, stats);
     std::vector<NodeFrame> stack;
-    push_node(stack, cur, result);
+    push_node(stack, cur, *ckpt, result);
 
     while (!stack.empty()) {
       NodeFrame& frame = stack.back();
       if (frame.next >= frame.gen.firings.size()) {
+        if (frame.mark) ckpt->forget(*frame.mark);
         if (!frame.chosen.empty()) path.pop_back();
         stack.pop_back();
         continue;
@@ -143,7 +150,7 @@ class DfsEngine {
 
       const std::size_t pick = frame.next++;
       if (pick > 0) {
-        cur = *frame.saved;  // backtrack: restore the branching state
+        ckpt->restore(*frame.mark, cur);  // backtrack to the branching state
         ++stats.restores;
         if (!frame.chosen.empty()) path.pop_back();
         frame.chosen.clear();
@@ -151,7 +158,7 @@ class DfsEngine {
 
       const Firing& firing = frame.gen.firings[pick];
       ApplyResult applied =
-          apply_firing(interp_, trace_, ro_, cur, firing, stats);
+          apply_firing(interp_, trace_, ro_, cur, firing, stats, ckpt.get());
       if (!applied.ok) {
         // cur is now dirty; the next sibling (or an ancestor's) restore
         // repairs it before anything else executes.
@@ -192,18 +199,18 @@ class DfsEngine {
         continue;
       }
 
-      push_node(stack, cur, result);
+      push_node(stack, cur, *ckpt, result);
     }
     return false;
   }
 
   void push_node(std::vector<NodeFrame>& stack, SearchState& cur,
-                 DfsResult& result) {
+                 Checkpointer& ckpt, DfsResult& result) {
     NodeFrame frame;
     frame.gen = generate(interp_, trace_, ro_, cur, result.stats);
     note(result, frame.gen.fault);
     if (frame.gen.firings.size() > 1) {
-      frame.saved = cur;  // save only when the node actually branches
+      frame.mark = ckpt.save(cur);  // save only when the node branches
       ++result.stats.saves;
     }
     stack.push_back(std::move(frame));

@@ -9,12 +9,13 @@ namespace tango::core {
 
 TraceMatcher::TraceMatcher(const est::Spec& spec, const tr::Trace& trace,
                            const ResolvedOptions& ro, SearchState& st,
-                           bool partial)
+                           bool partial, Checkpointer* ckpt)
     : spec_(spec),
       trace_(trace),
       ro_(ro),
       st_(st),
       partial_(partial),
+      ckpt_(ckpt),
       start_cursors_(st.cursors) {}
 
 bool TraceMatcher::on_output(int ip, int interaction_id,
@@ -64,6 +65,7 @@ bool TraceMatcher::on_output(int ip, int interaction_id,
     return false;
   }
 
+  if (ckpt_ != nullptr) ckpt_->log_cursor_advance(tr::Dir::Out, ip);
   st_.cursors.out_next[static_cast<std::size_t>(ip)]++;
   matched_.push_back(seq);
   return true;
@@ -106,7 +108,8 @@ bool TraceMatcher::finish() {
 
 ApplyResult apply_firing(rt::Interp& interp, const tr::Trace& trace,
                          const ResolvedOptions& ro, SearchState& st,
-                         const Firing& firing, Stats& stats) {
+                         const Firing& firing, Stats& stats,
+                         Checkpointer* ckpt) {
   ++stats.transitions_executed;
   const est::Transition& tr =
       interp.spec().body().transitions[static_cast<std::size_t>(
@@ -115,13 +118,15 @@ ApplyResult apply_firing(rt::Interp& interp, const tr::Trace& trace,
   if (firing.input_event >= 0) {
     const tr::TraceEvent& ev =
         trace.event(static_cast<std::uint32_t>(firing.input_event));
+    if (ckpt != nullptr) ckpt->log_cursor_advance(tr::Dir::In, ev.ip);
     st.cursors.in_next[static_cast<std::size_t>(ev.ip)]++;
   }
 
   TraceMatcher matcher(interp.spec(), trace, ro, st,
-                       ro.base->partial);
+                       ro.base->partial, ckpt);
   try {
-    if (!interp.fire(st.machine, tr, firing.binding, matcher)) {
+    if (!interp.fire(st.machine, tr, firing.binding, matcher,
+                     ckpt != nullptr ? ckpt->trail() : nullptr)) {
       return {false, matcher.retry_later(), matcher.failure()};
     }
   } catch (const RuntimeFault& fault) {

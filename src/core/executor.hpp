@@ -7,16 +7,20 @@
 
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/generator.hpp"
 #include "core/search_state.hpp"
 
 namespace tango::core {
 
 /// OutputSink that verifies produced interactions against the trace.
+/// With a non-null checkpointer, every output-cursor advance is logged so
+/// a trail restore can undo it.
 class TraceMatcher final : public rt::OutputSink {
  public:
   TraceMatcher(const est::Spec& spec, const tr::Trace& trace,
-               const ResolvedOptions& ro, SearchState& st, bool partial);
+               const ResolvedOptions& ro, SearchState& st, bool partial,
+               Checkpointer* ckpt = nullptr);
 
   bool on_output(int ip, int interaction_id, std::vector<rt::Value> params,
                  SourceLoc loc) override;
@@ -39,6 +43,7 @@ class TraceMatcher final : public rt::OutputSink {
   const ResolvedOptions& ro_;
   SearchState& st_;
   bool partial_;
+  Checkpointer* ckpt_;
   CursorSet start_cursors_;            // snapshot at transition start
   std::vector<std::uint32_t> matched_; // trace seqs verified by this block
   std::string failure_;
@@ -52,12 +57,16 @@ struct ApplyResult {
 };
 
 /// Applies `firing` to `st` (mutating it). On failure `st` is left
-/// partially updated; the caller restores from its saved copy.
+/// partially updated; the caller restores it through its checkpointer (or
+/// from a saved copy). With a non-null `ckpt`, all machine mutations go
+/// through the checkpointer's trail and cursor advances are logged, so a
+/// trail restore fully reverts the firing.
 [[nodiscard]] ApplyResult apply_firing(rt::Interp& interp,
                                        const tr::Trace& trace,
                                        const ResolvedOptions& ro,
                                        SearchState& st, const Firing& firing,
-                                       Stats& stats);
+                                       Stats& stats,
+                                       Checkpointer* ckpt = nullptr);
 
 /// Runs initializer `index` on a fresh state. Returns the resulting state;
 /// ok=false when an initializer output mismatched the trace.

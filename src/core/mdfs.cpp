@@ -44,7 +44,8 @@ OnlineAnalyzer::OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
               config_.options.partial ? rt::EvalMode::Partial
                                       : rt::EvalMode::Strict,
               config_.options.interp),
-      trace_(static_cast<int>(spec.ips.size())) {}
+      trace_(static_cast<int>(spec.ips.size())),
+      ckpt_(make_checkpointer(config_.options.checkpoint, stats_)) {}
 
 OnlineAnalyzer::~OnlineAnalyzer() = default;
 
@@ -140,7 +141,7 @@ void OnlineAnalyzer::seed_roots() {
     }
     for (int start : start_states) {
       auto node = std::make_unique<MNode>();
-      node->state = init.state;
+      node->state = ckpt_->snapshot(init.state);
       node->state.machine.fsm_state = start;
       compute_gen(*node);
       ++stats_.saves;
@@ -204,7 +205,9 @@ bool OnlineAnalyzer::do_step() {
   node.explored.insert({firing.transition, firing.input_event});
 
   auto child = std::make_unique<MNode>();
-  child->state = node.state;  // MDFS saves a full state per node (§3.2.2)
+  // MDFS saves a full state per node (§3.2.2): a materialized snapshot in
+  // either checkpoint mode, since PG parking outlives any stack order.
+  child->state = ckpt_->snapshot(node.state);
   ++stats_.saves;
   ++stats_.restores;
 

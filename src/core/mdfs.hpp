@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/dfs.hpp"
 #include "core/generator.hpp"
 #include "core/options.hpp"
@@ -93,6 +94,10 @@ class OnlineAnalyzer {
   rt::Interp interp_;
   tr::Trace trace_;
   Stats stats_;
+  /// MDFS parks whole states on PG nodes for §3.1.1 re-generation, so
+  /// per-node saves go through snapshot() — a materialized deep copy in
+  /// either checkpoint mode (trail marks cannot outlive the stack order).
+  std::unique_ptr<Checkpointer> ckpt_;
 
   std::vector<std::unique_ptr<MNode>> stack_;
   std::deque<std::unique_ptr<MNode>> pg_;

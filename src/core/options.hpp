@@ -16,6 +16,19 @@
 
 namespace tango::core {
 
+/// How the DFS engines implement the §2.2 save/restore primitives.
+/// `Copy` deep-copies the composite state at every branching node (the
+/// paper's cost model, §3.2.2) and is kept as a differential oracle;
+/// `Trail` makes save an O(1) mark on an undo log and restore a rewind.
+/// Both produce identical verdicts and identical TE/GE/RE/SA counters.
+/// MDFS per-node states are materialized snapshots in either mode, because
+/// §3.1.1 re-generation needs whole states to park on PG nodes.
+enum class CheckpointMode : std::uint8_t { Copy, Trail };
+
+[[nodiscard]] constexpr const char* to_string(CheckpointMode m) {
+  return m == CheckpointMode::Copy ? "copy" : "trail";
+}
+
 struct Options {
   // --- relative order checking (§2.4.2) ---
   /// The next input consumed must precede every pending output at the same
@@ -58,6 +71,8 @@ struct Options {
   /// went through a pruned node; off by default, exactly as the footnote
   /// cautions.
   bool prune_on_pgav = false;
+  /// Save/restore implementation for the DFS engines (see CheckpointMode).
+  CheckpointMode checkpoint = CheckpointMode::Trail;
   /// 0 = unlimited. When exceeded the verdict is Inconclusive.
   std::uint64_t max_transitions = 0;
   /// 0 = unlimited search depth. Needed for partial traces (§5.4).
@@ -93,6 +108,9 @@ struct Options {
 /// Throws CompileError when an option names an unknown ip.
 struct ResolvedOptions {
   ResolvedOptions(const est::Spec& spec, const Options& opts);
+  /// `base` aliases `opts`, which must outlive this view — a temporary
+  /// would dangle (caught by the sanitizer build), so reject it.
+  ResolvedOptions(const est::Spec& spec, Options&& opts) = delete;
 
   const Options* base;
   std::vector<char> disabled;      // by ip index

@@ -14,6 +14,8 @@ Stats& Stats::operator+=(const Stats& other) {
   pruned_by_hash += other.pruned_by_hash;
   fanout_sum += other.fanout_sum;
   fanout_samples += other.fanout_samples;
+  trail_entries += other.trail_entries;
+  checkpoint_bytes += other.checkpoint_bytes;
   max_depth = std::max(max_depth, other.max_depth);
   cpu_seconds += other.cpu_seconds;
   return *this;
@@ -32,11 +34,12 @@ std::string Stats::summary() const {
 }
 
 std::string Stats::to_json() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "{\"te\":%llu,\"ge\":%llu,\"re\":%llu,\"sa\":%llu,"
       "\"pruned_by_hash\":%llu,\"fanout_sum\":%llu,\"fanout_samples\":%llu,"
+      "\"trail_entries\":%llu,\"checkpoint_bytes\":%llu,"
       "\"max_depth\":%d,\"cpu_seconds\":%.6f}",
       static_cast<unsigned long long>(transitions_executed),
       static_cast<unsigned long long>(generates),
@@ -44,7 +47,9 @@ std::string Stats::to_json() const {
       static_cast<unsigned long long>(saves),
       static_cast<unsigned long long>(pruned_by_hash),
       static_cast<unsigned long long>(fanout_sum),
-      static_cast<unsigned long long>(fanout_samples), max_depth,
+      static_cast<unsigned long long>(fanout_samples),
+      static_cast<unsigned long long>(trail_entries),
+      static_cast<unsigned long long>(checkpoint_bytes), max_depth,
       cpu_seconds);
   return buf;
 }

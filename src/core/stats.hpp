@@ -16,6 +16,12 @@ struct Stats {
   std::uint64_t pruned_by_hash = 0;        // state-hashing ablation
   std::uint64_t fanout_sum = 0;            // sum of firing-list sizes
   std::uint64_t fanout_samples = 0;
+  /// Undo entries pushed by trail-mode checkpointing (0 in copy mode).
+  /// Excluded from cross-mode differential comparisons, unlike TE..SA.
+  std::uint64_t trail_entries = 0;
+  /// Approximate bytes deep-copied by save()/snapshot() (shallow estimate:
+  /// top-level containers, not nested record/array payloads).
+  std::uint64_t checkpoint_bytes = 0;
   int max_depth = 0;
   double cpu_seconds = 0.0;
 

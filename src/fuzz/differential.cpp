@@ -147,6 +147,7 @@ MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
     options.prune_on_pgav = base.prune_on_pgav;
     options.max_transitions = base.max_transitions;
     options.max_depth = base.max_depth;
+    options.checkpoint = base.checkpoint;
     options.interp = base.interp;
     for (Engine e : engines) {
       EngineRun run = run_engine(spec, trace, options, e, chunk);

@@ -201,6 +201,7 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
 
   core::Options base = core::Options::none();
   base.max_transitions = config.max_transitions;
+  base.checkpoint = config.checkpoint;
 
   for (int iter = 0; iter < config.iterations; ++iter) {
     ++report.iterations;

@@ -46,6 +46,10 @@ struct FuzzConfig {
   /// Per-analysis search budget; exhaustion yields Inconclusive, which the
   /// agreement relation skips.
   std::uint64_t max_transitions = 200'000;
+  /// Save/restore implementation the DFS engines run under; campaigns with
+  /// both modes and the same seed must report identical verdicts and
+  /// identical TE/GE/RE/SA totals (the copy-vs-trail differential oracle).
+  core::CheckpointMode checkpoint = core::CheckpointMode::Trail;
   std::uint64_t sim_max_steps = 160;
   GenConfig generator;
   /// Directory for reproducer bundles; empty disables writing.

@@ -20,15 +20,15 @@ const Value* Heap::cell(std::uint32_t addr) const {
   return it == cells_.end() ? nullptr : &it->second;
 }
 
-void Heap::hash_into(std::uint64_t& h) const {
-  auto mix = [&h](std::uint64_t x) {
-    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  };
-  mix(cells_.size());
-  for (const auto& [addr, value] : cells_) {
-    mix(addr);
-    value.hash_into(h);
-  }
+void Heap::revert_allocate(std::uint32_t addr) {
+  cells_.erase(addr);
+  // Undoing allocations newest-first lands the cursor back on the value it
+  // had at the trail mark.
+  next_ = addr;
+}
+
+void Heap::revert_release(std::uint32_t addr, Value old_value) {
+  cells_.emplace(addr, std::move(old_value));
 }
 
 }  // namespace tango::rt

@@ -1,8 +1,8 @@
 // Dynamic memory for Estelle `new`/`dispose`. The heap is part of the TAM
-// state (paper §2.3), so it must be cheaply copyable for save/restore: we
-// use a std::map keyed by address and copy it wholesale. The cost of these
-// deep copies is exactly the §3.2.2 concern, measured by
-// bench_ablation_savecost.
+// state (paper §2.3), so save/restore must cover it: either by wholesale
+// copy of the std::map (the deep-copy checkpointing mode, whose §3.2.2 cost
+// bench_ablation_savecost measures) or by replaying per-cell undo entries
+// from the rt::Trail (the revert_* hooks below).
 #pragma once
 
 #include <cstdint>
@@ -28,7 +28,18 @@ class Heap {
 
   [[nodiscard]] std::size_t live_cells() const { return cells_.size(); }
 
-  void hash_into(std::uint64_t& h) const;
+  /// All live cells in address order (for hashing/equality walks).
+  [[nodiscard]] const std::map<std::uint32_t, Value>& cells() const {
+    return cells_;
+  }
+
+  /// Trail undo of `allocate`: `addr` must be the most recent live
+  /// allocation. Rewinds the allocation cursor so a re-run allocates the
+  /// same address — bit-identical to what a deep-copy restore yields.
+  void revert_allocate(std::uint32_t addr);
+
+  /// Trail undo of `release`: re-inserts the cell with its old contents.
+  void revert_release(std::uint32_t addr, Value old_value);
 
  private:
   std::map<std::uint32_t, Value> cells_;

@@ -37,13 +37,15 @@ struct Frame {
 class Exec {
  public:
   Exec(const est::Spec& spec, MachineState& m, EvalMode mode,
-       const InterpLimits& limits, OutputSink* sink, bool read_only)
+       const InterpLimits& limits, OutputSink* sink, bool read_only,
+       Trail* trail = nullptr)
       : spec_(spec),
         m_(m),
         mode_(mode),
         limits_(limits),
         sink_(sink),
         read_only_(read_only),
+        trail_(trail),
         budget_(limits.max_statements) {}
 
   void init_locals(Frame& f, const std::vector<est::VarDecl>& decls) {
@@ -220,9 +222,15 @@ class Exec {
     switch (e.kind) {
       case ExprKind::Name:
         switch (e.ref) {
-          case NameRef::ModuleVar:
+          case NameRef::ModuleVar: {
             check_writable(e.loc, "module variable");
-            return &m_.vars[static_cast<std::size_t>(e.slot)];
+            // Log the whole root slot: a field/index lvalue resolves
+            // through here first, and a slot index stays valid however the
+            // value is later reassigned (interior pointers would not).
+            Value* root = &m_.vars[static_cast<std::size_t>(e.slot)];
+            if (trail_ != nullptr) trail_->log_var(e.slot, *root);
+            return root;
+          }
           case NameRef::Local:
             return &f.slot_value(e.slot);
           default:
@@ -255,7 +263,9 @@ class Exec {
         if (p.is_undefined()) {
           throw RuntimeFault(e.loc, "dereference of undefined pointer");
         }
-        return deref(p, e.loc);
+        Value* cell = deref(p, e.loc);
+        if (trail_ != nullptr) trail_->log_heap_write(p.address(), *cell);
+        return cell;
       }
       default:
         throw RuntimeFault(e.loc, "expression is not assignable");
@@ -474,7 +484,9 @@ class Exec {
       check_writable(s.loc, "dynamic memory");
       Value* p = lvalue(*s.args[0], f);
       const Type* pt = s.args[0]->type;  // pointer type
-      *p = Value::make_pointer(m_.heap.allocate(default_value(pt->pointee)));
+      const std::uint32_t addr = m_.heap.allocate(default_value(pt->pointee));
+      if (trail_ != nullptr) trail_->log_heap_alloc(addr);
+      *p = Value::make_pointer(addr);
       return;
     }
     if (s.builtin == Builtin::Dispose) {
@@ -486,9 +498,19 @@ class Exec {
       if (p->address() == 0) {
         throw RuntimeFault(s.loc, "dispose of nil");
       }
-      if (!m_.heap.release(p->address())) {
-        throw RuntimeFault(s.loc, "double dispose");
+      const std::uint32_t addr = p->address();
+      Value* cell = m_.heap.cell(addr);
+      if (cell == nullptr) {
+        // The analyzer surfaces this fault as an Invalid verdict with the
+        // note attached — a spec bug in the dynamic-memory discipline, not
+        // a mismatch between trace and behaviour.
+        throw RuntimeFault(s.loc,
+                           "double dispose: cell ^" + std::to_string(addr) +
+                               " was already released (dispose of a dangling "
+                               "pointer)");
       }
+      if (trail_ != nullptr) trail_->log_heap_release(addr, std::move(*cell));
+      m_.heap.release(addr);
       *p = Value{};  // Pascal leaves the pointer undefined
       return;
     }
@@ -515,6 +537,7 @@ class Exec {
   const InterpLimits& limits_;
   OutputSink* sink_;
   bool read_only_;
+  Trail* trail_;
   std::uint64_t budget_;
   int depth_ = 0;
 };
@@ -525,8 +548,8 @@ Interp::Interp(const est::Spec& spec, EvalMode mode, InterpLimits limits)
     : spec_(spec), mode_(mode), limits_(limits) {}
 
 bool Interp::run_initializer(MachineState& m, const est::Initializer& init,
-                             OutputSink& sink) {
-  Exec exec(spec_, m, mode_, limits_, &sink, /*read_only=*/false);
+                             OutputSink& sink, Trail* trail) {
+  Exec exec(spec_, m, mode_, limits_, &sink, /*read_only=*/false, trail);
   Frame f;
   f.slots.resize(static_cast<std::size_t>(init.frame_size));
   exec.init_locals(f, init.locals);
@@ -535,13 +558,15 @@ bool Interp::run_initializer(MachineState& m, const est::Initializer& init,
   } catch (const PathAbort&) {
     return false;
   }
+  if (trail != nullptr) trail->log_fsm(m.fsm_state);
   m.fsm_state = init.to_ordinal;
   return true;
 }
 
 bool Interp::fire(MachineState& m, const est::Transition& tr,
-                  const std::vector<Value>& when_args, OutputSink& sink) {
-  Exec exec(spec_, m, mode_, limits_, &sink, /*read_only=*/false);
+                  const std::vector<Value>& when_args, OutputSink& sink,
+                  Trail* trail) {
+  Exec exec(spec_, m, mode_, limits_, &sink, /*read_only=*/false, trail);
   Frame f;
   f.slots.resize(static_cast<std::size_t>(tr.frame_size));
   f.when_params = &when_args;
@@ -551,7 +576,10 @@ bool Interp::fire(MachineState& m, const est::Transition& tr,
   } catch (const PathAbort&) {
     return false;
   }
-  if (tr.to_ordinal >= 0) m.fsm_state = tr.to_ordinal;
+  if (tr.to_ordinal >= 0) {
+    if (trail != nullptr) trail->log_fsm(m.fsm_state);
+    m.fsm_state = tr.to_ordinal;
+  }
   return true;
 }
 

@@ -10,6 +10,7 @@
 
 #include "estelle/spec.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/trail.hpp"
 #include "support/diagnostics.hpp"
 
 namespace tango::rt {
@@ -54,14 +55,19 @@ class Interp {
 
   /// Executes an initialize clause: runs its block against `m` and enters
   /// its target state. Returns false if an output was vetoed by the sink.
+  /// With a non-null `trail`, every mutation of `m` (module-variable root,
+  /// heap cell, allocate/release, FSM state) pushes an undo entry first, so
+  /// the caller can restore by rewinding instead of deep-copying (§3.2.2).
   bool run_initializer(MachineState& m, const est::Initializer& init,
-                       OutputSink& sink);
+                       OutputSink& sink, Trail* trail = nullptr);
 
   /// Fires a transition whose when-parameters are bound to `when_args`
   /// (empty for spontaneous transitions). Returns false if vetoed; in that
-  /// case `m` is left partially updated and must be restored by the caller.
+  /// case `m` is left partially updated and must be restored by the caller
+  /// (deep-copy restore, or Trail::undo_to when a trail was passed).
   bool fire(MachineState& m, const est::Transition& tr,
-            const std::vector<Value>& when_args, OutputSink& sink);
+            const std::vector<Value>& when_args, OutputSink& sink,
+            Trail* trail = nullptr);
 
   /// Evaluates a transition's provided clause read-only (writes to module
   /// variables or the heap fault). Missing clause means true; an undefined

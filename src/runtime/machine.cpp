@@ -1,6 +1,77 @@
 #include "runtime/machine.hpp"
 
+#include <map>
+
 namespace tango::rt {
+
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+// Hashes `v`, renumbering pointer targets by first-visit order so the hash
+// is invariant under allocation-address shifts. `canon` maps live heap
+// address -> canonical id; a cell's contents are hashed only on first
+// visit, which also terminates cyclic structures.
+void hash_value(const Value& v, const Heap& heap,
+                std::map<std::uint32_t, std::uint32_t>& canon,
+                std::uint64_t& h) {
+  mix(h, static_cast<std::uint64_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::Undefined:
+      break;
+    case Value::Kind::Pointer: {
+      const std::uint32_t addr = v.address();
+      if (addr == 0) {
+        mix(h, 0x6e696cULL);  // nil
+        break;
+      }
+      const Value* cell = heap.cell(addr);
+      if (cell == nullptr) {
+        mix(h, 0x64616e67ULL);  // dangling
+        break;
+      }
+      auto [it, fresh] = canon.emplace(
+          addr, static_cast<std::uint32_t>(canon.size() + 1));
+      mix(h, it->second);
+      if (fresh) hash_value(*cell, heap, canon, h);
+      break;
+    }
+    case Value::Kind::Int:
+    case Value::Kind::Bool:
+    case Value::Kind::Char:
+    case Value::Kind::Enum:
+      mix(h, static_cast<std::uint64_t>(v.scalar()));
+      break;
+    case Value::Kind::Record:
+    case Value::Kind::Array:
+      mix(h, v.elems().size());
+      for (const Value& e : v.elems()) hash_value(e, heap, canon, h);
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t MachineState::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h ^= static_cast<std::uint64_t>(fsm_state) * 0x100000001b3ULL;
+  std::map<std::uint32_t, std::uint32_t> canon;
+  for (const Value& v : vars) hash_value(v, heap, canon, h);
+  // Cells no root reaches (leaked memory) still distinguish states: a
+  // leaked cell changes what future allocations may alias, and the paper's
+  // state is the whole memory. Hash them after the reachable region, in
+  // address order, contents only.
+  if (canon.size() != heap.live_cells()) {
+    mix(h, 0x6c65616bULL);  // leaked-region separator
+    for (const auto& [addr, value] : heap.cells()) {
+      if (canon.find(addr) != canon.end()) continue;
+      hash_value(value, heap, canon, h);
+    }
+  }
+  return h;
+}
 
 MachineState make_initial_machine(const est::Spec& spec) {
   MachineState m;

@@ -18,13 +18,12 @@ struct MachineState {
   std::vector<Value> vars;
   Heap heap;
 
-  [[nodiscard]] std::uint64_t hash() const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    h ^= static_cast<std::uint64_t>(fsm_state) * 0x100000001b3ULL;
-    for (const Value& v : vars) v.hash_into(h);
-    heap.hash_into(h);
-    return h;
-  }
+  /// Canonical state hash for §4.2 visited-state pruning. Heap cells are
+  /// hashed in pointer-reachability order from the module variables, with
+  /// addresses renumbered by first-visit order, so two runs that reach
+  /// structurally identical states through different new/dispose
+  /// interleavings hash equal even though their absolute addresses differ.
+  [[nodiscard]] std::uint64_t hash() const;
 };
 
 /// Fresh machine: every module variable gets its type's default value

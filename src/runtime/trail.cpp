@@ -1,0 +1,78 @@
+#include "runtime/trail.hpp"
+
+#include "runtime/heap.hpp"
+
+namespace tango::rt {
+
+void Trail::log_fsm(int old_state) {
+  Entry e;
+  e.kind = Kind::Fsm;
+  e.fsm_old = old_state;
+  entries_.push_back(std::move(e));
+  ++total_logged_;
+}
+
+void Trail::log_var(int slot, const Value& old_value) {
+  Entry e;
+  e.kind = Kind::Var;
+  e.index = static_cast<std::uint32_t>(slot);
+  e.old = old_value;
+  entries_.push_back(std::move(e));
+  ++total_logged_;
+}
+
+void Trail::log_heap_write(std::uint32_t addr, const Value& old_value) {
+  Entry e;
+  e.kind = Kind::HeapWrite;
+  e.index = addr;
+  e.old = old_value;
+  entries_.push_back(std::move(e));
+  ++total_logged_;
+}
+
+void Trail::log_heap_alloc(std::uint32_t addr) {
+  Entry e;
+  e.kind = Kind::HeapAlloc;
+  e.index = addr;
+  entries_.push_back(std::move(e));
+  ++total_logged_;
+}
+
+void Trail::log_heap_release(std::uint32_t addr, Value old_value) {
+  Entry e;
+  e.kind = Kind::HeapRelease;
+  e.index = addr;
+  e.old = std::move(old_value);
+  entries_.push_back(std::move(e));
+  ++total_logged_;
+}
+
+void Trail::undo_to(Mark m, MachineState& state) {
+  while (entries_.size() > m) {
+    Entry& e = entries_.back();
+    switch (e.kind) {
+      case Kind::Fsm:
+        state.fsm_state = e.fsm_old;
+        break;
+      case Kind::Var:
+        state.vars[e.index] = std::move(e.old);
+        break;
+      case Kind::HeapWrite: {
+        Value* cell = state.heap.cell(e.index);
+        // The cell must be live: an alloc/release of the same address
+        // logged *after* this write has already been undone.
+        if (cell != nullptr) *cell = std::move(e.old);
+        break;
+      }
+      case Kind::HeapAlloc:
+        state.heap.revert_allocate(e.index);
+        break;
+      case Kind::HeapRelease:
+        state.heap.revert_release(e.index, std::move(e.old));
+        break;
+    }
+    entries_.pop_back();
+  }
+}
+
+}  // namespace tango::rt

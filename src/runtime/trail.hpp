@@ -1,0 +1,74 @@
+// Undo-log (trail) for the paper's §2.2 save/restore primitives. Instead of
+// deep-copying the whole module state at every branching node (the §3.2.2
+// cost the paper measures as SA), *save* records the current trail length
+// and every subsequent mutation of the machine state pushes one undo entry;
+// *restore* pops entries back to the mark, reverting them in reverse order.
+//
+// Granularity: module variables are logged per top-level slot and heap
+// cells per address (a write through a field/index path captures the whole
+// root value). Interior Value pointers are never stored — an entry is keyed
+// by slot index or heap address, so it survives wholesale reassignment of
+// the value it reverts.
+//
+// Entries must be undone in exact reverse mutation order; that is what
+// makes the allocate/release entries safe to replay against the std::map
+// heap and keeps the allocation cursor (`Heap::next_`) bit-identical to
+// what a deep-copy restore would have produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/value.hpp"
+
+namespace tango::rt {
+
+class Trail {
+ public:
+  /// A position in the log; save = mark(), restore = undo_to(mark).
+  using Mark = std::size_t;
+
+  [[nodiscard]] Mark mark() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Monotone count of entries ever logged (undo does not decrease it);
+  /// feeds the Stats trail-entry counter.
+  [[nodiscard]] std::uint64_t total_logged() const { return total_logged_; }
+
+  /// The FSM state ordinal is about to change.
+  void log_fsm(int old_state);
+  /// Module variable `slot` is about to be written (whole-slot old value).
+  void log_var(int slot, const Value& old_value);
+  /// Heap cell `addr` is about to be written.
+  void log_heap_write(std::uint32_t addr, const Value& old_value);
+  /// Heap cell `addr` was just allocated.
+  void log_heap_alloc(std::uint32_t addr);
+  /// Heap cell `addr` is about to be released (its last value moves in).
+  void log_heap_release(std::uint32_t addr, Value old_value);
+
+  /// Reverts every mutation logged after `m`, newest first.
+  void undo_to(Mark m, MachineState& state);
+
+  void clear() { entries_.clear(); }
+
+ private:
+  enum class Kind : std::uint8_t {
+    Fsm,
+    Var,
+    HeapWrite,
+    HeapAlloc,
+    HeapRelease,
+  };
+
+  struct Entry {
+    Kind kind;
+    int fsm_old = 0;         // Fsm only
+    std::uint32_t index = 0; // var slot or heap address
+    Value old;               // previous contents (unused for Fsm/HeapAlloc)
+  };
+
+  std::vector<Entry> entries_;
+  std::uint64_t total_logged_ = 0;
+};
+
+}  // namespace tango::rt

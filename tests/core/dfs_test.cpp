@@ -242,6 +242,30 @@ end.
   EXPECT_EQ(r.verdict, Verdict::Valid);  // `ok` path survives
 }
 
+TEST(Dfs, DoubleDisposeSurfacesAsAnalysisError) {
+  // A spec whose only explaining path releases the same cell twice: the
+  // fault must kill the path (trace Invalid) and the verdict note must say
+  // why, rather than the heap silently ignoring the second dispose.
+  est::Spec spec = est::compile_spec(R"(
+specification s;
+channel CH(A, B); by A: m; by B: r;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  type PI = ^integer;
+  var p, q: PI;
+  state z;
+  initialize to z begin new(p); q := p; end;
+  trans
+    from z to z when P.m name dd:
+      begin dispose(p); dispose(q); output P.r; end;
+end;
+end.
+)");
+  DfsResult r = analyze_text(spec, "in P.m\nout P.r\n", Options::none());
+  EXPECT_EQ(r.verdict, Verdict::Invalid);
+  EXPECT_NE(r.note.find("double dispose"), std::string::npos) << r.note;
+}
+
 TEST(Dfs, SolutionPathReplaysTransitionNames) {
   est::Spec spec = est::compile_spec(specs::tp0());
   const char* trace =

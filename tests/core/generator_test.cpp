@@ -72,7 +72,8 @@ TEST(Generator, FromStateFiltering) {
   SearchState st;
   (void)f.gen(t, Options::none(), &st);
   st.machine.fsm_state = f.spec.state_ordinal("w");
-  ResolvedOptions ro(f.spec, Options::none());
+  const Options opts = Options::none();
+  ResolvedOptions ro(f.spec, opts);
   GenResult g = generate(f.interp, t, ro, st, f.stats);
   ASSERT_EQ(g.firings.size(), 1u);
   EXPECT_EQ(g.firings[0].transition,
@@ -165,7 +166,8 @@ end.
   rt::Interp interp(spec);
   Stats stats;
   tr::Trace t = tr::parse_trace(spec, "in p.m\n");
-  ResolvedOptions ro(spec, Options::none());
+  const Options opts = Options::none();
+  ResolvedOptions ro(spec, opts);
   InitResult init = apply_initializer(interp, t, ro, 0, stats);
   GenResult g = generate(interp, t, ro, init.state, stats);
   ASSERT_EQ(g.firings.size(), 1u);

@@ -62,13 +62,68 @@ TEST(Heap, CopyPreservesAllocationCursor) {
 }
 
 TEST(Heap, HashReflectsLiveCells) {
-  Heap a, b;
-  std::uint64_t ha = 0, hb = 0;
-  (void)a.allocate(Value::make_int(5));
-  (void)b.allocate(Value::make_int(6));
-  a.hash_into(ha);
-  b.hash_into(hb);
-  EXPECT_NE(ha, hb);
+  // Cell contents flow into the state hash through the reachability walk
+  // in MachineState::hash().
+  MachineState a, b;
+  a.vars.push_back(Value::make_pointer(a.heap.allocate(Value::make_int(5))));
+  b.vars.push_back(Value::make_pointer(b.heap.allocate(Value::make_int(6))));
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(MachineState, HashIsCanonicalUnderAllocationOrder) {
+  // Regression (hash-pruned DFS, §4.2): two new/dispose interleavings that
+  // reach structurally identical states must hash equal. State A allocates
+  // a scratch cell first and disposes it, so its live cell sits at address
+  // 2; state B allocates directly at address 1.
+  MachineState a;
+  const std::uint32_t scratch = a.heap.allocate(Value::make_int(0));
+  const std::uint32_t a_cell = a.heap.allocate(Value::make_int(5));
+  ASSERT_TRUE(a.heap.release(scratch));
+  a.vars.push_back(Value::make_pointer(a_cell));
+
+  MachineState b;
+  b.vars.push_back(Value::make_pointer(b.heap.allocate(Value::make_int(5))));
+
+  ASSERT_NE(a_cell, b.vars[0].address());  // different absolute addresses
+  EXPECT_EQ(a.hash(), b.hash());           // same structure, same hash
+}
+
+TEST(MachineState, HashSeesThroughTwoPointersToOneCell) {
+  // Aliasing matters: two pointers to ONE cell is a different structure
+  // from two pointers to two equal cells.
+  MachineState shared;
+  const std::uint32_t one = shared.heap.allocate(Value::make_int(7));
+  shared.vars.push_back(Value::make_pointer(one));
+  shared.vars.push_back(Value::make_pointer(one));
+
+  MachineState split;
+  split.vars.push_back(
+      Value::make_pointer(split.heap.allocate(Value::make_int(7))));
+  split.vars.push_back(
+      Value::make_pointer(split.heap.allocate(Value::make_int(7))));
+
+  EXPECT_NE(shared.hash(), split.hash());
+}
+
+TEST(MachineState, HashTerminatesOnCyclicStructures) {
+  // node^.next := head (a one-cell cycle through a record field).
+  MachineState m;
+  const std::uint32_t addr = m.heap.allocate(Value::make_record({Value{}}));
+  m.heap.cell(addr)->elems()[0] = Value::make_pointer(addr);
+  m.vars.push_back(Value::make_pointer(addr));
+  const std::uint64_t h = m.hash();  // must not recurse forever
+  MachineState copy = m;
+  EXPECT_EQ(copy.hash(), h);
+}
+
+TEST(MachineState, HashStillSeesLeakedCells) {
+  // A leaked (unreachable) cell is part of the memory state; two states
+  // that differ only in a leak must not collapse to one hash bucket.
+  MachineState reachable_only;
+  reachable_only.vars.push_back(Value::nil());
+  MachineState leaky = reachable_only;
+  (void)leaky.heap.allocate(Value::make_int(1));
+  EXPECT_NE(reachable_only.hash(), leaky.hash());
 }
 
 TEST(MachineState, HashIsDeterministicAndDiscriminating) {

@@ -277,6 +277,24 @@ TEST(Interp, DanglingPointerFaults) {
                RuntimeFault);
 }
 
+TEST(Interp, DoubleDisposeFaultsWithDiagnosticMessage) {
+  // Releasing through an alias after the cell is gone is a spec error the
+  // analyzer must surface, not a silent no-op at the heap layer.
+  try {
+    Harness h(R"(
+    type P = ^integer;
+    var p, q: P;
+    state z;
+    initialize to z begin new(p); q := p; dispose(p); dispose(q); end;
+)");
+    FAIL() << "double dispose did not fault";
+  } catch (const RuntimeFault& fault) {
+    EXPECT_NE(std::string(fault.what()).find("double dispose"),
+              std::string::npos)
+        << fault.what();
+  }
+}
+
 TEST(Interp, OutputsAreDeliveredInOrder) {
   Harness h(R"(
     state z;
