@@ -1,0 +1,145 @@
+// Scaling curve for the parallel work-stealing engine: each workload runs
+// under jobs = 1, 2, 4, 8 and the wall-clock times are written both as a
+// human-readable table and as machine-readable BENCH_parallel.json so
+// future changes can track the perf trajectory.
+//
+// Two workload families:
+//   - invalid TP0 traces (the paper's §4.2 mutation): refuting them walks
+//     an exponential tree with real branching — the case parallel search
+//     is for;
+//   - a valid LAPD trace: near-linear search with one live path, included
+//     as a control — there is nothing to steal, so jobs>1 must not regress
+//     it beyond pool overhead.
+//
+// Wall time is measured with steady_clock, NOT Stats::cpu_seconds: the cpu
+// timer reads CLOCK_PROCESS_CPUTIME_ID, which sums across threads and
+// therefore cannot show a speedup.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/parallel_dfs.hpp"
+#include "sim/mutate.hpp"
+#include "sim/workloads.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  int jobs;
+  double wall_seconds;
+  tango::core::DfsResult result;
+};
+
+struct WorkloadResult {
+  const char* name;
+  std::vector<Row> rows;
+};
+
+double best_of(int repeats, const std::function<tango::core::DfsResult()>& run,
+               tango::core::DfsResult& out) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = Clock::now();
+    tango::core::DfsResult r = run();
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (secs < best) {
+      best = secs;
+      out = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tango;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const int repeats = 3;
+
+  est::Spec tp0 = bench::load("tp0");
+  est::Spec lapd = bench::load("lapd");
+
+  struct Workload {
+    const char* name;
+    est::Spec* spec;
+    tr::Trace trace;
+    core::Options options;
+  };
+  std::vector<Workload> workloads;
+  {
+    // Branching refutations: FULL ordering keeps the tree exponential but
+    // compact enough per node that deeper traces stay bench-sized; the IO
+    // preset branches harder per node, so a shorter trace suffices.
+    Workload a{"tp0_invalid_full_n12", &tp0,
+               sim::mutate_last_output_param(sim::tp0_paper_trace(tp0, 12)),
+               core::Options::full()};
+    Workload b{"tp0_invalid_io_n6", &tp0,
+               sim::mutate_last_output_param(sim::tp0_paper_trace(tp0, 6)),
+               core::Options::io()};
+    Workload c{"lapd_valid_full_di100", &lapd, sim::lapd_trace(lapd, 100),
+               core::Options::full()};
+    for (Workload* w : {&a, &b, &c}) {
+      w->options.max_transitions = 30'000'000;
+      workloads.push_back(std::move(*w));
+    }
+  }
+
+  std::printf("Parallel scaling — work-stealing engine, best of %d runs\n",
+              repeats);
+  std::printf("(hardware_concurrency = %u)\n\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<WorkloadResult> all;
+  for (const Workload& w : workloads) {
+    WorkloadResult wr{w.name, {}};
+    std::printf("[%s]\n", w.name);
+    std::printf("%5s  %9s  %8s  %9s  %9s  %9s  %s\n", "jobs", "wall_s",
+                "speedup", "TE", "published", "stolen", "verdict");
+    double base = 0;
+    for (int jobs : {1, 2, 4, 8}) {
+      core::Options opts = w.options;
+      opts.jobs = jobs;
+      core::DfsResult r;
+      const double secs = best_of(
+          repeats, [&] { return core::analyze_parallel(*w.spec, w.trace, opts); },
+          r);
+      if (jobs == 1) base = secs;
+      std::printf("%5d  %9.4f  %7.2fx  %9llu  %9llu  %9llu  %s\n", jobs, secs,
+                  base / secs,
+                  static_cast<unsigned long long>(r.stats.transitions_executed),
+                  static_cast<unsigned long long>(r.stats.tasks_published),
+                  static_cast<unsigned long long>(r.stats.tasks_stolen),
+                  std::string(core::to_string(r.verdict)).c_str());
+      wr.rows.push_back(Row{jobs, secs, std::move(r)});
+    }
+    std::printf("\n");
+    all.push_back(std::move(wr));
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"parallel_scaling\",\n";
+  json << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"repeats\": " << repeats << ",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    json << "    {\"name\": \"" << all[i].name << "\", \"rows\": [\n";
+    for (std::size_t j = 0; j < all[i].rows.size(); ++j) {
+      const Row& row = all[i].rows[j];
+      json << "      {\"jobs\": " << row.jobs << ", \"wall_seconds\": "
+           << row.wall_seconds << ", \"verdict\": \""
+           << core::to_string(row.result.verdict)
+           << "\", \"stats\": " << row.result.stats.to_json() << "}"
+           << (j + 1 < all[i].rows.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

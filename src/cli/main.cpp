@@ -17,7 +17,9 @@
 //   tango cat <builtin>                     dump a built-in specification
 //
 // <spec> is a file path or `builtin:<name>` (see `tango specs`).
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +32,7 @@
 #include "codegen/cpp_generator.hpp"
 #include "core/dfs.hpp"
 #include "core/mdfs.hpp"
+#include "core/parallel_dfs.hpp"
 #include "estelle/parser.hpp"
 #include "fuzz/fuzz.hpp"
 #include "estelle/printer.hpp"
@@ -70,8 +73,9 @@ commands:
   workload <lapd|tp0> [--size=N] [--invalid] [--seed=N] [-o <trace>]
                                     emit the paper's evaluation workloads
                                     (Figure 3 / Figure 4 traces)
-  fuzz [spec...] [--seed=N] [--iterations=N] [--engines=dfs,hash,mdfs]
-       [--chunk=N] [--stats <file>] [--out-dir <dir>] [--max-transitions=N]
+  fuzz [spec...] [--seed=N] [--iterations=N] [--engines=dfs,hash,mdfs,par]
+       [--chunk=N] [--jobs=N] [--stats <file>] [--out-dir <dir>]
+       [--max-transitions=N]
                                     differential conformance fuzzing: random
                                     environments -> simulated + mutated
                                     traces -> cross-check DFS, hash-pruned
@@ -98,6 +102,20 @@ analysis options:
   --checkpoint=copy|trail           save/restore implementation: deep-copy
                                     states (§3.2.2 oracle) or undo-log
                                     trail marks (default trail)
+  --jobs=<n>                        worker threads (default 1; 0 = one per
+                                    hardware thread). For analyze, >1 runs
+                                    the work-stealing parallel DFS; for
+                                    fuzz, iterations run concurrently
+  --deterministic                   with --jobs>1: fixed branch ownership +
+                                    per-task pruning/budgets so verdict and
+                                    every counter are run-to-run identical
+                                    (slower; see docs/PARALLEL.md)
+  --visited-max=<n>                 bound the --hash-states table to n
+                                    entries; overflow evicts a random hash
+                                    (0 = unlimited, the default)
+  --batch <dir>                     analyze every *.tr file in <dir>,
+                                    scheduling whole traces across --jobs
+                                    workers; exit 0 iff all are valid
   --no-reorder                      disable MDFS dynamic node reordering
   --max-transitions=<n>             search budget
   --max-depth=<n>                   depth bound
@@ -146,6 +164,7 @@ struct Cli {
   std::size_t chunk = 3;
   std::string stats_path;
   std::string out_dir;
+  std::string batch_dir;
   std::vector<std::string> positional;
 };
 
@@ -199,6 +218,20 @@ Cli parse_cli(int argc, char** argv, int first) {
           std::stoull(value("--max-transitions="));
     } else if (starts_with(a, "--max-depth=")) {
       cli.options.max_depth = std::stoi(value("--max-depth="));
+    } else if (starts_with(a, "--jobs=")) {
+      cli.options.jobs = std::stoi(value("--jobs="));
+      if (cli.options.jobs < 0) {
+        throw CompileError({}, "--jobs must be >= 0");
+      }
+    } else if (a == "--deterministic") {
+      cli.options.deterministic = true;
+    } else if (starts_with(a, "--visited-max=")) {
+      cli.options.visited_max = std::stoull(value("--visited-max="));
+    } else if (starts_with(a, "--batch")) {
+      if (a == "--batch" && i + 1 >= argc) {
+        throw CompileError({}, "--batch needs a directory");
+      }
+      cli.batch_dir = a == "--batch" ? argv[++i] : value("--batch=");
     } else if (starts_with(a, "--script")) {
       cli.script = a == "--script" ? argv[++i] : value("--script=");
     } else if (starts_with(a, "--seed=")) {
@@ -249,7 +282,52 @@ int cmd_check(const Cli& cli) {
   return 0;
 }
 
+/// `tango analyze <spec> --batch <dir>`: every *.tr in <dir> (sorted by
+/// name, so output order is stable), whole traces scheduled across the
+/// worker pool.
+int cmd_analyze_batch(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
+
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cli.batch_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tr") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "tango: no *.tr files in '" << cli.batch_dir << "'\n";
+    return 2;
+  }
+
+  std::vector<tr::Trace> traces;
+  traces.reserve(files.size());
+  for (const std::string& f : files) {
+    traces.push_back(tr::parse_trace(spec, read_file(f)));
+  }
+  std::vector<core::BatchItemResult> results =
+      core::analyze_batch(spec, traces, cli.options);
+
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const core::BatchItemResult& r = results[i];
+    if (!r.error.empty()) {
+      std::cout << files[i] << ": error: " << r.error << "\n";
+      continue;
+    }
+    if (r.result.verdict == core::Verdict::Valid) ++valid;
+    std::cout << files[i] << ": " << core::to_string(r.result.verdict);
+    if (cli.verbose) std::cout << " (" << r.result.stats.summary() << ")";
+    std::cout << "\n";
+  }
+  std::cout << "batch: " << valid << "/" << files.size() << " valid\n";
+  return valid == files.size() ? 0 : 1;
+}
+
 int cmd_analyze(const Cli& cli) {
+  if (!cli.batch_dir.empty()) return cmd_analyze_batch(cli);
   if (cli.positional.size() < 2) return usage();
   est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
   tr::Trace trace = tr::parse_trace(spec, read_file(cli.positional[1]));
@@ -275,7 +353,10 @@ int cmd_analyze(const Cli& cli) {
     }
     return 0;
   }
-  core::DfsResult result = core::analyze(spec, trace, cli.options);
+  core::DfsResult result = cli.options.jobs != 1
+                               ? core::analyze_parallel(spec, trace,
+                                                        cli.options)
+                               : core::analyze(spec, trace, cli.options);
   std::cout << "verdict: " << core::to_string(result.verdict) << "\n"
             << "stats:   " << result.stats.summary() << "\n";
   if (cli.verbose) {
@@ -417,6 +498,7 @@ int cmd_fuzz(const Cli& cli) {
   config.specs = cli.positional;  // empty = all fuzzable builtins
   config.engines = fuzz::parse_engines(cli.engines);
   config.chunk = cli.chunk;
+  config.jobs = cli.options.jobs;
   config.out_dir = cli.out_dir;
   config.verbose = cli.verbose;
   config.checkpoint = cli.options.checkpoint;

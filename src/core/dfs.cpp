@@ -2,11 +2,11 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_set>
 
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/generator.hpp"
+#include "core/visited.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tango::core {
@@ -53,7 +53,8 @@ class DfsEngine {
         ro_(spec, options),
         interp_(spec,
                 options.partial ? rt::EvalMode::Partial : rt::EvalMode::Strict,
-                options.interp) {}
+                options.interp),
+        visited_(options.visited_max) {}
 
   DfsResult run() {
     validate_trace_against_options(spec_, trace_, ro_);
@@ -81,6 +82,7 @@ class DfsEngine {
         std::string root_label =
             "initialize to " + spec_.states[static_cast<std::size_t>(start)];
         if (search_from(root, std::move(root_label), result)) {
+          result.stats.evictions = visited_.evictions();
           result.stats.cpu_seconds = timer.elapsed();
           return result;
         }
@@ -92,6 +94,7 @@ class DfsEngine {
     result.verdict = (out_of_budget_ || depth_clipped_)
                          ? Verdict::Inconclusive
                          : Verdict::Invalid;
+    result.stats.evictions = visited_.evictions();
     result.stats.cpu_seconds = timer.elapsed();
     return result;
   }
@@ -183,7 +186,7 @@ class DfsEngine {
       if (options_.hash_states) {
         // §4.2's proposed hash table of visited states: a revisited state
         // has an identical subtree, already explored or in progress.
-        if (!visited_.insert(cur.hash()).second) {
+        if (!visited_.insert(cur.hash())) {
           ++stats.pruned_by_hash;
           path.pop_back();
           frame.chosen.clear();
@@ -221,7 +224,7 @@ class DfsEngine {
   const Options& options_;
   ResolvedOptions ro_;
   rt::Interp interp_;
-  std::unordered_set<std::uint64_t> visited_;
+  VisitedSet visited_;
   bool out_of_budget_ = false;
   bool depth_clipped_ = false;
 };

@@ -77,6 +77,22 @@ struct Options {
   std::uint64_t max_transitions = 0;
   /// 0 = unlimited search depth. Needed for partial traces (§5.4).
   int max_depth = 0;
+  /// Worker threads for analyze_parallel (`--jobs`): 1 = one worker, 0 =
+  /// one per hardware thread. The sequential analyze() ignores this.
+  int jobs = 1;
+  /// Reproducible parallel mode (`--deterministic`): branch ownership is a
+  /// fixed function of the search tree (depth-bounded publication), hash
+  /// pruning and budgets are per-task, no early cancellation, and results
+  /// merge in task-lineage order — verdict and counters are then
+  /// run-to-run identical for any jobs value. The default relaxed mode
+  /// shares budget/pruning/cancellation globally; its verdict is stable
+  /// (up to budget races) but its counters depend on the schedule.
+  bool deterministic = false;
+  /// Bound on retained visited-state hashes (`--visited-max`, 0 =
+  /// unlimited). Overflow evicts a uniformly random resident entry,
+  /// counted in stats.evictions; eviction weakens §4.2 pruning but never
+  /// soundness. Only meaningful with hash_states.
+  std::uint64_t visited_max = 0;
 
   rt::InterpLimits interp;
 

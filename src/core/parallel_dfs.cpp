@@ -1,0 +1,512 @@
+#include "core/parallel_dfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/executor.hpp"
+#include "core/generator.hpp"
+#include "core/visited.hpp"
+
+namespace tango::core {
+
+namespace {
+
+/// Every branching node above this depth is published in deterministic
+/// mode. Depth-bounded ownership keeps the task set a pure function of
+/// the branch tree; below the bound, subtrees are small enough that
+/// sequential exploration inside one task is the faster choice anyway.
+constexpr int kDeterministicPublishDepth = 12;
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// A continuation: the untaken alternatives of one branching node,
+/// materialized so any worker can resume them. `node_depth` is the global
+/// stack depth of the node (the publisher's stack size with the node on
+/// top), `path` the edge labels leading into the node.
+struct Task {
+  SearchState state;
+  std::vector<Firing> firings;  // ignored unless `generated`
+  bool generated = false;       // false: run generate() at the root node
+  std::vector<std::string> path;
+  int node_depth = 1;
+  std::vector<std::uint32_t> lineage;
+};
+
+/// What one task's exploration produced. Outcomes merge in lineage order
+/// (lexicographic), which in deterministic mode makes the merged result a
+/// pure function of the task set; the integer counters are commutative,
+/// so relaxed mode loses nothing by reusing the same order.
+struct Outcome {
+  std::vector<std::uint32_t> lineage;
+  Stats stats;
+  std::string note;
+  bool found = false;
+  std::vector<std::string> solution;
+};
+
+struct NodeFrame {
+  GenResult gen;
+  std::size_t next = 0;
+  std::optional<std::size_t> mark;  // checkpoint; present iff node branches
+  std::string chosen;               // name of the firing taken to descend
+};
+
+/// Same veto-preference rule as the sequential engine: a concrete
+/// parameter mismatch beats ordering complaints from failed interleavings.
+void merge_note(std::string& into, const std::string& msg) {
+  if (msg.empty()) return;
+  const bool existing_param = into.find("parameter") != std::string::npos;
+  const bool incoming_param = msg.find("parameter") != std::string::npos;
+  if (into.empty() || (incoming_param && !existing_param)) into = msg;
+}
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const est::Spec& spec, const tr::Trace& trace,
+                 const Options& options)
+      : spec_(spec),
+        trace_(trace),
+        options_(options),
+        ro_(spec, options),
+        jobs_(resolve_jobs(options.jobs)),
+        det_(options.deterministic),
+        publish_watermark_(static_cast<std::size_t>(2 * jobs_)) {}
+
+  DfsResult run() {
+    validate_trace_against_options(spec_, trace_, ro_);
+    CpuTimer timer;
+    DfsResult result;
+
+    Outcome init_out;  // empty lineage sorts first
+    rt::Interp init_interp(spec_,
+                           options_.partial ? rt::EvalMode::Partial
+                                            : rt::EvalMode::Strict,
+                           options_.interp);
+    std::vector<Task> roots;
+    std::uint32_t root_seq = 0;
+    for (std::size_t ii = 0; ii < spec_.body().initializers.size(); ++ii) {
+      InitResult init =
+          apply_initializer(init_interp, trace_, ro_, ii, init_out.stats);
+      bump_shared_te();
+      if (!init.ok) {
+        merge_note(init_out.note, init.note);
+        continue;
+      }
+      std::vector<int> start_states{init.state.machine.fsm_state};
+      if (options_.initial_state_search) {
+        for (int s = 0; s < static_cast<int>(spec_.states.size()); ++s) {
+          if (s != init.state.machine.fsm_state) start_states.push_back(s);
+        }
+      }
+      for (int start : start_states) {
+        SearchState root = init.state;
+        root.machine.fsm_state = start;
+        std::string label =
+            "initialize to " + spec_.states[static_cast<std::size_t>(start)];
+        if (root.cursors.all_done(trace_, ro_)) {
+          result.verdict = Verdict::Valid;
+          result.solution = {std::move(label)};
+          result.stats = init_out.stats;
+          result.note = init_out.note;
+          result.stats.cpu_seconds = timer.elapsed();
+          return result;
+        }
+        Task t;
+        t.state = std::move(root);
+        t.path = {std::move(label)};
+        t.lineage = {root_seq++};
+        roots.push_back(std::move(t));
+      }
+    }
+
+    if (!roots.empty()) run_pool(std::move(roots));
+
+    // Merge in lineage order; see Outcome.
+    std::sort(outcomes_.begin(), outcomes_.end(),
+              [](const Outcome& a, const Outcome& b) {
+                return a.lineage < b.lineage;
+              });
+    result.stats = init_out.stats;
+    result.note = init_out.note;
+    const Outcome* winner = nullptr;
+    for (const Outcome& o : outcomes_) {
+      result.stats += o.stats;
+      merge_note(result.note, o.note);
+      if (o.found && winner == nullptr) winner = &o;
+    }
+    if (shared_visited_ != nullptr) {
+      result.stats.evictions += shared_visited_->total_evictions();
+    }
+    if (winner != nullptr) {
+      result.verdict = Verdict::Valid;
+      result.solution = winner->solution;
+    } else {
+      result.verdict = (out_of_budget_.load() || depth_clipped_.load())
+                           ? Verdict::Inconclusive
+                           : Verdict::Invalid;
+    }
+    result.stats.cpu_seconds = timer.elapsed();
+    return result;
+  }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<Task> dq;
+  };
+
+  void run_pool(std::vector<Task> roots) {
+    if (!det_ && options_.hash_states) {
+      shared_visited_ = std::make_unique<ShardedVisitedTable>(
+          static_cast<std::size_t>(std::max(16, 4 * jobs_)),
+          options_.visited_max);
+    }
+    deques_.clear();
+    for (int i = 0; i < jobs_; ++i) {
+      deques_.push_back(std::make_unique<WorkerDeque>());
+    }
+    pending_.store(static_cast<int>(roots.size()));
+    queued_.store(roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      deques_[i % static_cast<std::size_t>(jobs_)]->dq.push_back(
+          std::move(roots[i]));
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs_));
+    for (int w = 0; w < jobs_; ++w) {
+      workers.emplace_back([this, w] { worker_loop(w); });
+    }
+    for (std::thread& t : workers) t.join();
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+  }
+
+  void worker_loop(int wid) {
+    rt::Interp interp(spec_,
+                      options_.partial ? rt::EvalMode::Partial
+                                       : rt::EvalMode::Strict,
+                      options_.interp);
+    while (true) {
+      bool stolen = false;
+      std::optional<Task> task = pop_or_steal(wid, stolen);
+      if (!task) {
+        std::unique_lock<std::mutex> lock(sleep_mu_);
+        if (pending_.load() == 0 || stop_.load()) return;
+        sleep_cv_.wait(lock, [this] {
+          return queued_.load() > 0 || pending_.load() == 0 || stop_.load();
+        });
+        if (pending_.load() == 0 || stop_.load()) return;
+        continue;
+      }
+      try {
+        run_task(std::move(*task), wid, interp, stolen);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(outcomes_mu_);
+          if (failure_ == nullptr) failure_ = std::current_exception();
+        }
+        stop_.store(true);
+        wake_all();
+        return;
+      }
+      if (pending_.fetch_sub(1) == 1) wake_all();
+    }
+  }
+
+  std::optional<Task> pop_or_steal(int wid, bool& stolen) {
+    {
+      WorkerDeque& own = *deques_[static_cast<std::size_t>(wid)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.dq.empty()) {
+        Task t = std::move(own.dq.back());  // LIFO: stay depth-first locally
+        own.dq.pop_back();
+        queued_.fetch_sub(1);
+        return t;
+      }
+    }
+    for (int off = 1; off < jobs_; ++off) {
+      WorkerDeque& victim =
+          *deques_[static_cast<std::size_t>((wid + off) % jobs_)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.dq.empty()) {
+        Task t = std::move(victim.dq.front());  // FIFO: steal big subtrees
+        victim.dq.pop_front();
+        queued_.fetch_sub(1);
+        stolen = true;
+        return t;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void publish(Task t, int wid) {
+    pending_.fetch_add(1);
+    {
+      WorkerDeque& own = *deques_[static_cast<std::size_t>(wid)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      own.dq.push_back(std::move(t));
+    }
+    queued_.fetch_add(1);
+    wake_one();
+  }
+
+  // Publishers/finishers lock-unlock sleep_mu_ before notifying so a
+  // worker between its predicate check and its block cannot miss the wake.
+  void wake_one() {
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    sleep_cv_.notify_one();
+  }
+  void wake_all() {
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    sleep_cv_.notify_all();
+  }
+
+  bool should_publish(int node_depth) const {
+    if (det_) return node_depth < kDeterministicPublishDepth;
+    return queued_.load(std::memory_order_relaxed) < publish_watermark_;
+  }
+
+  /// Global transition budget in relaxed mode; every apply (worker or
+  /// initializer) adds one, mirroring the sequential TE counter.
+  void bump_shared_te() {
+    if (det_ || options_.max_transitions == 0) return;
+    if (te_shared_.fetch_add(1) + 1 >= options_.max_transitions) {
+      out_of_budget_.store(true);
+      stop_.store(true);
+      wake_all();
+    }
+  }
+
+  void run_task(Task t, int wid, rt::Interp& interp, bool stolen) {
+    Outcome out;
+    out.lineage = std::move(t.lineage);
+    Stats& stats = out.stats;
+    if (stolen) stats.tasks_stolen = 1;
+
+    SearchState cur = std::move(t.state);
+    std::unique_ptr<Checkpointer> ckpt =
+        make_checkpointer(options_.checkpoint, stats);
+    std::unique_ptr<VisitedSet> local_visited;
+    if (det_ && options_.hash_states) {
+      // Private per-task table: weaker pruning than the shared one, but a
+      // pure function of the task, which determinism requires. The
+      // --visited-max bound applies per task.
+      local_visited = std::make_unique<VisitedSet>(options_.visited_max);
+    }
+
+    std::vector<std::string> path = std::move(t.path);
+    std::vector<NodeFrame> stack;
+    std::uint32_t pub_seq = 0;
+
+    {
+      NodeFrame root;
+      if (t.generated) {
+        root.gen.firings = std::move(t.firings);
+      } else {
+        root.gen = generate(interp, trace_, ro_, cur, stats);
+        merge_note(out.note, root.gen.fault);
+      }
+      if (root.gen.firings.size() > 1) {
+        root.mark = ckpt->save(cur);
+        ++stats.saves;
+      }
+      stack.push_back(std::move(root));
+    }
+
+    while (!stack.empty()) {
+      if (stop_.load(std::memory_order_relaxed)) break;  // never set in det
+      NodeFrame& frame = stack.back();
+      if (frame.next >= frame.gen.firings.size()) {
+        if (frame.mark) ckpt->forget(*frame.mark);
+        if (!frame.chosen.empty()) path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      if (det_ && options_.max_transitions != 0 &&
+          stats.transitions_executed >= options_.max_transitions) {
+        // Deterministic budgets are per task: the clip point depends only
+        // on the task, never on sibling tasks' progress.
+        out_of_budget_.store(true);
+        break;
+      }
+
+      const int node_depth = t.node_depth + static_cast<int>(stack.size()) - 1;
+      const std::size_t pick = frame.next++;
+      if (pick > 0) {
+        ckpt->restore(*frame.mark, cur);
+        ++stats.restores;
+        if (!frame.chosen.empty()) path.pop_back();
+        frame.chosen.clear();
+      }
+
+      // cur is the pristine node state here; if untaken siblings remain
+      // and the pool wants work, hand them off as one continuation.
+      if (frame.next < frame.gen.firings.size() &&
+          should_publish(node_depth)) {
+        Task cont;
+        cont.state = ckpt->snapshot(cur);
+        cont.firings.assign(frame.gen.firings.begin() +
+                                static_cast<std::ptrdiff_t>(frame.next),
+                            frame.gen.firings.end());
+        cont.generated = true;
+        cont.path = path;
+        cont.node_depth = node_depth;
+        cont.lineage = out.lineage;
+        // The lineage component must order continuations by DFS position.
+        // In deterministic mode a task publishes at most once per depth,
+        // along its leftmost descent chain; a DEEPER continuation lies
+        // inside the shallower node's first subtree and therefore comes
+        // EARLIER in tree order, so the component decreases with depth.
+        // Relaxed mode makes no ordering promise; publication order is
+        // fine there (the merge only needs distinct keys).
+        cont.lineage.push_back(
+            det_ ? static_cast<std::uint32_t>(kDeterministicPublishDepth -
+                                              node_depth)
+                 : pub_seq++);
+        frame.gen.firings.resize(frame.next);  // this task owns only `pick`
+        ++stats.tasks_published;
+        publish(std::move(cont), wid);
+      }
+
+      const Firing& firing = frame.gen.firings[pick];
+      ApplyResult applied =
+          apply_firing(interp, trace_, ro_, cur, firing, stats, ckpt.get());
+      bump_shared_te();
+      if (!applied.ok) {
+        merge_note(out.note, applied.note);
+        continue;
+      }
+
+      frame.chosen =
+          spec_.body()
+              .transitions[static_cast<std::size_t>(firing.transition)]
+              .name;
+      path.push_back(frame.chosen);
+      stats.max_depth = std::max(stats.max_depth, node_depth);
+
+      if (cur.cursors.all_done(trace_, ro_)) {
+        out.found = true;
+        out.solution = path;
+        if (!det_) {
+          stop_.store(true);  // first conclusion cancels the pool
+          wake_all();
+        }
+        break;
+      }
+
+      if (options_.hash_states) {
+        const std::uint64_t h = cur.hash();
+        const bool fresh = det_ ? local_visited->insert(h)
+                                : shared_visited_->insert(h);
+        if (!fresh) {
+          ++stats.pruned_by_hash;
+          path.pop_back();
+          frame.chosen.clear();
+          continue;
+        }
+      }
+
+      if (options_.max_depth != 0 && node_depth >= options_.max_depth) {
+        depth_clipped_.store(true);
+        path.pop_back();
+        frame.chosen.clear();
+        continue;
+      }
+
+      NodeFrame child;
+      child.gen = generate(interp, trace_, ro_, cur, stats);
+      merge_note(out.note, child.gen.fault);
+      if (child.gen.firings.size() > 1) {
+        child.mark = ckpt->save(cur);
+        ++stats.saves;
+      }
+      stack.push_back(std::move(child));
+    }
+
+    if (local_visited != nullptr) {
+      stats.evictions += local_visited->evictions();
+    }
+    std::lock_guard<std::mutex> lock(outcomes_mu_);
+    outcomes_.push_back(std::move(out));
+  }
+
+  const est::Spec& spec_;
+  const tr::Trace& trace_;
+  const Options& options_;
+  ResolvedOptions ro_;
+  const int jobs_;
+  const bool det_;
+  const std::size_t publish_watermark_;
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<int> pending_{0};          // tasks queued or running
+  std::atomic<std::size_t> queued_{0};   // queued only; hunger heuristic
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> out_of_budget_{false};
+  std::atomic<bool> depth_clipped_{false};
+  std::atomic<std::uint64_t> te_shared_{0};
+  std::unique_ptr<ShardedVisitedTable> shared_visited_;
+  std::mutex outcomes_mu_;
+  std::vector<Outcome> outcomes_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace
+
+DfsResult analyze_parallel(const est::Spec& spec, const tr::Trace& trace,
+                           const Options& options) {
+  return ParallelEngine(spec, trace, options).run();
+}
+
+std::vector<BatchItemResult> analyze_batch(const est::Spec& spec,
+                                           const std::vector<tr::Trace>& traces,
+                                           const Options& options) {
+  std::vector<BatchItemResult> results(traces.size());
+  const int jobs = std::min<int>(resolve_jobs(options.jobs),
+                                 static_cast<int>(traces.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      try {
+        results[i].result = analyze(spec, traces[i], options);
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      }
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= traces.size()) return;
+        try {
+          results[i].result = analyze(spec, traces[i], options);
+        } catch (const std::exception& e) {
+          results[i].error = e.what();
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+}  // namespace tango::core

@@ -12,6 +12,9 @@ Stats& Stats::operator+=(const Stats& other) {
   restores += other.restores;
   saves += other.saves;
   pruned_by_hash += other.pruned_by_hash;
+  evictions += other.evictions;
+  tasks_published += other.tasks_published;
+  tasks_stolen += other.tasks_stolen;
   fanout_sum += other.fanout_sum;
   fanout_samples += other.fanout_samples;
   trail_entries += other.trail_entries;
@@ -34,11 +37,13 @@ std::string Stats::summary() const {
 }
 
 std::string Stats::to_json() const {
-  char buf[448];
+  char buf[576];
   std::snprintf(
       buf, sizeof(buf),
       "{\"te\":%llu,\"ge\":%llu,\"re\":%llu,\"sa\":%llu,"
-      "\"pruned_by_hash\":%llu,\"fanout_sum\":%llu,\"fanout_samples\":%llu,"
+      "\"pruned_by_hash\":%llu,\"evictions\":%llu,"
+      "\"tasks_published\":%llu,\"tasks_stolen\":%llu,"
+      "\"fanout_sum\":%llu,\"fanout_samples\":%llu,"
       "\"trail_entries\":%llu,\"checkpoint_bytes\":%llu,"
       "\"max_depth\":%d,\"cpu_seconds\":%.6f}",
       static_cast<unsigned long long>(transitions_executed),
@@ -46,6 +51,9 @@ std::string Stats::to_json() const {
       static_cast<unsigned long long>(restores),
       static_cast<unsigned long long>(saves),
       static_cast<unsigned long long>(pruned_by_hash),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(tasks_published),
+      static_cast<unsigned long long>(tasks_stolen),
       static_cast<unsigned long long>(fanout_sum),
       static_cast<unsigned long long>(fanout_samples),
       static_cast<unsigned long long>(trail_entries),

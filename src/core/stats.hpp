@@ -14,6 +14,14 @@ struct Stats {
   std::uint64_t restores = 0;              // RE
   std::uint64_t saves = 0;                 // SA
   std::uint64_t pruned_by_hash = 0;        // state-hashing ablation
+  /// Visited-state hashes dropped to honour --visited-max (0 when the
+  /// table is unbounded). Eviction weakens pruning, never soundness.
+  std::uint64_t evictions = 0;
+  /// Frontier continuations published to the work-stealing pool and how
+  /// many of them were executed by a worker other than their publisher
+  /// (0 for the sequential engines).
+  std::uint64_t tasks_published = 0;
+  std::uint64_t tasks_stolen = 0;
   std::uint64_t fanout_sum = 0;            // sum of firing-list sizes
   std::uint64_t fanout_samples = 0;
   /// Undo entries pushed by trail-mode checkpointing (0 in copy mode).

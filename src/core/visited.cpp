@@ -1,0 +1,69 @@
+#include "core/visited.hpp"
+
+namespace tango::core {
+
+namespace {
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VisitedSet::VisitedSet(std::uint64_t max_entries, std::uint64_t seed)
+    : max_(max_entries), rng_(seed | 1) {}
+
+bool VisitedSet::insert(std::uint64_t h) {
+  if (!set_.insert(h).second) return false;
+  if (max_ == 0) return true;
+  keys_.push_back(h);
+  if (keys_.size() > max_) {
+    const std::size_t victim =
+        static_cast<std::size_t>(xorshift64(rng_) % keys_.size());
+    set_.erase(keys_[victim]);
+    keys_[victim] = keys_.back();
+    keys_.pop_back();
+    ++evictions_;
+    // The victim could have been the hash just inserted; either way the
+    // caller explores the state — only the *memory* of it may be dropped.
+  }
+  return true;
+}
+
+ShardedVisitedTable::ShardedVisitedTable(std::size_t shards,
+                                         std::uint64_t max_entries) {
+  const std::size_t n = round_up_pow2(shards == 0 ? 1 : shards);
+  mask_ = n - 1;
+  const std::uint64_t per_shard =
+      max_entries == 0 ? 0 : (max_entries + n - 1) / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        per_shard, 0x9e3779b97f4a7c15ULL + i));
+  }
+}
+
+bool ShardedVisitedTable::insert(std::uint64_t h) {
+  // Shard on the high bits: the low bits pick the bucket inside the
+  // shard's own table, and reusing them for both would correlate the two.
+  Shard& s = *shards_[static_cast<std::size_t>(h >> 48) & mask_];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.set.insert(h);
+}
+
+std::uint64_t ShardedVisitedTable::total_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->set.evictions();
+  return total;
+}
+
+}  // namespace tango::core

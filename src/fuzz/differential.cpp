@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/parallel_dfs.hpp"
 #include "support/text.hpp"
 #include "trace/dynamic_source.hpp"
 
@@ -12,6 +13,7 @@ std::string_view to_string(Engine e) {
     case Engine::Dfs: return "dfs";
     case Engine::HashDfs: return "hash-dfs";
     case Engine::Mdfs: return "mdfs";
+    case Engine::ParDfs: return "par-dfs";
   }
   return "?";
 }
@@ -27,9 +29,12 @@ std::vector<Engine> parse_engines(std::string_view csv) {
       engines.push_back(Engine::HashDfs);
     } else if (name == "mdfs" || name == "online") {
       engines.push_back(Engine::Mdfs);
+    } else if (name == "par" || name == "pardfs" || name == "par-dfs" ||
+               name == "parallel") {
+      engines.push_back(Engine::ParDfs);
     } else {
       throw CompileError({}, "unknown engine '" + name +
-                                 "' (expected dfs, hash or mdfs)");
+                                 "' (expected dfs, hash, mdfs or par)");
     }
   }
   return engines;
@@ -107,7 +112,15 @@ EngineRun run_engine(const est::Spec& spec, const tr::Trace& trace,
   }
   EngineRun run;
   run.engine = engine;
-  core::DfsResult r = core::analyze(spec, trace, options);
+  core::DfsResult r;
+  if (engine == Engine::ParDfs) {
+    // Verdict-level cross-check of the work-stealing engine against the
+    // sequential cells; at least two workers so stealing actually happens.
+    options.jobs = base.jobs > 1 ? base.jobs : 2;
+    r = core::analyze_parallel(spec, trace, options);
+  } else {
+    r = core::analyze(spec, trace, options);
+  }
   run.verdict = r.verdict;
   run.stats = r.stats;
   run.note = r.note;
@@ -149,6 +162,9 @@ MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
     options.max_depth = base.max_depth;
     options.checkpoint = base.checkpoint;
     options.interp = base.interp;
+    options.jobs = base.jobs;
+    options.deterministic = base.deterministic;
+    options.visited_max = base.visited_max;
     for (Engine e : engines) {
       EngineRun run = run_engine(spec, trace, options, e, chunk);
       run.order = preset.name;

@@ -19,13 +19,18 @@
 
 namespace tango::fuzz {
 
-enum class Engine { Dfs, HashDfs, Mdfs };
+/// ParDfs is the work-stealing parallel engine (relaxed mode, shared
+/// visited table) — opt-in via --engines=...,par because its counters are
+/// schedule-dependent, which would break same-seed campaign comparisons.
+enum class Engine { Dfs, HashDfs, Mdfs, ParDfs };
 
 [[nodiscard]] std::string_view to_string(Engine e);
 
 /// Parses a comma-separated engine list ("dfs,hash,mdfs"; "hashdfs" and
-/// "hash-dfs" are accepted for the ablation). Throws CompileError on an
-/// unknown name; returns all three engines for an empty string.
+/// "hash-dfs" are accepted for the ablation, "par"/"pardfs"/"parallel"
+/// for the work-stealing engine). Throws CompileError on an unknown name;
+/// returns the three sequential engines for an empty string (ParDfs is
+/// never implied).
 [[nodiscard]] std::vector<Engine> parse_engines(std::string_view csv);
 
 /// The four order-checking presets of the paper's Figures 3 and 4.

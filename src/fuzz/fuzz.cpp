@@ -1,10 +1,14 @@
 #include "fuzz/fuzz.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "sim/mutate.hpp"
 #include "specs/builtin_specs.hpp"
@@ -96,6 +100,10 @@ std::string engines_csv(const std::vector<Engine>& engines) {
 
 std::string write_bundle(const FuzzConfig& config, const Disagreement& d) {
   namespace fs = std::filesystem;
+  // Serialized across concurrent iterations; the per-(spec,seed,variant)
+  // file names never collide, but create_directories races do.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   fs::create_directories(config.out_dir);
   const std::string stem = config.out_dir + "/" + d.spec + "-seed" +
                            std::to_string(d.iteration_seed) + "-" + d.variant;
@@ -203,7 +211,11 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
   base.max_transitions = config.max_transitions;
   base.checkpoint = config.checkpoint;
 
-  for (int iter = 0; iter < config.iterations; ++iter) {
+  // One self-contained iteration; the `report`/`log` parameters shadow the
+  // captured outer ones so a concurrent run can hand in a private delta
+  // and a private log buffer.
+  auto run_one_iteration = [&](int iter, FuzzReport& report,
+                               std::ostream* log) {
     ++report.iterations;
     const std::size_t si =
         static_cast<std::size_t>(iter) % compiled.size();
@@ -324,6 +336,77 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
       *log << "fuzz: iteration " << iter << " spec=" << names[si]
            << " seed=" << iseed << " events=" << n << " variants="
            << variants.size() << "\n";
+    }
+  };
+
+  const int jobs_raw =
+      config.jobs == 0 ? static_cast<int>(std::thread::hardware_concurrency())
+                       : config.jobs;
+  const int jobs = std::max(1, std::min(jobs_raw, config.iterations));
+  if (jobs <= 1) {
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      run_one_iteration(iter, report, log);
+    }
+    return report;
+  }
+
+  // Concurrent iterations: each writes a private report delta and log
+  // buffer, merged in iteration order below, so the final report (and the
+  // log text) is identical to a sequential run's.
+  std::vector<FuzzReport> deltas(static_cast<std::size_t>(config.iterations));
+  std::vector<std::ostringstream> logs(
+      static_cast<std::size_t>(config.iterations));
+  for (FuzzReport& d : deltas) {
+    for (Engine e : config.engines) {
+      d.totals.push_back(
+          EngineTotals{std::string(to_string(e)), 0, core::Stats{}});
+    }
+  }
+  std::atomic<int> next{0};
+  std::exception_ptr failure;
+  std::mutex failure_mu;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const int iter = next.fetch_add(1);
+        if (iter >= config.iterations) return;
+        const auto i = static_cast<std::size_t>(iter);
+        try {
+          run_one_iteration(iter, deltas[i],
+                            log != nullptr ? &logs[i] : nullptr);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (failure == nullptr) failure = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  if (failure != nullptr) std::rethrow_exception(failure);
+
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    FuzzReport& d = deltas[i];
+    report.iterations += d.iterations;
+    report.traces_analyzed += d.traces_analyzed;
+    report.verdicts += d.verdicts;
+    report.oracle_checks += d.oracle_checks;
+    for (const EngineTotals& t : d.totals) {
+      for (EngineTotals& u : report.totals) {
+        if (u.engine == t.engine) {
+          u.analyses += t.analyses;
+          u.stats += t.stats;
+        }
+      }
+    }
+    for (Disagreement& dd : d.disagreements) {
+      report.disagreements.push_back(std::move(dd));
+    }
+    if (log != nullptr) {
+      const std::string text = logs[i].str();
+      if (!text.empty()) *log << text;
     }
   }
   return report;

@@ -43,6 +43,12 @@ struct FuzzConfig {
   std::vector<Engine> engines = {Engine::Dfs, Engine::HashDfs, Engine::Mdfs};
   /// MDFS dynamic-source chunk size (events delivered per search round).
   std::size_t chunk = 3;
+  /// Concurrent fuzz iterations (1 = sequential, 0 = one per hardware
+  /// thread). Iterations are independent (each derives its own seed), and
+  /// per-iteration results merge in iteration order, so every verdict and
+  /// counter in the report is identical for any jobs value (only measured
+  /// cpu time varies).
+  int jobs = 1;
   /// Per-analysis search budget; exhaustion yields Inconclusive, which the
   /// agreement relation skips.
   std::uint64_t max_transitions = 200'000;

@@ -3,14 +3,19 @@
 namespace tango::rt {
 
 std::uint32_t Heap::allocate(Value initial) {
+  affinity_.bind_or_check();
   const std::uint32_t addr = next_++;
   cells_.emplace(addr, std::move(initial));
   return addr;
 }
 
-bool Heap::release(std::uint32_t addr) { return cells_.erase(addr) != 0; }
+bool Heap::release(std::uint32_t addr) {
+  affinity_.bind_or_check();
+  return cells_.erase(addr) != 0;
+}
 
 Value* Heap::cell(std::uint32_t addr) {
+  affinity_.bind_or_check();  // non-const access can mutate
   auto it = cells_.find(addr);
   return it == cells_.end() ? nullptr : &it->second;
 }
@@ -21,6 +26,7 @@ const Value* Heap::cell(std::uint32_t addr) const {
 }
 
 void Heap::revert_allocate(std::uint32_t addr) {
+  affinity_.bind_or_check();
   cells_.erase(addr);
   // Undoing allocations newest-first lands the cursor back on the value it
   // had at the trail mark.
@@ -28,6 +34,7 @@ void Heap::revert_allocate(std::uint32_t addr) {
 }
 
 void Heap::revert_release(std::uint32_t addr, Value old_value) {
+  affinity_.bind_or_check();
   cells_.emplace(addr, std::move(old_value));
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 
+#include "runtime/thread_affinity.hpp"
 #include "runtime/value.hpp"
 
 namespace tango::rt {
@@ -44,6 +45,9 @@ class Heap {
  private:
   std::map<std::uint32_t, Value> cells_;
   std::uint32_t next_ = 1;
+  /// Debug-only: whichever thread mutates the heap first owns it; copying
+  /// (snapshot for a stolen continuation) unbinds the copy.
+  ThreadAffinity affinity_;
 };
 
 }  // namespace tango::rt

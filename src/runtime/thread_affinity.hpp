@@ -1,0 +1,56 @@
+// Debug-only ownership check for the parallel engine's thread model: a
+// Heap or Trail is mutated by exactly one thread for its whole life. The
+// work-stealing pool never shares mutable runtime state — a stolen
+// continuation carries a deep *copy* of the publisher's state — so any
+// cross-thread mutation is a bug (a leaked pointer or a missed snapshot),
+// and this assert catches it mechanically under the plain Debug build
+// before TSan has to.
+//
+// Semantics are rebind-on-copy: copying (a snapshot) produces an unbound
+// object, and whichever thread mutates the copy first becomes its owner.
+// That matches the steal protocol, where the publishing thread deep-copies
+// a state it owns and the stealing thread adopts the copy.
+//
+// Compiles to an empty struct under NDEBUG; release builds pay nothing.
+#pragma once
+
+#ifndef NDEBUG
+#include <cassert>
+#include <thread>
+#endif
+
+namespace tango::rt {
+
+#ifndef NDEBUG
+class ThreadAffinity {
+ public:
+  ThreadAffinity() = default;
+  ThreadAffinity(const ThreadAffinity&) noexcept {}  // copies start unbound
+  ThreadAffinity& operator=(const ThreadAffinity&) noexcept {
+    bound_ = false;
+    return *this;
+  }
+
+  /// Call at the top of every mutating method of the guarded object.
+  void bind_or_check() {
+    if (!bound_) {
+      owner_ = std::this_thread::get_id();
+      bound_ = true;
+      return;
+    }
+    assert(owner_ == std::this_thread::get_id() &&
+           "runtime state mutated from a second thread; parallel workers "
+           "must only mutate snapshot copies they own");
+  }
+
+ private:
+  std::thread::id owner_;
+  bool bound_ = false;
+};
+#else
+struct ThreadAffinity {
+  void bind_or_check() {}
+};
+#endif
+
+}  // namespace tango::rt

@@ -5,6 +5,7 @@
 namespace tango::rt {
 
 void Trail::log_fsm(int old_state) {
+  affinity_.bind_or_check();
   Entry e;
   e.kind = Kind::Fsm;
   e.fsm_old = old_state;
@@ -13,6 +14,7 @@ void Trail::log_fsm(int old_state) {
 }
 
 void Trail::log_var(int slot, const Value& old_value) {
+  affinity_.bind_or_check();
   Entry e;
   e.kind = Kind::Var;
   e.index = static_cast<std::uint32_t>(slot);
@@ -22,6 +24,7 @@ void Trail::log_var(int slot, const Value& old_value) {
 }
 
 void Trail::log_heap_write(std::uint32_t addr, const Value& old_value) {
+  affinity_.bind_or_check();
   Entry e;
   e.kind = Kind::HeapWrite;
   e.index = addr;
@@ -31,6 +34,7 @@ void Trail::log_heap_write(std::uint32_t addr, const Value& old_value) {
 }
 
 void Trail::log_heap_alloc(std::uint32_t addr) {
+  affinity_.bind_or_check();
   Entry e;
   e.kind = Kind::HeapAlloc;
   e.index = addr;
@@ -39,6 +43,7 @@ void Trail::log_heap_alloc(std::uint32_t addr) {
 }
 
 void Trail::log_heap_release(std::uint32_t addr, Value old_value) {
+  affinity_.bind_or_check();
   Entry e;
   e.kind = Kind::HeapRelease;
   e.index = addr;
@@ -48,6 +53,7 @@ void Trail::log_heap_release(std::uint32_t addr, Value old_value) {
 }
 
 void Trail::undo_to(Mark m, MachineState& state) {
+  affinity_.bind_or_check();
   while (entries_.size() > m) {
     Entry& e = entries_.back();
     switch (e.kind) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "runtime/machine.hpp"
+#include "runtime/thread_affinity.hpp"
 #include "runtime/value.hpp"
 
 namespace tango::rt {
@@ -49,7 +50,10 @@ class Trail {
   /// Reverts every mutation logged after `m`, newest first.
   void undo_to(Mark m, MachineState& state);
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    affinity_.bind_or_check();
+    entries_.clear();
+  }
 
  private:
   enum class Kind : std::uint8_t {
@@ -69,6 +73,9 @@ class Trail {
 
   std::vector<Entry> entries_;
   std::uint64_t total_logged_ = 0;
+  /// Debug-only: a trail belongs to exactly one worker for its whole life
+  /// (trails are never snapshotted — only machine states are).
+  ThreadAffinity affinity_;
 };
 
 }  // namespace tango::rt
