@@ -1,0 +1,158 @@
+// Guard-solver pruning ablation. Two workloads on deliberately
+// nondeterministic specifications:
+//
+//   dup3_invalid  - three structurally identical fork transitions; an
+//                   invalid trace forces the exhaustive search to visit
+//                   every fork combination (3^n paths) unpruned, but the
+//                   solver's skip set collapses the choice to one path, so
+//                   TE/GE drop by orders of magnitude;
+//   mutex_toggle  - two provably disjoint guards on one (state, when)
+//                   arena; verdict-relevant work is identical, but the
+//                   mutual-exclusion matrix skips the doomed candidate's
+//                   guard evaluation at every node (static_skips counts
+//                   the savings).
+//
+// Results go to stdout as a table and to BENCH_guard_prune.json (or the
+// path in argv[1]) for EXPERIMENTS.md. Pruned and unpruned rows must agree
+// on the verdict — the facts are proofs (see docs/LINT.md).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+constexpr const char* kDupSpec = R"(
+specification bench_dup;
+channel C(Env, Sys);
+  by Env: go;
+  by Sys: done;
+module M systemprocess;
+  ip P: C(Sys);
+end;
+body MB for M;
+var x: integer;
+state S1, S2;
+initialize to S1 begin x := 0; end;
+trans
+from S1 to S2 when P.go name fork_a: begin x := x + 1; end;
+from S1 to S2 when P.go name fork_b: begin x := x + 1; end;
+from S1 to S2 when P.go name fork_c: begin x := x + 1; end;
+from S2 to S1 when P.go name back: begin output P.done; end;
+end;
+end.
+)";
+
+constexpr const char* kMutexSpec = R"(
+specification bench_mutex;
+channel C(Env, Sys);
+  by Env: go;
+  by Sys: done;
+module M systemprocess;
+  ip P: C(Sys);
+end;
+body MB for M;
+var x: integer;
+state S;
+initialize to S begin x := 0; end;
+trans
+from S to S when P.go provided x = 0 name opening: begin x := 1; end;
+from S to S when P.go provided x = 1 name closing:
+begin x := 0; output P.done; end;
+end;
+end.
+)";
+
+// n fork/back cycles; when `valid` is false the final done is missing, so
+// the search must exhaust every path to conclude Invalid.
+std::string dup_trace(int n, bool valid) {
+  std::string t;
+  for (int i = 0; i < n; ++i) {
+    t += "in p.go\nin p.go\n";
+    if (valid || i + 1 < n) t += "out p.done\n";
+  }
+  t += "eof\n";
+  return t;
+}
+
+std::string mutex_trace(int n) {
+  std::string t;
+  for (int i = 0; i < n; ++i) t += "in p.go\nin p.go\nout p.done\n";
+  t += "eof\n";
+  return t;
+}
+
+struct Row {
+  int n = 0;
+  bool pruned = false;
+  tango::core::DfsResult result;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<Row> rows;
+};
+
+Workload run(const char* name, const char* spec_text,
+             const std::vector<int>& sizes, bool valid) {
+  using namespace tango;
+  est::Spec spec = est::compile_spec(spec_text);
+  Workload w;
+  w.name = name;
+  std::printf("%s\n", name);
+  std::printf("%-6s %5s  %8s  %9s  %9s  %12s  %s\n", "prune", "n", "CPUT",
+              "TE", "GE", "static_skip", "verdict");
+  for (int n : sizes) {
+    tr::Trace trace = tr::parse_trace(
+        spec, name[0] == 'd' ? dup_trace(n, valid) : mutex_trace(n));
+    for (bool prune : {false, true}) {
+      core::Options opts = core::Options::none();
+      opts.static_prune = prune;
+      opts.max_transitions = 30'000'000;
+      Row row{n, prune, core::analyze(spec, trace, opts)};
+      std::printf("%-6s %5d  %8.3f  %9llu  %9llu  %12llu  %s\n",
+                  prune ? "on" : "off", n, row.result.stats.cpu_seconds,
+                  static_cast<unsigned long long>(
+                      row.result.stats.transitions_executed),
+                  static_cast<unsigned long long>(row.result.stats.generates),
+                  static_cast<unsigned long long>(
+                      row.result.stats.static_skips),
+                  std::string(core::to_string(row.result.verdict)).c_str());
+      w.rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n");
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_guard_prune.json";
+
+  std::printf("Guard-solver pruning ablation (skip set + mutex matrix)\n\n");
+  std::vector<Workload> all;
+  all.push_back(run("dup3_invalid", kDupSpec, {3, 5, 7}, /*valid=*/false));
+  all.push_back(run("mutex_toggle", kMutexSpec, {64, 256}, /*valid=*/true));
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"guard_prune\",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    json << "    {\"name\": \"" << all[i].name << "\", \"rows\": [\n";
+    for (std::size_t j = 0; j < all[i].rows.size(); ++j) {
+      const Row& row = all[i].rows[j];
+      json << "      {\"n\": " << row.n << ", \"static_prune\": "
+           << (row.pruned ? "true" : "false") << ", \"verdict\": \""
+           << tango::core::to_string(row.result.verdict)
+           << "\", \"stats\": " << row.result.stats.to_json() << "}"
+           << (j + 1 < all[i].rows.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace tango::analysis {
+
+namespace {
+
+using est::Stmt;
+using est::StmtKind;
+
+class Builder {
+ public:
+  Cfg build(const Stmt& block) {
+    cfg_.entry = add(CfgNodeKind::Entry, nullptr, nullptr, {});
+    std::vector<int> tails = stmt(block, {{cfg_.entry, EdgeKind::Seq}});
+    cfg_.exit = add(CfgNodeKind::Exit, nullptr, nullptr, {});
+    for (int t : tails) edge(t, cfg_.exit, EdgeKind::Seq);
+    return std::move(cfg_);
+  }
+
+ private:
+  /// A dangling predecessor: a node waiting for its successor, plus the
+  /// kind of edge it will take there.
+  struct Pending {
+    int from;
+    EdgeKind kind;
+    const est::CaseArm* arm = nullptr;
+  };
+
+  int add(CfgNodeKind kind, const Stmt* s, const est::Expr* cond,
+          SourceLoc loc) {
+    CfgNode n;
+    n.kind = kind;
+    n.stmt = s;
+    n.cond = cond;
+    n.loc = loc;
+    cfg_.nodes.push_back(std::move(n));
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+
+  void edge(int from, int to, EdgeKind kind,
+            const est::CaseArm* arm = nullptr) {
+    cfg_.nodes[static_cast<std::size_t>(from)].succs.push_back(
+        CfgEdge{to, kind, arm});
+    cfg_.nodes[static_cast<std::size_t>(to)].preds.push_back(from);
+  }
+
+  void resolve(const std::vector<Pending>& pending, int to) {
+    for (const Pending& p : pending) edge(p.from, to, p.kind, p.arm);
+  }
+
+  static void append(std::vector<int>& dst, const std::vector<int>& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+
+  /// Builds `s` with the given dangling predecessors. Returns the tail
+  /// frontier: nodes whose (Seq) successor is whatever comes next. A
+  /// node-free statement (empty compound) passes `preds` straight through.
+  std::vector<int> stmt(const Stmt& s, std::vector<Pending> preds) {
+    switch (s.kind) {
+      case StmtKind::Compound: {
+        std::vector<int> tails = settle(std::move(preds));
+        for (const est::StmtPtr& c : s.body) {
+          if (c) tails = stmt(*c, seq(tails));
+        }
+        return tails;
+      }
+      case StmtKind::Empty:
+      case StmtKind::Assign:
+      case StmtKind::Call:
+      case StmtKind::Output: {
+        const int n = add(CfgNodeKind::Simple, &s, nullptr, s.loc);
+        resolve(preds, n);
+        return {n};
+      }
+      case StmtKind::If: {
+        const int c = add(CfgNodeKind::CondIf, &s, s.e0.get(), s.loc);
+        resolve(preds, c);
+        std::vector<int> out;
+        append(out, branch(s.s0.get(), {{c, EdgeKind::True}}));
+        append(out, branch(s.s1.get(), {{c, EdgeKind::False}}));
+        return out;
+      }
+      case StmtKind::While: {
+        const int c = add(CfgNodeKind::CondWhile, &s, s.e0.get(), s.loc);
+        resolve(preds, c);
+        std::vector<int> body_tails =
+            branch(s.s0.get(), {{c, EdgeKind::True}});
+        for (int t : body_tails) {
+          if (t == c) {
+            edge(c, c, EdgeKind::True);  // empty body: self loop
+          } else {
+            edge(t, c, EdgeKind::Seq);  // back edge
+          }
+        }
+        return {c};  // leaves on the False edge
+      }
+      case StmtKind::Repeat: {
+        // Body first, then the until-condition; False loops back.
+        const int body_head = static_cast<int>(cfg_.nodes.size());
+        std::vector<int> tails = settle(std::move(preds));
+        for (const est::StmtPtr& c : s.body) {
+          if (c) tails = stmt(*c, seq(tails));
+        }
+        const int c = add(CfgNodeKind::CondRepeat, &s, s.e0.get(), s.loc);
+        for (int t : tails) edge(t, c, EdgeKind::Seq);
+        // body_head == c when the body produced no nodes: self loop.
+        edge(c, body_head, EdgeKind::False);
+        return {c};  // leaves on the True edge
+      }
+      case StmtKind::For: {
+        const int init = add(CfgNodeKind::ForInit, &s, nullptr, s.loc);
+        resolve(preds, init);
+        const int test = add(CfgNodeKind::ForTest, &s, nullptr, s.loc);
+        edge(init, test, EdgeKind::Seq);
+        std::vector<int> body_tails =
+            branch(s.s0.get(), {{test, EdgeKind::True}});
+        for (int t : body_tails) {
+          if (t == test) {
+            edge(test, test, EdgeKind::True);
+          } else {
+            edge(t, test, EdgeKind::Seq);  // step + retest
+          }
+        }
+        return {test};  // leaves on the False edge
+      }
+      case StmtKind::Case: {
+        const int c = add(CfgNodeKind::CondCase, &s, s.e0.get(), s.loc);
+        resolve(preds, c);
+        std::vector<int> out;
+        for (const est::CaseArm& arm : s.arms) {
+          append(out, branch(arm.body.get(),
+                             {{c, EdgeKind::CaseArm, &arm}}));
+        }
+        if (s.has_otherwise) {
+          std::vector<int> tails{-1};  // sentinel: not yet entered
+          std::vector<Pending> entry{{c, EdgeKind::CaseOther}};
+          bool entered = false;
+          for (const est::StmtPtr& o : s.otherwise) {
+            if (!o) continue;
+            tails = entered ? stmt(*o, seq(tails)) : stmt(*o, entry);
+            entered = true;
+          }
+          if (entered) {
+            append(out, tails);
+          } else {
+            out.push_back(c);  // empty otherwise: fallthrough
+          }
+        } else {
+          // Without `otherwise` a no-match faults at runtime; keeping the
+          // fallthrough edge over-approximates control flow, which is the
+          // sound direction for every pass that consumes the graph.
+          out.push_back(c);
+        }
+        return out;
+      }
+    }
+    return settle(std::move(preds));  // unreachable
+  }
+
+  /// Builds an optional branch body behind `entry` edges. When the body is
+  /// null or node-free, the branching node itself joins the tail frontier
+  /// (the edge materialises later as a plain Seq fallthrough).
+  std::vector<int> branch(const Stmt* body, std::vector<Pending> entry) {
+    const int from = entry.front().from;
+    if (body == nullptr) return {from};
+    const std::size_t before = cfg_.nodes.size();
+    std::vector<int> tails = stmt(*body, std::move(entry));
+    if (cfg_.nodes.size() == before) return {from};
+    return tails;
+  }
+
+  /// Materialises dangling predecessors into a plain tail list. Pending
+  /// non-Seq edges must not leak through node-free statements, so they are
+  /// preserved by kind on their origin node when later resolved; for tail
+  /// passthrough we simply return the origins (their edges are created on
+  /// the next real node by seq()/resolve()).
+  std::vector<int> settle(std::vector<Pending> preds) {
+    std::vector<int> tails;
+    tails.reserve(preds.size());
+    for (const Pending& p : preds) {
+      pending_.push_back(p);
+      tails.push_back(p.from);
+    }
+    return tails;
+  }
+
+  std::vector<Pending> seq(const std::vector<int>& tails) {
+    std::vector<Pending> preds;
+    preds.reserve(tails.size());
+    for (int t : tails) {
+      // Re-attach a preserved non-Seq pending edge for this origin, if one
+      // is still waiting; otherwise a plain sequential edge.
+      EdgeKind kind = EdgeKind::Seq;
+      const est::CaseArm* arm = nullptr;
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->from == t) {
+          kind = it->kind;
+          arm = it->arm;
+          pending_.erase(it);
+          break;
+        }
+      }
+      preds.push_back(Pending{t, kind, arm});
+    }
+    return preds;
+  }
+
+  Cfg cfg_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace
+
+std::vector<int> Cfg::reverse_post_order() const {
+  std::vector<int> order;
+  std::vector<char> seen(nodes.size(), 0);
+  struct Frame {
+    int node;
+    std::size_t next_succ;
+  };
+  // Iterative post-order DFS (blocks can nest arbitrarily deep).
+  std::vector<Frame> stack{{entry, 0}};
+  seen[static_cast<std::size_t>(entry)] = 1;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const CfgNode& n = nodes[static_cast<std::size_t>(f.node)];
+    if (f.next_succ < n.succs.size()) {
+      const int to = n.succs[f.next_succ++].to;
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        stack.push_back({to, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Cfg build_cfg(const est::Stmt& block) { return Builder{}.build(block); }
+
+std::string to_string(const Cfg& cfg) {
+  static constexpr const char* kKind[] = {
+      "entry", "exit", "stmt",     "if",      "while",
+      "until", "case", "for-init", "for-test"};
+  static constexpr const char* kEdge[] = {"", "T", "F", "arm", "other"};
+  std::string out;
+  for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const CfgNode& n = cfg.nodes[i];
+    out += std::to_string(i);
+    out += ": ";
+    out += kKind[static_cast<int>(n.kind)];
+    if (n.loc.valid()) out += " @" + tango::to_string(n.loc);
+    out += " ->";
+    for (const CfgEdge& e : n.succs) {
+      out += ' ';
+      out += std::to_string(e.to);
+      if (e.kind != EdgeKind::Seq) {
+        out += '(';
+        out += kEdge[static_cast<int>(e.kind)];
+        out += ')';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tango::analysis

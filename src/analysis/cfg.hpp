@@ -1,0 +1,78 @@
+// Control-flow graphs over the statement trees of one compiled
+// specification — one graph per transition block, initializer block and
+// routine body. The dataflow passes (analysis/dataflow.hpp) run classic
+// worklist fixpoints over these graphs; nothing here executes code.
+//
+// Node granularity is one statement or one decision:
+//   Entry/Exit     synthetic endpoints
+//   Simple         Assign / Call / Output / Empty
+//   CondIf         if-condition; succ edges True/False
+//   CondWhile      while-condition; True enters the body, False exits
+//   CondRepeat     repeat-until condition; True exits, False loops back
+//   CondCase       case selector; one CaseArm edge per arm (+ CaseOther)
+//   ForInit        the control-variable initialisation of a for statement
+//   ForTest        the loop test; True enters the body, False exits
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estelle/ast.hpp"
+
+namespace tango::analysis {
+
+enum class CfgNodeKind : std::uint8_t {
+  Entry,
+  Exit,
+  Simple,
+  CondIf,
+  CondWhile,
+  CondRepeat,
+  CondCase,
+  ForInit,
+  ForTest,
+};
+
+enum class EdgeKind : std::uint8_t { Seq, True, False, CaseArm, CaseOther };
+
+struct CfgEdge {
+  int to = -1;
+  EdgeKind kind = EdgeKind::Seq;
+  /// CaseArm edges: the arm taken (labels live on it). Null otherwise.
+  const est::CaseArm* arm = nullptr;
+};
+
+struct CfgNode {
+  CfgNodeKind kind = CfgNodeKind::Simple;
+  /// Simple: the statement. Cond*/For*: the owning control statement.
+  const est::Stmt* stmt = nullptr;
+  /// The decided expression for Cond* nodes (if/while/repeat condition,
+  /// case selector); null for the rest.
+  const est::Expr* cond = nullptr;
+  SourceLoc loc;
+  std::vector<CfgEdge> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = -1;
+  int exit = -1;
+
+  [[nodiscard]] const CfgNode& node(int id) const {
+    return nodes[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+
+  /// Reverse-post-order from entry, for fast forward fixpoints.
+  [[nodiscard]] std::vector<int> reverse_post_order() const;
+};
+
+/// Builds the CFG of one statement block (a transition/initializer block or
+/// a routine body). Null statements inside the tree are tolerated.
+[[nodiscard]] Cfg build_cfg(const est::Stmt& block);
+
+/// Debug rendering: one node per line with its successors.
+[[nodiscard]] std::string to_string(const Cfg& cfg);
+
+}  // namespace tango::analysis

@@ -1,5 +1,6 @@
 #include "analysis/coverage.hpp"
 
+#include <algorithm>
 #include <set>
 
 namespace tango::analysis {
@@ -21,6 +22,42 @@ std::string CoverageReport::render() const {
   for (const std::string& note : invalid_notes) {
     out += "  (non-valid trace: " + note + ")\n";
   }
+  return out;
+}
+
+std::string CoverageReport::render_json() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "{\"covered\":%zu,\"declared\":%zu,\"ratio\":%.4f,"
+                "\"traces_valid\":%zu,\"traces_total\":%zu,"
+                "\"transitions\":[",
+                hits.size(), hits.size() + uncovered.size(), ratio(),
+                traces_valid, traces_total);
+  std::string out = head;
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + escape(row.name) +
+           "\",\"line\":" + std::to_string(row.loc.line) +
+           ",\"count\":" + std::to_string(row.count) + "}";
+  }
+  out += "],\"invalid_notes\":[";
+  first = true;
+  for (const std::string& note : invalid_notes) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + escape(note) + "\"";
+  }
+  out += "]}\n";
   return out;
 }
 
@@ -53,6 +90,17 @@ CoverageReport coverage(const est::Spec& spec,
   for (const std::string& name : declared) {
     if (!report.hits.count(name)) report.uncovered.push_back(name);
   }
+
+  for (const est::Transition& tr : spec.body().transitions) {
+    const auto it = report.hits.find(tr.name);
+    report.rows.push_back(
+        {tr.name, tr.loc, it == report.hits.end() ? 0 : it->second});
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const CoverageReport::Row& a, const CoverageReport::Row& b) {
+              if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+              return a.name < b.name;
+            });
   return report;
 }
 

@@ -16,6 +16,14 @@ struct CoverageReport {
   /// transition name -> number of firings across all witness paths.
   std::map<std::string, std::size_t> hits;
   std::vector<std::string> uncovered;  // declared but never witnessed
+  /// One row per declared transition with its declaration site, ordered by
+  /// (line, name) so machine output is byte-stable.
+  struct Row {
+    std::string name;
+    SourceLoc loc;
+    std::size_t count = 0;
+  };
+  std::vector<Row> rows;
   std::size_t traces_total = 0;
   std::size_t traces_valid = 0;
   std::vector<std::string> invalid_notes;  // one per non-valid trace
@@ -27,6 +35,8 @@ struct CoverageReport {
                             static_cast<double>(total);
   }
   [[nodiscard]] std::string render() const;
+  /// Stable JSON object ({"transitions":[{name,line,count},...],...}).
+  [[nodiscard]] std::string render_json() const;
 };
 
 /// Analyzes every trace (with `options`) and accumulates witness-path

@@ -1,0 +1,63 @@
+// Dataflow passes over the per-block CFGs of a compiled specification:
+//
+//   assign       definite assignment — locals (including function results)
+//                that may be read before they are written, and module
+//                variables that are read somewhere but written nowhere
+//   intervals    value-range analysis over the ordinal types — flags
+//                assignments that are always out of a subrange, indices that
+//                are always out of bounds, division by a provably-zero
+//                divisor and case selectors that can never match a label
+//   unreachable  statements that can never execute, using the decided
+//                branch edges of the interval fixpoint
+//   purity       interprocedural side-effect summary of every routine,
+//                used to reject provided clauses that reach a side effect
+//                through a call chain
+//
+// All passes are conservative in the reporting direction: a finding means
+// the defect happens on EVERY execution reaching it ("always out of
+// range"), or — for the may-style assign pass — that some path reaches a
+// read without a prior write. Absence of findings proves nothing.
+#pragma once
+
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::analysis {
+
+struct DataflowOptions {
+  bool assign = true;
+  bool intervals = true;
+  bool unreachable = true;
+  bool purity = true;
+};
+
+/// Interprocedural effect summary of one routine, closed over calls.
+struct RoutineEffects {
+  bool writes_module = false;   // assigns a module variable
+  bool writes_heap = false;     // new/dispose or a write through ^p
+  bool has_output = false;      // executes an output statement
+  bool writes_when_param = false;
+  /// Flattened by-ref parameter slots this routine may write (directly or
+  /// by passing them on as var arguments).
+  std::vector<bool> writes_param;
+
+  /// Safe to call from a provided clause (no observable effect besides
+  /// writes to the caller's own locals via var parameters).
+  [[nodiscard]] bool pure() const {
+    return !writes_module && !writes_heap && !has_output &&
+           !writes_when_param;
+  }
+};
+
+/// Fixpoint over the call graph; index parallel to body().routines.
+[[nodiscard]] std::vector<RoutineEffects> compute_routine_effects(
+    const est::Spec& spec);
+
+/// Runs the selected passes over every initializer, transition and routine.
+/// Findings come back unsorted; callers merge and sort_findings().
+[[nodiscard]] std::vector<Finding> run_dataflow(
+    const est::Spec& spec, const DataflowOptions& opts = {});
+
+}  // namespace tango::analysis

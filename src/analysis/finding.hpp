@@ -1,0 +1,63 @@
+// A static-analysis finding: a Diagnostic plus the pass that produced it,
+// the declaration unit it concerns (transition / routine / initializer
+// name) and an optional end of the source span. Every analysis pass emits
+// Findings; reports sort them by (line, column, unit, message) so text,
+// JSON and SARIF output are byte-stable across runs.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace tango::analysis {
+
+struct Finding : Diagnostic {
+  /// Pass identifier (reach, cycles, interactions, assign, intervals,
+  /// unreachable, purity, guards) — the SARIF rule id.
+  std::string pass;
+  /// Enclosing declaration: "transition 't1'", "procedure 'enq'", ….
+  std::string unit;
+  /// End of the source span; invalid when the span is a single point.
+  SourceLoc end;
+
+  Finding() = default;
+  Finding(Severity sev, std::string pass_name, SourceLoc where,
+          std::string unit_name, std::string msg, SourceLoc span_end = {}) {
+    severity = sev;
+    loc = where;
+    message = std::move(msg);
+    pass = std::move(pass_name);
+    unit = std::move(unit_name);
+    end = span_end;
+  }
+};
+
+/// Canonical report order: source position first, then unit and message so
+/// findings without a position (line 0) sort deterministically too.
+inline void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.loc.line != b.loc.line) {
+                       return a.loc.line < b.loc.line;
+                     }
+                     if (a.loc.column != b.loc.column) {
+                       return a.loc.column < b.loc.column;
+                     }
+                     if (a.unit != b.unit) return a.unit < b.unit;
+                     if (a.message != b.message) return a.message < b.message;
+                     return a.pass < b.pass;
+                   });
+}
+
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+}  // namespace tango::analysis

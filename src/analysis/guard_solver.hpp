@@ -1,0 +1,81 @@
+// Guard implication solver. Normalizes every transition's provided clause
+// into a conjunction of interval atoms over module variables and when
+// parameters, then decides pairwise implication and mutual exclusion per
+// (state, when-source) group:
+//
+//   * structurally duplicate transitions and transitions whose guard is
+//     implied by a strictly-higher-priority competitor can never add
+//     behavior — they are reported and entered into the skip set;
+//   * provably disjoint module-variable guards feed a runtime matrix the
+//     generate operation uses to skip doomed candidates early (fewer guard
+//     evaluations and, under on-line analysis, fewer spurious
+//     pending-generation marks);
+//   * overlapping same-priority guards are reported as genuine
+//     nondeterminism.
+//
+// Everything here is a PROOF or it is nothing: "unknown" never enters the
+// matrix, so pruning cannot change verdicts (see docs/LINT.md).
+#pragma once
+
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::analysis {
+
+/// Facts the search consumes. Indexed by transition declaration index, the
+/// same indexing as Spec::body().transitions.
+struct GuardMatrix {
+  int n = 0;
+  /// Flattened n*n. mutex(i, j) == true proves: whenever transition i's
+  /// provided clause evaluates to true at a node, transition j's clause is
+  /// false at that node for EVERY possible when-parameter binding (the
+  /// proof uses module-variable atoms only, which are conjuncts of i and
+  /// of j). The disjointness core is symmetric but the entry also demands
+  /// pure(j) — skipping j's evaluation must be unobservable — so consult
+  /// mutex(i, j) with i as the guard that held.
+  std::vector<char> mutex_rt;
+  /// Guard purity per transition: no module/heap/output/parameter write is
+  /// reachable from the provided clause. Only a pure guard may serve as
+  /// the held side of a mutex skip, and evaluating an impure guard
+  /// invalidates every previously-held fact within one generate (the
+  /// evaluation itself may move the module state).
+  std::vector<char> guard_is_pure;
+  /// Transition can never contribute behavior (structural duplicate of an
+  /// earlier transition, or always shadowed by a higher-priority one);
+  /// the search may skip it without changing verdicts or witnesses.
+  std::vector<char> skip;
+
+  [[nodiscard]] bool mutex(int i, int j) const {
+    return mutex_rt[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(j)] != 0;
+  }
+  [[nodiscard]] bool skippable(int i) const {
+    return skip[static_cast<std::size_t>(i)] != 0;
+  }
+  [[nodiscard]] bool pure(int i) const {
+    return guard_is_pure[static_cast<std::size_t>(i)] != 0;
+  }
+  [[nodiscard]] bool any_facts() const {
+    for (char c : skip) {
+      if (c != 0) return true;
+    }
+    for (char c : mutex_rt) {
+      if (c != 0) return true;
+    }
+    return false;
+  }
+};
+
+struct GuardAnalysis {
+  GuardMatrix matrix;
+  std::vector<Finding> findings;
+};
+
+/// Runs the solver over every transition pair. Pure function of the spec;
+/// cost is O(n^2 * atoms), negligible beside any search.
+[[nodiscard]] GuardAnalysis analyze_guards(const est::Spec& spec);
+
+}  // namespace tango::analysis

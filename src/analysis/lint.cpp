@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <set>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/guard_solver.hpp"
 
 namespace tango::analysis {
 
@@ -27,6 +31,11 @@ bool block_has_output(const Stmt& s) {
   if (s.s0 && block_has_output(*s.s0)) return true;
   if (s.s1 && block_has_output(*s.s1)) return true;
   return false;
+}
+
+SourceLoc state_loc(const Spec& spec, std::size_t ordinal) {
+  return ordinal < spec.state_locs.size() ? spec.state_locs[ordinal]
+                                          : SourceLoc{};
 }
 
 /// States reachable from the initializers' target states over the
@@ -62,10 +71,11 @@ void check_reachability(const Spec& spec, LintReport& report) {
   const std::vector<char> seen = reachable_states(spec);
   for (std::size_t s = 0; s < spec.states.size(); ++s) {
     if (!seen[s]) {
-      report.findings.push_back(
-          {Severity::Warning, {},
-           "state '" + spec.states[s] +
-               "' is unreachable from every initial state"});
+      report.findings.emplace_back(
+          Severity::Warning, "reach", state_loc(spec, s),
+          "state '" + spec.states[s] + "'",
+          "state '" + spec.states[s] +
+              "' is unreachable from every initial state");
     }
   }
   for (const Transition& tr : spec.body().transitions) {
@@ -73,11 +83,10 @@ void check_reachability(const Spec& spec, LintReport& report) {
         tr.from_ordinals.begin(), tr.from_ordinals.end(),
         [&](int s) { return seen[static_cast<std::size_t>(s)] != 0; });
     if (!fireable_somewhere) {
-      report.findings.push_back(
-          {Severity::Warning, tr.loc,
-           "transition '" + tr.name +
-               "' can never fire: all of its source states are "
-               "unreachable"});
+      report.findings.emplace_back(
+          Severity::Warning, "reach", tr.loc, "transition '" + tr.name + "'",
+          "transition '" + tr.name +
+              "' can never fire: all of its source states are unreachable");
     }
   }
 }
@@ -128,17 +137,17 @@ void check_non_progress_cycles(const Spec& spec, LintReport& report) {
         }
       }
       if (closes && reported.insert(first.tr).second) {
-        report.findings.push_back(
-            {all_unguarded ? Severity::Error : Severity::Warning,
-             first.tr->loc,
-             "transition '" + first.tr->name +
-                 "' starts a non-progress cycle (spontaneous, no output, "
-                 "returns to state '" + spec.states[start] + "')" +
-                 (all_unguarded
-                      ? " with no provided guard anywhere: depth-first "
-                        "trace analysis WILL diverge (paper §2.1)"
-                      : "; a provided guard may bound it, but the cycle "
-                        "can foil depth-first trace analysis (paper §2.1)")});
+        report.findings.emplace_back(
+            all_unguarded ? Severity::Error : Severity::Warning, "cycles",
+            first.tr->loc, "transition '" + first.tr->name + "'",
+            "transition '" + first.tr->name +
+                "' starts a non-progress cycle (spontaneous, no output, "
+                "returns to state '" + spec.states[start] + "')" +
+                (all_unguarded
+                     ? " with no provided guard anywhere: depth-first "
+                       "trace analysis WILL diverge (paper §2.1)"
+                     : "; a provided guard may bound it, but the cycle "
+                       "can foil depth-first trace analysis (paper §2.1)"));
       }
     }
   }
@@ -182,40 +191,202 @@ void check_dead_interactions(const Spec& spec, LintReport& report) {
   for (const est::IpInfo& ip : spec.ips) {
     for (const auto& [name, id] : ip.inputs) {
       if (!consumed[static_cast<std::size_t>(id)]) {
-        report.findings.push_back(
-            {Severity::Warning, {},
-             "input interaction '" + ip.name + "." + name +
-                 "' is never consumed by any transition"});
+        report.findings.emplace_back(
+            Severity::Warning, "interactions", SourceLoc{},
+            "ip '" + ip.name + "'",
+            "input interaction '" + ip.name + "." + name +
+                "' is never consumed by any transition");
       }
     }
     for (const auto& [name, id] : ip.outputs) {
       if (!produced[static_cast<std::size_t>(id)]) {
-        report.findings.push_back(
-            {Severity::Warning, {},
-             "output interaction '" + ip.name + "." + name +
-                 "' is never produced by any transition"});
+        report.findings.emplace_back(
+            Severity::Warning, "interactions", SourceLoc{},
+            "ip '" + ip.name + "'",
+            "output interaction '" + ip.name + "." + name +
+                "' is never produced by any transition");
       }
     }
   }
+}
+
+constexpr const char* kPassNames[] = {"reach",       "cycles",  "interactions",
+                                      "assign",      "intervals",
+                                      "unreachable", "purity",  "guards"};
+
+std::set<std::string> parse_passes(const std::string& passes) {
+  std::set<std::string> on;
+  if (passes.empty()) {
+    for (const char* p : kPassNames) on.insert(p);
+    return on;
+  }
+  std::size_t begin = 0;
+  while (begin <= passes.size()) {
+    std::size_t comma = passes.find(',', begin);
+    if (comma == std::string::npos) comma = passes.size();
+    const std::string name = passes.substr(begin, comma - begin);
+    if (!name.empty()) {
+      const bool known =
+          std::any_of(std::begin(kPassNames), std::end(kPassNames),
+                      [&](const char* p) { return name == p; });
+      if (!known) {
+        throw CompileError({}, "unknown lint pass '" + name +
+                                   "' (expected a comma-separated subset of "
+                                   "reach,cycles,interactions,assign,"
+                                   "intervals,unreachable,purity,guards)");
+      }
+      on.insert(name);
+    }
+    begin = comma + 1;
+  }
+  return on;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  json_escape_into(out, s);
+  out += '"';
+  return out;
 }
 
 }  // namespace
 
 std::string LintReport::render() const {
   std::string out;
-  for (const Diagnostic& d : findings) {
-    out += d.render();
+  for (const Finding& f : findings) {
+    if (f.loc.valid()) {
+      out += tango::to_string(f.loc);
+      out += ": ";
+    }
+    out += to_string(f.severity);
+    out += ": [";
+    out += f.pass;
+    out += "] ";
+    if (!f.unit.empty()) {
+      out += f.unit;
+      out += ": ";
+    }
+    out += f.message;
     out += '\n';
   }
   if (findings.empty()) out = "no findings\n";
   return out;
 }
 
-LintReport lint(const est::Spec& spec) {
+std::string LintReport::render_json(const std::string& source) const {
+  std::string out = "{\"source\":" + quoted(source) + ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"severity\":" + quoted(to_string(f.severity)) +
+           ",\"pass\":" + quoted(f.pass) +
+           ",\"line\":" + std::to_string(f.loc.line) +
+           ",\"column\":" + std::to_string(f.loc.column);
+    if (f.end.valid()) {
+      out += ",\"end_line\":" + std::to_string(f.end.line) +
+             ",\"end_column\":" + std::to_string(f.end.column);
+    }
+    out += ",\"unit\":" + quoted(f.unit) +
+           ",\"message\":" + quoted(f.message) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string LintReport::render_sarif(const std::string& source) const {
+  // SARIF "level" has no note; notes map to "note" (valid since 2.1.0).
+  auto level = [](Severity s) {
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "none";
+  };
+
+  // One reportingDescriptor per pass that actually fired, sorted by id.
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.pass);
+
+  std::string out =
+      "{\"version\":\"2.1.0\",\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"tango lint\","
+      "\"rules\":[";
+  bool first = true;
+  for (const std::string& r : rules) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + quoted(r) + "}";
+  }
+  out += "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ruleId\":" + quoted(f.pass) +
+           ",\"level\":" + quoted(level(f.severity)) +
+           ",\"message\":{\"text\":" + quoted(f.message) + "}";
+    if (f.loc.valid()) {
+      const SourceLoc end = f.end.valid() ? f.end : f.loc;
+      out += ",\"locations\":[{\"physicalLocation\":{"
+             "\"artifactLocation\":{\"uri\":" + quoted(source) + "},"
+             "\"region\":{\"startLine\":" + std::to_string(f.loc.line) +
+             ",\"startColumn\":" + std::to_string(f.loc.column) +
+             ",\"endLine\":" + std::to_string(end.line) +
+             ",\"endColumn\":" + std::to_string(end.column) + "}}}]";
+    }
+    out += '}';
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+LintReport lint(const est::Spec& spec, const LintOptions& options) {
+  const std::set<std::string> on = parse_passes(options.passes);
   LintReport report;
-  check_reachability(spec, report);
-  check_non_progress_cycles(spec, report);
-  check_dead_interactions(spec, report);
+  if (on.count("reach")) check_reachability(spec, report);
+  if (on.count("cycles")) check_non_progress_cycles(spec, report);
+  if (on.count("interactions")) check_dead_interactions(spec, report);
+
+  DataflowOptions df;
+  df.assign = on.count("assign") != 0;
+  df.intervals = on.count("intervals") != 0;
+  df.unreachable = on.count("unreachable") != 0;
+  df.purity = on.count("purity") != 0;
+  if (df.assign || df.intervals || df.unreachable || df.purity) {
+    std::vector<Finding> flow = run_dataflow(spec, df);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(flow.begin()),
+                           std::make_move_iterator(flow.end()));
+  }
+  if (on.count("guards")) {
+    GuardAnalysis ga = analyze_guards(spec);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(ga.findings.begin()),
+                           std::make_move_iterator(ga.findings.end()));
+  }
+  sort_findings(report.findings);
   return report;
 }
 

@@ -1,21 +1,37 @@
 // Static specification checks beyond type correctness — the properties the
-// paper asks specifiers to guarantee by hand:
-//  - §2.1: the TAM "should be free of non-progress cycles ... as these can
-//    foil DFS algorithms, yielding search trees of infinite depth";
-//  - unreachable states and transitions that can therefore never fire;
-//  - channel interactions never consumed or produced by any transition.
-// Exposed through `tango lint`.
+// paper asks specifiers to guarantee by hand, plus the dataflow and guard
+// passes that strengthen them:
+//  - reach:        unreachable states, and transitions that can never fire;
+//  - cycles:       §2.1 non-progress cycles that foil depth-first search;
+//  - interactions: channel interactions never consumed or produced;
+//  - assign:       reads of possibly-uninitialized variables;
+//  - intervals:    provable subrange/index/division runtime faults;
+//  - unreachable:  statements no execution can reach;
+//  - purity:       provided clauses reaching a side effect through a call;
+//  - guards:       guard implication — duplicates, priority shadowing,
+//                  nondeterministic overlap (see guard_solver.hpp).
+// Exposed through `tango lint [--passes=...] [--format=text|json|sarif]`.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "analysis/finding.hpp"
 #include "estelle/spec.hpp"
-#include "support/diagnostics.hpp"
 
 namespace tango::analysis {
 
+struct LintOptions {
+  /// Comma-separated pass subset (e.g. "assign,guards"); empty = all.
+  /// Unknown names throw CompileError.
+  std::string passes;
+  /// Artifact name used by the SARIF renderer (the spec path or
+  /// "builtin:<name>").
+  std::string source_name = "<spec>";
+};
+
 struct LintReport {
-  std::vector<Diagnostic> findings;
+  std::vector<Finding> findings;  // canonical order (sort_findings)
 
   [[nodiscard]] bool has_errors() const {
     for (const Diagnostic& d : findings) {
@@ -23,10 +39,25 @@ struct LintReport {
     }
     return false;
   }
+  [[nodiscard]] bool has_warnings() const {
+    for (const Diagnostic& d : findings) {
+      if (d.severity == Severity::Warning) return true;
+    }
+    return false;
+  }
+  /// One finding per line: "line:col: severity: [pass] unit: message".
   [[nodiscard]] std::string render() const;
+  /// Stable JSON array of finding objects.
+  [[nodiscard]] std::string render_json(const std::string& source) const;
+  /// SARIF 2.1.0 with one rule per pass, for code-scanning upload.
+  [[nodiscard]] std::string render_sarif(const std::string& source) const;
 };
 
-/// Runs all lint passes over a compiled specification.
-[[nodiscard]] LintReport lint(const est::Spec& spec);
+/// Runs the selected lint passes over a compiled specification.
+[[nodiscard]] LintReport lint(const est::Spec& spec,
+                              const LintOptions& options);
+[[nodiscard]] inline LintReport lint(const est::Spec& spec) {
+  return lint(spec, LintOptions{});
+}
 
 }  // namespace tango::analysis

@@ -83,9 +83,15 @@ commands:
                                     presets; disagreements are shrunk and
                                     written as reproducer bundles
                                     (see docs/FUZZING.md)
-  lint <spec>                       unreachable states, non-progress cycles,
-                                    dead interactions (paper 2.1 hygiene)
-  coverage <spec> <trace...>        transition coverage over valid traces
+  lint <spec> [--passes=a,b] [--format=text|json|sarif]
+                                    static analysis: reachability, non-
+                                    progress cycles, dead interactions,
+                                    definite assignment, value ranges,
+                                    unreachable statements, provided-clause
+                                    purity, guard implication (docs/LINT.md);
+                                    exit 1 iff any error-level finding
+  coverage <spec> <trace...> [--format=text|json]
+                                    transition coverage over valid traces
   print <spec>                      parse and pretty-print
   specs                             list built-in specifications
   cat <builtin>                     print a built-in specification
@@ -113,6 +119,9 @@ analysis options:
   --visited-max=<n>                 bound the --hash-states table to n
                                     entries; overflow evicts a random hash
                                     (0 = unlimited, the default)
+  --no-static-prune                 do not consume guard-solver facts during
+                                    generate (on by default; pruning never
+                                    changes verdicts — see docs/LINT.md)
   --batch <dir>                     analyze every *.tr file in <dir>,
                                     scheduling whole traces across --jobs
                                     workers; exit 0 iff all are valid
@@ -165,6 +174,9 @@ struct Cli {
   std::string stats_path;
   std::string out_dir;
   std::string batch_dir;
+  // lint / coverage
+  std::string passes;              // --passes=a,b,... (empty = all)
+  std::string format = "text";     // --format=text|json|sarif
   std::vector<std::string> positional;
 };
 
@@ -225,6 +237,17 @@ Cli parse_cli(int argc, char** argv, int first) {
       }
     } else if (a == "--deterministic") {
       cli.options.deterministic = true;
+    } else if (a == "--no-static-prune") {
+      cli.options.static_prune = false;
+    } else if (starts_with(a, "--passes=")) {
+      cli.passes = value("--passes=");
+    } else if (starts_with(a, "--format=")) {
+      cli.format = value("--format=");
+      if (cli.format != "text" && cli.format != "json" &&
+          cli.format != "sarif") {
+        throw CompileError({}, "bad --format value '" + cli.format +
+                                   "' (expected text, json or sarif)");
+      }
     } else if (starts_with(a, "--visited-max=")) {
       cli.options.visited_max = std::stoull(value("--visited-max="));
     } else if (starts_with(a, "--batch")) {
@@ -502,6 +525,7 @@ int cmd_fuzz(const Cli& cli) {
   config.out_dir = cli.out_dir;
   config.verbose = cli.verbose;
   config.checkpoint = cli.options.checkpoint;
+  config.static_prune = cli.options.static_prune;
   if (cli.options.max_transitions != 0) {
     config.max_transitions = cli.options.max_transitions;
   }
@@ -528,8 +552,17 @@ int cmd_fuzz(const Cli& cli) {
 int cmd_lint(const Cli& cli) {
   if (cli.positional.empty()) return usage();
   est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
-  analysis::LintReport report = analysis::lint(spec);
-  std::cout << report.render();
+  analysis::LintOptions lo;
+  lo.passes = cli.passes;
+  lo.source_name = cli.positional[0];
+  analysis::LintReport report = analysis::lint(spec, lo);
+  if (cli.format == "json") {
+    std::cout << report.render_json(cli.positional[0]);
+  } else if (cli.format == "sarif") {
+    std::cout << report.render_sarif(cli.positional[0]);
+  } else {
+    std::cout << report.render();
+  }
   return report.has_errors() ? 1 : 0;
 }
 
@@ -542,7 +575,11 @@ int cmd_coverage(const Cli& cli) {
   }
   analysis::CoverageReport report =
       analysis::coverage(spec, traces, cli.options);
-  std::cout << report.render();
+  if (cli.format == "json") {
+    std::cout << report.render_json();
+  } else {
+    std::cout << report.render();
+  }
   return report.traces_valid == report.traces_total ? 0 : 1;
 }
 

@@ -24,7 +24,32 @@ GenResult generate(rt::Interp& interp, const tr::Trace& trace,
   const auto& applicable = spec.transitions_by_state[static_cast<std::size_t>(
       st.machine.fsm_state)];
 
+  // Guard-solver facts (static-prune). `true_guards` collects candidates
+  // whose provided clause evaluated true so far in this generate; a later
+  // candidate proven mutually exclusive with any of them is skipped before
+  // its when-queue is consulted (so it can't spuriously mark the node PG —
+  // the skip is exactly the "provided is false" outcome, decided early).
+  const analysis::GuardMatrix* gm = ro.guard_matrix.get();
+  std::vector<int> true_guards;
+
   for (int ti : applicable) {
+    if (gm != nullptr) {
+      if (gm->skippable(ti)) {
+        ++stats.static_skips;
+        continue;
+      }
+      bool excluded = false;
+      for (int held : true_guards) {
+        if (gm->mutex(held, ti)) {
+          excluded = true;
+          break;
+        }
+      }
+      if (excluded) {
+        ++stats.static_skips;
+        continue;
+      }
+    }
     const est::Transition& tr = transitions[static_cast<std::size_t>(ti)];
 
     Firing firing;
@@ -71,15 +96,26 @@ GenResult generate(rt::Interp& interp, const tr::Trace& trace,
       }
     }
 
+    bool holds = false;
     try {
-      if (!interp.provided_holds(st.machine, tr, firing.binding)) continue;
+      holds = interp.provided_holds(st.machine, tr, firing.binding);
     } catch (const RuntimeFault& fault) {
       // A faulting provided clause cannot be satisfied on this path; note
       // the first fault for diagnostics and treat the transition as not
       // offered.
       if (out.fault.empty()) out.fault = fault.what();
-      continue;
     }
+    if (gm != nullptr) {
+      if (gm->pure(ti)) {
+        if (holds) true_guards.push_back(ti);
+      } else {
+        // An impure guard evaluation (any outcome, including a fault) may
+        // have moved the module state; earlier held-guard facts no longer
+        // describe it.
+        true_guards.clear();
+      }
+    }
+    if (!holds) continue;
 
     out.firings.push_back(std::move(firing));
   }

@@ -16,6 +16,17 @@ ResolvedOptions::ResolvedOptions(const est::Spec& spec, const Options& opts)
     : base(&opts),
       disabled(spec.ips.size(), 0),
       unobservable(spec.ips.size(), 0) {
+  // Guard-solver pruning facts. The solver's proofs assume standard
+  // (defined-value) expression semantics and real when-bindings, so the
+  // matrix is only built when neither partial mode nor unobservable ips
+  // are in play; an empty matrix isn't worth the per-generate() checks.
+  if (opts.static_prune && !opts.partial && opts.unobservable_ips.empty()) {
+    analysis::GuardAnalysis ga = analysis::analyze_guards(spec);
+    if (ga.matrix.any_facts()) {
+      guard_matrix = std::make_shared<const analysis::GuardMatrix>(
+          std::move(ga.matrix));
+    }
+  }
   for (const std::string& name : opts.disabled_ips) {
     const int ip = spec.ip_index(name);
     if (ip < 0) {

@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "analysis/guard_solver.hpp"
 #include "estelle/spec.hpp"
 #include "runtime/interp.hpp"
 
@@ -93,6 +96,15 @@ struct Options {
   /// counted in stats.evictions; eviction weakens §4.2 pruning but never
   /// soundness. Only meaningful with hash_states.
   std::uint64_t visited_max = 0;
+  /// Consume the guard-solver facts (analysis/guard_solver.hpp) during
+  /// generate(): skip transitions that provably cannot contribute behavior
+  /// (structural duplicates, priority-shadowed, always-false guards) and
+  /// early-exit candidates proven mutually exclusive with a guard that
+  /// already held. Facts are proofs, so verdicts and witnesses are
+  /// unchanged; `--no-static-prune` turns it off for differential runs.
+  /// Automatically disabled in partial mode and with unobservable ips,
+  /// where undefined-tolerant semantics break the proofs.
+  bool static_prune = true;
 
   rt::InterpLimits interp;
 
@@ -131,6 +143,11 @@ struct ResolvedOptions {
   const Options* base;
   std::vector<char> disabled;      // by ip index
   std::vector<char> unobservable;  // by ip index
+  /// Guard-solver facts for generate()-time pruning; null when
+  /// static_prune is off, the proofs are invalid for this run (partial
+  /// mode / unobservable ips) or the solver found nothing. Shared so the
+  /// parallel engines' per-worker views alias one matrix.
+  std::shared_ptr<const analysis::GuardMatrix> guard_matrix;
 
   [[nodiscard]] bool is_disabled(int ip) const {
     return disabled[static_cast<std::size_t>(ip)] != 0;

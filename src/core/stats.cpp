@@ -17,6 +17,7 @@ Stats& Stats::operator+=(const Stats& other) {
   tasks_stolen += other.tasks_stolen;
   fanout_sum += other.fanout_sum;
   fanout_samples += other.fanout_samples;
+  static_skips += other.static_skips;
   trail_entries += other.trail_entries;
   checkpoint_bytes += other.checkpoint_bytes;
   max_depth = std::max(max_depth, other.max_depth);
@@ -37,13 +38,14 @@ std::string Stats::summary() const {
 }
 
 std::string Stats::to_json() const {
-  char buf[576];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"te\":%llu,\"ge\":%llu,\"re\":%llu,\"sa\":%llu,"
       "\"pruned_by_hash\":%llu,\"evictions\":%llu,"
       "\"tasks_published\":%llu,\"tasks_stolen\":%llu,"
       "\"fanout_sum\":%llu,\"fanout_samples\":%llu,"
+      "\"static_skips\":%llu,"
       "\"trail_entries\":%llu,\"checkpoint_bytes\":%llu,"
       "\"max_depth\":%d,\"cpu_seconds\":%.6f}",
       static_cast<unsigned long long>(transitions_executed),
@@ -56,6 +58,7 @@ std::string Stats::to_json() const {
       static_cast<unsigned long long>(tasks_stolen),
       static_cast<unsigned long long>(fanout_sum),
       static_cast<unsigned long long>(fanout_samples),
+      static_cast<unsigned long long>(static_skips),
       static_cast<unsigned long long>(trail_entries),
       static_cast<unsigned long long>(checkpoint_bytes), max_depth,
       cpu_seconds);

@@ -24,6 +24,9 @@ struct Stats {
   std::uint64_t tasks_stolen = 0;
   std::uint64_t fanout_sum = 0;            // sum of firing-list sizes
   std::uint64_t fanout_samples = 0;
+  /// Candidate transitions skipped by guard-solver facts (static-prune
+  /// skip set + mutual-exclusion matrix) before any guard evaluation.
+  std::uint64_t static_skips = 0;
   /// Undo entries pushed by trail-mode checkpointing (0 in copy mode).
   /// Excluded from cross-mode differential comparisons, unlike TE..SA.
   std::uint64_t trail_entries = 0;

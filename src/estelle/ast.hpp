@@ -361,6 +361,7 @@ struct BodyDef {
   std::vector<VarDecl> vars;
   std::vector<Routine> routines;
   std::vector<std::string> states;  // canonical, in declaration order
+  std::vector<SourceLoc> state_locs;  // parallel to `states`
   std::vector<StateSetDecl> statesets;
   std::vector<Initializer> initializers;
   std::vector<Transition> transitions;

@@ -221,7 +221,10 @@ class Parser {
         body.routines.push_back(parse_routine());
       } else if (at(Tok::KwState)) {
         advance();
-        for (std::string& s : ident_list()) body.states.push_back(std::move(s));
+        do {
+          body.state_locs.push_back(peek().loc);
+          body.states.push_back(ident());
+        } while (accept(Tok::Comma));
         expect(Tok::Semi);
       } else if (at(Tok::KwStateset)) {
         body.statesets.push_back(parse_stateset());

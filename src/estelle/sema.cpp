@@ -409,11 +409,15 @@ class Sema {
       throw CompileError(body.loc, "module body declares no states");
     }
     std::set<std::string> seen;
-    for (const std::string& s : body.states) {
+    for (std::size_t i = 0; i < body.states.size(); ++i) {
+      const std::string& s = body.states[i];
       if (!seen.insert(s).second) {
         throw CompileError(body.loc, "duplicate state '" + s + "'");
       }
       spec_.states.push_back(s);
+      spec_.state_locs.push_back(i < body.state_locs.size()
+                                     ? body.state_locs[i]
+                                     : SourceLoc{});
     }
     for (StateSetDecl& ss : body.statesets) {
       std::vector<int> members;

@@ -51,6 +51,7 @@ class Spec {
   TypeArena types;
 
   std::vector<std::string> states;       // ordinal = index
+  std::vector<SourceLoc> state_locs;     // declaration sites, by ordinal
   std::vector<IpInfo> ips;
   std::vector<InteractionInfo> interactions;  // indexed by global id
   std::vector<ModuleVarInfo> module_vars;     // slot = index

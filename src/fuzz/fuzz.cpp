@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/lint.hpp"
 #include "sim/mutate.hpp"
 #include "specs/builtin_specs.hpp"
 #include "trace/trace_io.hpp"
@@ -207,9 +208,29 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
   }
   if (compiled.empty()) return report;
 
+  if (config.lint_specs) {
+    // A seed spec that fails lint poisons the whole campaign (an unguarded
+    // non-progress cycle diverges every DFS run; a provably-faulting guard
+    // turns every iteration into the same fault) — reject it up front.
+    // Warning-level findings (priority shadowing, guard overlap) are fair
+    // game for fuzzing and merely labelled.
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+      const analysis::LintReport lr = analysis::lint(compiled[i]);
+      if (lr.has_errors()) {
+        throw CompileError({}, "fuzz: spec '" + names[i] +
+                                   "' rejected by lint:\n" + lr.render());
+      }
+      if (log != nullptr && lr.has_warnings()) {
+        *log << "fuzz: note: spec '" << names[i]
+             << "' has lint warnings (fuzzing anyway)\n";
+      }
+    }
+  }
+
   core::Options base = core::Options::none();
   base.max_transitions = config.max_transitions;
   base.checkpoint = config.checkpoint;
+  base.static_prune = config.static_prune;
 
   // One self-contained iteration; the `report`/`log` parameters shadow the
   // captured outer ones so a concurrent run can hand in a private delta

@@ -1,0 +1,367 @@
+// CFG construction and the dataflow passes (assign / intervals /
+// unreachable / purity), exercised through inline specs and the seeded
+// fixture files under tests/analysis/fixtures/.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+
+namespace tango::analysis {
+namespace {
+
+std::string fixture(const std::string& name) {
+  std::ifstream file(std::string(TANGO_ANALYSIS_FIXTURES) + "/" + name);
+  EXPECT_TRUE(file.good()) << name;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+std::vector<Finding> flow(const std::string& src,
+                          const DataflowOptions& opts = {}) {
+  std::vector<Finding> findings =
+      run_dataflow(est::compile_spec(src), opts);
+  sort_findings(findings);
+  return findings;
+}
+
+bool mentions(const std::vector<Finding>& findings,
+              std::string_view fragment, std::string_view pass = {}) {
+  for (const Finding& f : findings) {
+    if (!pass.empty() && f.pass != pass) continue;
+    if (f.message.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CFG structure
+// ---------------------------------------------------------------------------
+
+est::Spec single_transition_spec(const std::string& block_body) {
+  return est::compile_spec(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var g: integer;
+  state z;
+  initialize to z begin g := 0; end;
+  trans from z to z when P.m name t:
+  var i, j: integer;
+  begin
+)" + block_body + R"(
+  output P.o;
+  end;
+end;
+end.
+)");
+}
+
+const est::Stmt& only_block(const est::Spec& spec) {
+  return *spec.body().transitions.at(0).block;
+}
+
+TEST(Cfg, StraightLineChainsEntryToExit) {
+  est::Spec spec = single_transition_spec("i := 1; j := i + 1;");
+  Cfg cfg = build_cfg(only_block(spec));
+  // entry, i:=, j:=, output, exit
+  ASSERT_EQ(cfg.nodes.size(), 5u);
+  EXPECT_EQ(cfg.node(cfg.entry).kind, CfgNodeKind::Entry);
+  EXPECT_EQ(cfg.node(cfg.exit).kind, CfgNodeKind::Exit);
+  const std::vector<int> rpo = cfg.reverse_post_order();
+  ASSERT_EQ(rpo.size(), 5u);
+  EXPECT_EQ(rpo.front(), cfg.entry);
+  EXPECT_EQ(rpo.back(), cfg.exit);
+}
+
+TEST(Cfg, IfProducesTrueAndFalseEdges) {
+  est::Spec spec =
+      single_transition_spec("i := 1; if i > 0 then j := 1 else j := 2;");
+  Cfg cfg = build_cfg(only_block(spec));
+  int conds = 0;
+  for (const CfgNode& n : cfg.nodes) {
+    if (n.kind != CfgNodeKind::CondIf) continue;
+    ++conds;
+    ASSERT_EQ(n.succs.size(), 2u);
+    EXPECT_EQ(n.succs[0].kind, EdgeKind::True);
+    EXPECT_EQ(n.succs[1].kind, EdgeKind::False);
+  }
+  EXPECT_EQ(conds, 1);
+}
+
+TEST(Cfg, EmptyBranchesFallThrough) {
+  // `if` with a node-free then-branch: the condition must still reach the
+  // join, not dangle (regression guard for the empty-block case).
+  est::Spec spec =
+      single_transition_spec("i := 1; if i > 0 then begin end; j := 2;");
+  Cfg cfg = build_cfg(only_block(spec));
+  for (const CfgNode& n : cfg.nodes) {
+    if (n.kind == CfgNodeKind::CondIf) EXPECT_EQ(n.succs.size(), 2u);
+  }
+  // Every node except exit must have a successor.
+  for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+    if (static_cast<int>(i) == cfg.exit) continue;
+    EXPECT_FALSE(cfg.nodes[i].succs.empty()) << to_string(cfg);
+  }
+}
+
+TEST(Cfg, WhileLoopHasBackEdge) {
+  est::Spec spec =
+      single_transition_spec("i := 0; while i < 3 do i := i + 1;");
+  Cfg cfg = build_cfg(only_block(spec));
+  bool back_edge = false;
+  for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+    for (const CfgEdge& e : cfg.nodes[i].succs) {
+      if (e.to <= static_cast<int>(i) &&
+          cfg.node(e.to).kind == CfgNodeKind::CondWhile) {
+        back_edge = true;
+      }
+    }
+  }
+  EXPECT_TRUE(back_edge) << to_string(cfg);
+}
+
+TEST(Cfg, RepeatFalseEdgeLoopsToBodyHead) {
+  est::Spec spec =
+      single_transition_spec("i := 0; repeat i := i + 1 until i >= 3;");
+  Cfg cfg = build_cfg(only_block(spec));
+  bool found = false;
+  for (const CfgNode& n : cfg.nodes) {
+    if (n.kind != CfgNodeKind::CondRepeat) continue;
+    for (const CfgEdge& e : n.succs) {
+      if (e.kind == EdgeKind::False) {
+        EXPECT_EQ(cfg.node(e.to).kind, CfgNodeKind::Simple);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << to_string(cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Assign pass
+// ---------------------------------------------------------------------------
+
+TEST(Assign, FixtureUninitReadIsFlagged) {
+  const std::vector<Finding> f = flow(fixture("uninit_read_bad.est"));
+  EXPECT_TRUE(mentions(f, "'tmp' may be read before it is assigned",
+                       "assign"));
+}
+
+TEST(Assign, FixtureInitializedReadIsClean) {
+  EXPECT_TRUE(flow(fixture("uninit_read_ok.est")).empty());
+}
+
+TEST(Assign, BranchAssignedOnOnePathOnly) {
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m(k: integer); by B: o(v: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.m name t:
+  var x: integer;
+  begin
+    if k > 0 then x := k;
+    output P.o(x);
+  end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(f, "'x' may be read before it is assigned"));
+}
+
+TEST(Assign, ModuleVariableNeverAssignedIsAnError) {
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o(v: integer);
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var ghost: integer;
+  state z;
+  initialize to z begin end;
+  trans from z to z when P.m name t:
+  begin output P.o(ghost); end;
+end;
+end.
+)");
+  ASSERT_TRUE(mentions(f, "'ghost' is read but never assigned"));
+  for (const Finding& finding : f) {
+    if (finding.message.find("ghost") != std::string::npos) {
+      EXPECT_EQ(finding.severity, Severity::Error);
+    }
+  }
+}
+
+TEST(Assign, FunctionResultMayBeUnset) {
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var g: integer;
+  function pick(n: integer): integer;
+  begin
+    if n > 0 then pick := n;
+  end;
+  state z;
+  initialize to z begin g := 0; end;
+  trans from z to z when P.m name t:
+  begin g := pick(g); output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(f, "may return without assigning its result"));
+}
+
+// ---------------------------------------------------------------------------
+// Interval pass
+// ---------------------------------------------------------------------------
+
+TEST(Intervals, FixtureSubrangeOverflowIsAnError) {
+  const std::vector<Finding> f = flow(fixture("subrange_overflow_bad.est"));
+  ASSERT_TRUE(mentions(f, "always out of range 0..7", "intervals"));
+  for (const Finding& finding : f) {
+    if (finding.pass == "intervals") {
+      EXPECT_EQ(finding.severity, Severity::Error);
+    }
+  }
+}
+
+TEST(Intervals, FixtureInRangeAssignmentIsClean) {
+  EXPECT_TRUE(flow(fixture("subrange_overflow_ok.est")).empty());
+}
+
+TEST(Intervals, ProvablyOutOfBoundsIndex) {
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var buf: array [0 .. 3] of integer;
+  state z;
+  initialize to z begin buf[0] := 0; end;
+  trans from z to z when P.m name t:
+  var i: integer;
+  begin
+    i := 5;
+    buf[i] := 1;
+    output P.o;
+  end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(f, "array index is always out of bounds 0..3"));
+}
+
+TEST(Intervals, ProvablyZeroDivisor) {
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var g: integer;
+  state z;
+  initialize to z begin g := 1; end;
+  trans from z to z when P.m name t:
+  var d: integer;
+  begin
+    d := 0;
+    g := g div d;
+    output P.o;
+  end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(f, "divisor is always zero"));
+}
+
+TEST(Intervals, ProvidedClauseRefinesTheEntryRange) {
+  // Under `provided g = 0` the assignment g := g + 1 stays in 0..7; the
+  // pass must use the guard, not the declared range, at entry.
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var g: 0 .. 7;
+  state z;
+  initialize to z begin g := 0; end;
+  trans from z to z when P.m provided g = 7 name wrap:
+  begin g := 0; output P.o; end;
+  trans from z to z when P.m provided g < 7 name step:
+  begin g := g + 1; end;
+end;
+end.
+)");
+  EXPECT_FALSE(mentions(f, "always out of range"));
+}
+
+// ---------------------------------------------------------------------------
+// Unreachable pass
+// ---------------------------------------------------------------------------
+
+TEST(Unreachable, FixtureDeadThenBranchIsFlagged) {
+  const std::vector<Finding> f = flow(fixture("unreachable_stmt.est"));
+  EXPECT_TRUE(mentions(f, "statement is unreachable", "unreachable"));
+}
+
+TEST(Unreachable, LiveBranchesStaySilent) {
+  const std::vector<Finding> f = flow(fixture("uninit_read_ok.est"),
+                                      DataflowOptions{false, false, true,
+                                                      false});
+  EXPECT_TRUE(f.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Purity pass
+// ---------------------------------------------------------------------------
+
+TEST(Purity, FixtureImpureProvidedIsAnError) {
+  const std::vector<Finding> f = flow(fixture("impure_provided_bad.est"));
+  ASSERT_TRUE(
+      mentions(f, "calls 'bump', which writes module variables", "purity"));
+}
+
+TEST(Purity, FixturePureProvidedIsClean) {
+  EXPECT_TRUE(flow(fixture("impure_provided_ok.est")).empty());
+}
+
+TEST(Purity, TransitiveImpurityThroughCallChain) {
+  // `outer` is impure only because it calls `inner`; the interprocedural
+  // fixpoint must carry the effect across the edge.
+  const std::vector<Finding> f = flow(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var g: integer;
+  function inner(n: integer): integer;
+  begin g := g + 1; inner := n; end;
+  function outer(n: integer): boolean;
+  begin outer := inner(n) > 0; end;
+  state z;
+  initialize to z begin g := 0; end;
+  trans from z to z when P.m provided outer(1) name t:
+  begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(f, "calls 'outer', which writes module variables"));
+}
+
+TEST(Purity, RoutineEffectsSummarizeWrites) {
+  est::Spec spec = est::compile_spec(fixture("impure_provided_bad.est"));
+  const std::vector<RoutineEffects> effects = compute_routine_effects(spec);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_TRUE(effects[0].writes_module);
+  EXPECT_FALSE(effects[0].pure());
+}
+
+}  // namespace
+}  // namespace tango::analysis

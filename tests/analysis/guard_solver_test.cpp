@@ -1,0 +1,183 @@
+// Guard implication solver: skip-set proofs (duplicates, priority
+// shadowing, contradictions), the runtime mutual-exclusion matrix, and the
+// purity gating that keeps every entry a proof.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "analysis/guard_solver.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::analysis {
+namespace {
+
+std::string fixture(const std::string& name) {
+  std::ifstream file(std::string(TANGO_ANALYSIS_FIXTURES) + "/" + name);
+  EXPECT_TRUE(file.good()) << name;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+GuardAnalysis analyze(const std::string& src) {
+  return analyze_guards(est::compile_spec(src));
+}
+
+int index_of(const est::Spec& spec, const std::string& name) {
+  const auto& ts = spec.body().transitions;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].name == name) return static_cast<int>(i);
+  }
+  ADD_FAILURE() << "no transition named " << name;
+  return -1;
+}
+
+bool mentions(const GuardAnalysis& ga, std::string_view fragment) {
+  for (const Finding& f : ga.findings) {
+    if (f.message.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(GuardSolver, StructuralDuplicateEntersTheSkipSet) {
+  est::Spec spec = est::compile_spec(fixture("dup_transitions.est"));
+  GuardAnalysis ga = analyze_guards(spec);
+  EXPECT_FALSE(ga.matrix.skippable(index_of(spec, "fork_a")));
+  EXPECT_TRUE(ga.matrix.skippable(index_of(spec, "fork_b")));
+  EXPECT_FALSE(ga.matrix.skippable(index_of(spec, "back")));
+  EXPECT_TRUE(mentions(ga, "structurally identical"));
+  EXPECT_TRUE(ga.matrix.any_facts());
+}
+
+TEST(GuardSolver, ShadowedPriorityEntersTheSkipSet) {
+  est::Spec spec = est::compile_spec(fixture("shadowed_priority.est"));
+  GuardAnalysis ga = analyze_guards(spec);
+  EXPECT_TRUE(ga.matrix.skippable(index_of(spec, "shadowed")));
+  EXPECT_FALSE(ga.matrix.skippable(index_of(spec, "strong")));
+  EXPECT_TRUE(mentions(ga, "can never fire"));
+}
+
+TEST(GuardSolver, DisjointGuardsFillTheMutexMatrix) {
+  est::Spec spec = est::compile_spec(fixture("mutex_guards.est"));
+  GuardAnalysis ga = analyze_guards(spec);
+  const int opening = index_of(spec, "opening");
+  const int closing = index_of(spec, "closing");
+  EXPECT_TRUE(ga.matrix.mutex(opening, closing));
+  EXPECT_TRUE(ga.matrix.mutex(closing, opening));
+  EXPECT_TRUE(ga.matrix.pure(opening));
+  EXPECT_TRUE(ga.matrix.pure(closing));
+  EXPECT_FALSE(mentions(ga, "nondeterministic"));
+}
+
+TEST(GuardSolver, OverlappingGuardsAreReportedNotPruned) {
+  est::Spec spec = est::compile_spec(fixture("overlap_guards.est"));
+  GuardAnalysis ga = analyze_guards(spec);
+  const int low = index_of(spec, "low");
+  const int high = index_of(spec, "high");
+  EXPECT_FALSE(ga.matrix.mutex(low, high));
+  EXPECT_FALSE(ga.matrix.skippable(low));
+  EXPECT_FALSE(ga.matrix.skippable(high));
+  EXPECT_TRUE(mentions(ga, "nondeterministic choice"));
+}
+
+TEST(GuardSolver, ContradictionIsAnErrorAndSkipped) {
+  GuardAnalysis ga = analyze(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var x: integer;
+  state z;
+  initialize to z begin x := 0; end;
+  trans
+    from z to z when P.m provided (x > 4) and (x < 3) name never:
+    begin end;
+    from z to z when P.m name always: begin output P.o; end;
+end;
+end.
+)");
+  EXPECT_TRUE(mentions(ga, "can never be true"));
+  ASSERT_EQ(ga.matrix.n, 2);
+  EXPECT_TRUE(ga.matrix.skippable(0));
+  EXPECT_FALSE(ga.matrix.skippable(1));
+}
+
+TEST(GuardSolver, DeclaredSubrangeBoundsProveExclusion) {
+  // flag: 0..1. `flag = 0` and `flag <> 0` are disjoint only through the
+  // declared bounds (<> 0 squeezes to [1,1]).
+  GuardAnalysis ga = analyze(R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  var flag: 0 .. 1;
+  state z;
+  initialize to z begin flag := 0; end;
+  trans
+    from z to z when P.m provided flag = 0 name off:
+    begin flag := 1; end;
+    from z to z when P.m provided flag <> 0 name on:
+    begin flag := 0; output P.o; end;
+end;
+end.
+)");
+  ASSERT_EQ(ga.matrix.n, 2);
+  EXPECT_TRUE(ga.matrix.mutex(0, 1));
+  EXPECT_FALSE(mentions(ga, "nondeterministic"));
+}
+
+TEST(GuardSolver, VarParamWriteRevokesModuleBoundTrust) {
+  // The solver seeds declared subrange bounds only for slots never written
+  // through a var parameter (the write is range-checked against the
+  // PARAMETER's type, so the solver deliberately refuses to reason about
+  // the slot's contents once a routine has had reference access to it).
+  const char* const tmpl = R"(
+specification s;
+channel CH(A, B); by A: m; by B: o;
+module M systemprocess; ip P: CH(B); end;
+body MB for M;
+  type small = 0 .. 7;
+  var w: small;
+  procedure touch(var n: small);
+  begin n := 0; end;
+  state z;
+  initialize to z begin w := 0; end;
+  trans
+    from z to z when P.m provided w = 8 name beyond:
+    begin output P.o; end;
+    from z to z when P.m provided w < 8 name within:
+    begin %BLOCK% end;
+end;
+end.
+)";
+  const auto with_block = [&](const std::string& block) {
+    std::string src = tmpl;
+    src.replace(src.find("%BLOCK%"), 7, block);
+    return analyze(src);
+  };
+  // Bounds trusted: [0,7] makes `w = 8` a provable contradiction.
+  GuardAnalysis trusted = with_block("w := 0;");
+  EXPECT_TRUE(mentions(trusted, "can never be true"));
+  // `touch(w)` passes w by reference to a writing routine — trust revoked,
+  // so the same guard is no longer provably false.
+  GuardAnalysis revoked = with_block("touch(w);");
+  EXPECT_FALSE(mentions(revoked, "can never be true"));
+}
+
+TEST(GuardSolver, ImpureGuardNeverServesAsSkipEvidence) {
+  GuardAnalysis ga = analyze(fixture("impure_provided_bad.est"));
+  ASSERT_EQ(ga.matrix.n, 1);
+  EXPECT_FALSE(ga.matrix.pure(0));
+}
+
+TEST(GuardSolver, CleanPairProducesNoFacts) {
+  est::Spec spec = est::compile_spec(fixture("uninit_read_ok.est"));
+  GuardAnalysis ga = analyze_guards(spec);
+  EXPECT_FALSE(ga.matrix.any_facts());
+}
+
+}  // namespace
+}  // namespace tango::analysis

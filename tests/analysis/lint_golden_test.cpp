@@ -1,0 +1,65 @@
+// Golden lint outputs for every spec under specs/: the text and SARIF
+// renderings are byte-compared against checked-in files, so any change to
+// finding wording, ordering, severity mapping, or SARIF structure shows up
+// as a reviewable golden diff. CI runs the same comparison through the CLI
+// (`tango lint --format=sarif specs/<name>.est`).
+//
+// To regenerate after an intentional change, from the repo root:
+//   for s in specs/*.est; do n=$(basename $s .est);
+//     build/src/tango lint $s > tests/analysis/golden/$n.lint.txt;
+//     build/src/tango lint --format=sarif $s > tests/analysis/golden/$n.sarif.json;
+//   done
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+class LintGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintGolden, TextMatchesGolden) {
+  const std::string name = GetParam();
+  est::Spec spec =
+      est::compile_spec(read_file(std::string(TANGO_SPECS_DIR) + "/" + name +
+                                  ".est"));
+  LintOptions lo;
+  lo.source_name = "specs/" + name + ".est";
+  const LintReport report = lint(spec, lo);
+  EXPECT_EQ(report.render(),
+            read_file(std::string(TANGO_GOLDEN_DIR) + "/" + name +
+                      ".lint.txt"));
+}
+
+TEST_P(LintGolden, SarifMatchesGolden) {
+  const std::string name = GetParam();
+  est::Spec spec =
+      est::compile_spec(read_file(std::string(TANGO_SPECS_DIR) + "/" + name +
+                                  ".est"));
+  LintOptions lo;
+  lo.source_name = "specs/" + name + ".est";
+  const LintReport report = lint(spec, lo);
+  EXPECT_EQ(report.render_sarif("specs/" + name + ".est"),
+            read_file(std::string(TANGO_GOLDEN_DIR) + "/" + name +
+                      ".sarif.json"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, LintGolden,
+                         ::testing::Values("abp", "ack", "inres", "ip3",
+                                           "ip3prime", "lapd", "tp0"));
+
+}  // namespace
+}  // namespace tango::analysis

@@ -1,0 +1,178 @@
+// Differential test for guard-solver pruning: analyses with static_prune
+// on and off must be verdict- AND witness-identical — the matrix only ever
+// removes work, never behavior. On specs the solver has facts about, the
+// pruned run must also demonstrably do less work (static_skips > 0, and
+// strictly fewer TE/GE when the search exhausts).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/dfs.hpp"
+#include "estelle/spec.hpp"
+#include "fuzz/fuzz.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(TANGO_ANALYSIS_FIXTURES) + "/" + name);
+}
+
+struct Pair {
+  core::DfsResult pruned;
+  core::DfsResult plain;
+};
+
+Pair both(const est::Spec& spec, const std::string& trace_text,
+          core::Options base) {
+  Pair p;
+  base.static_prune = true;
+  p.pruned = core::analyze_text(spec, trace_text, base);
+  base.static_prune = false;
+  p.plain = core::analyze_text(spec, trace_text, base);
+  EXPECT_EQ(p.plain.stats.static_skips, 0u);
+  return p;
+}
+
+void expect_identical(const Pair& p) {
+  EXPECT_EQ(p.pruned.verdict, p.plain.verdict);
+  EXPECT_EQ(p.pruned.solution, p.plain.solution);
+}
+
+// Every stored golden trace, replayed with pruning toggled, under both the
+// unconstrained and the fully-ordered presets.
+void golden(const std::string& trace_file, const std::string& spec_name,
+            core::Verdict expected, bool initial_state_search = false) {
+  est::Spec spec = est::compile_spec(specs::builtin_spec(spec_name));
+  const std::string text =
+      read_file(std::string(TANGO_TRACES_DIR) + "/" + trace_file);
+  for (core::Options base : {core::Options::none(), core::Options::io()}) {
+    base.max_transitions = 200'000;
+    base.initial_state_search = initial_state_search;
+    Pair p = both(spec, text, base);
+    expect_identical(p);
+    EXPECT_EQ(p.pruned.verdict, expected) << trace_file;
+  }
+}
+
+TEST(PruneDiff, AbpValid) {
+  golden("abp_valid.tr", "abp", core::Verdict::Valid);
+}
+
+TEST(PruneDiff, AbpInvalid) {
+  golden("abp_invalid.tr", "abp", core::Verdict::Invalid);
+}
+
+TEST(PruneDiff, AckPaper) {
+  golden("ack_paper.tr", "ack", core::Verdict::Valid);
+}
+
+TEST(PruneDiff, InresValid) {
+  golden("inres_valid.tr", "inres", core::Verdict::Valid);
+}
+
+TEST(PruneDiff, Tp0Valid) {
+  golden("tp0_valid.tr", "tp0", core::Verdict::Valid);
+}
+
+TEST(PruneDiff, LapdMidstream) {
+  golden("lapd_midstream.tr", "lapd", core::Verdict::Valid,
+         /*initial_state_search=*/true);
+}
+
+// Structural duplicates: pruning skips fork_b at every S1 node. On a valid
+// trace the witness is identical (both searches pick fork_a first); on an
+// invalid trace the exhaustive search visits every fork combination
+// unpruned but a single path pruned — strictly less work, same verdict.
+TEST(PruneDiff, DuplicateTransitionsValidTraceSameWitness) {
+  est::Spec spec = est::compile_spec(fixture("dup_transitions.est"));
+  Pair p = both(spec,
+                "in p.go\n"
+                "in p.go\n"
+                "out p.done\n"
+                "eof\n",
+                core::Options::none());
+  expect_identical(p);
+  EXPECT_EQ(p.pruned.verdict, core::Verdict::Valid);
+  EXPECT_GT(p.pruned.stats.static_skips, 0u);
+}
+
+TEST(PruneDiff, DuplicateTransitionsExhaustionDoesStrictlyLessWork) {
+  est::Spec spec = est::compile_spec(fixture("dup_transitions.est"));
+  Pair p = both(spec,
+                "in p.go\n"
+                "in p.go\n"
+                "out p.done\n"
+                "in p.go\n"
+                "in p.go\n"
+                "eof\n",
+                core::Options::none());
+  expect_identical(p);
+  EXPECT_EQ(p.pruned.verdict, core::Verdict::Invalid);
+  EXPECT_GT(p.pruned.stats.static_skips, 0u);
+  EXPECT_LT(p.pruned.stats.transitions_executed,
+            p.plain.stats.transitions_executed);
+  EXPECT_LT(p.pruned.stats.generates, p.plain.stats.generates);
+}
+
+// Mutual exclusion at runtime: once `opening` (x = 0) evaluates true,
+// `closing` (x = 1) is skipped without evaluation.
+TEST(PruneDiff, MutexMatrixSkipsDoomedCandidates) {
+  est::Spec spec = est::compile_spec(fixture("mutex_guards.est"));
+  Pair p = both(spec,
+                "in p.go\n"
+                "in p.go\n"
+                "out p.done\n"
+                "eof\n",
+                core::Options::none());
+  expect_identical(p);
+  EXPECT_EQ(p.pruned.verdict, core::Verdict::Valid);
+  EXPECT_GT(p.pruned.stats.static_skips, 0u);
+}
+
+// Priority shadowing: `shadowed` can never fire, so skipping it changes
+// nothing observable.
+TEST(PruneDiff, ShadowedTransitionSkipPreservesVerdict) {
+  est::Spec spec = est::compile_spec(fixture("shadowed_priority.est"));
+  Pair p = both(spec,
+                "in p.go\n"
+                "in p.go\n"
+                "eof\n",
+                core::Options::none());
+  expect_identical(p);
+  EXPECT_EQ(p.pruned.verdict, core::Verdict::Valid);
+  EXPECT_GT(p.pruned.stats.static_skips, 0u);
+}
+
+// Same-seed fuzz campaigns with pruning toggled: both must be clean (every
+// oracle invariant holds either way) and cover the same trace variants.
+TEST(PruneDiff, SameSeedFuzzCampaignsAgree) {
+  fuzz::FuzzConfig config;
+  config.seed = 20260805;
+  config.iterations = 3;
+  config.specs = {"ack"};
+  config.static_prune = true;
+  fuzz::FuzzReport pruned = fuzz::run_fuzz(config);
+  config.static_prune = false;
+  fuzz::FuzzReport plain = fuzz::run_fuzz(config);
+  EXPECT_TRUE(pruned.clean()) << pruned.summary();
+  EXPECT_TRUE(plain.clean()) << plain.summary();
+  EXPECT_EQ(pruned.traces_analyzed, plain.traces_analyzed);
+  EXPECT_EQ(pruned.verdicts, plain.verdicts);
+  EXPECT_EQ(pruned.oracle_checks, plain.oracle_checks);
+}
+
+}  // namespace
+}  // namespace tango
