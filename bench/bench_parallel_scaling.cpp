@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "core/parallel_dfs.hpp"
+#include "obs/sink.hpp"
 #include "sim/mutate.hpp"
 #include "sim/workloads.hpp"
 
@@ -123,6 +124,51 @@ int main(int argc, char** argv) {
     all.push_back(std::move(wr));
   }
 
+  // Observability overhead (docs/OBSERVABILITY.md): the same search with
+  // the default null sink vs. a ring-buffered JSONL sink recording every
+  // event. The branching tp0 workload is the stress case — its event rate
+  // is the highest of the three families.
+  struct SinkRow {
+    int jobs;
+    double null_seconds;
+    double jsonl_seconds;
+    std::uint64_t events;
+  };
+  std::vector<SinkRow> sink_rows;
+  {
+    const Workload& w = workloads[1];  // tp0_invalid_io_n6
+    std::printf("[sink_overhead — %s]\n", w.name);
+    std::printf("%5s  %10s  %10s  %9s  %9s\n", "jobs", "null_s", "jsonl_s",
+                "overhead", "events");
+    for (int jobs : {1, 2}) {
+      core::Options opts = w.options;
+      opts.jobs = jobs;
+      core::DfsResult r;
+      const double null_secs = best_of(
+          repeats,
+          [&] { return core::analyze_parallel(*w.spec, w.trace, opts); }, r);
+      std::uint64_t events = 0;
+      const double jsonl_secs = best_of(
+          repeats,
+          [&] {
+            obs::JsonlSink sink("BENCH_events_scratch.jsonl");
+            opts.sink = &sink;
+            core::DfsResult res = core::analyze_parallel(*w.spec, w.trace, opts);
+            opts.sink = nullptr;
+            sink.flush();
+            events = sink.events_written();
+            return res;
+          },
+          r);
+      std::printf("%5d  %10.4f  %10.4f  %8.1f%%  %9llu\n", jobs, null_secs,
+                  jsonl_secs, (jsonl_secs / null_secs - 1.0) * 100.0,
+                  static_cast<unsigned long long>(events));
+      sink_rows.push_back(SinkRow{jobs, null_secs, jsonl_secs, events});
+    }
+    std::remove("BENCH_events_scratch.jsonl");
+    std::printf("\n");
+  }
+
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"parallel_scaling\",\n";
   json << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -138,6 +184,14 @@ int main(int argc, char** argv) {
            << (j + 1 < all[i].rows.size() ? "," : "") << "\n";
     }
     json << "    ]}" << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"sink_overhead\": [\n";
+  for (std::size_t i = 0; i < sink_rows.size(); ++i) {
+    const SinkRow& s = sink_rows[i];
+    json << "    {\"jobs\": " << s.jobs << ", \"null_seconds\": "
+         << s.null_seconds << ", \"jsonl_seconds\": " << s.jsonl_seconds
+         << ", \"events\": " << s.events << "}"
+         << (i + 1 < sink_rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::printf("wrote %s\n", json_path);

@@ -11,6 +11,7 @@
 //   tango fuzz [spec...] [--seed=N]         differential conformance fuzzing
 //                                           across DFS / hash-DFS / MDFS
 //   tango lint <spec>                       reachability / non-progress checks
+//   tango events <check|stats|diff|replay>  search-event stream tooling
 //   tango coverage <spec> <trace...>        transition coverage of a campaign
 //   tango print <spec>                      parse + pretty-print round trip
 //   tango specs                             list built-in specifications
@@ -22,6 +23,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +37,11 @@
 #include "core/parallel_dfs.hpp"
 #include "estelle/parser.hpp"
 #include "fuzz/fuzz.hpp"
+#include "obs/json.hpp"
+#include "obs/replay.hpp"
+#include "obs/schema.hpp"
+#include "obs/sink.hpp"
+#include "obs/stream.hpp"
 #include "estelle/printer.hpp"
 #include "sim/mutate.hpp"
 #include "sim/simulator.hpp"
@@ -83,6 +90,17 @@ commands:
                                     presets; disagreements are shrunk and
                                     written as reproducer bundles
                                     (see docs/FUZZING.md)
+  events check <stream...>          schema-validate search-event streams
+  events stats <stream>             per-kind counts and headline figures
+  events diff <a> <b> [--ignore=k1,k2]
+                                    field-order-insensitive stream diff
+  events replay <stream...>         replay oracle: re-execute a recorded
+                                    stream against a fresh machine, check
+                                    every fire was enabled, hashes match
+                                    and the verdict balances the stream
+                                    (docs/OBSERVABILITY.md); streams with
+                                    spec_ref/trace_ref are self-describing,
+                                    else: events replay <spec> <tr> <stream>
   lint <spec> [--passes=a,b] [--format=text|json|sarif]
                                     static analysis: reachability, non-
                                     progress cycles, dead interactions,
@@ -128,6 +146,12 @@ analysis options:
   --no-reorder                      disable MDFS dynamic node reordering
   --max-transitions=<n>             search budget
   --max-depth=<n>                   depth bound
+  --events=<file>                   record a structured search-event stream
+                                    (JSONL, docs/EVENTS.md) for analyze and
+                                    online runs; inspect with tango events
+  --events-dir=<dir>                per-item event streams for --batch and
+                                    fuzz campaigns (one .jsonl per matrix
+                                    cell, plus .tr sidecars for replay)
   --all-orders                      analyze under all four order modes and
                                     print a Figure-3-style comparison row
   --size=<n>                        workload size (data interactions)
@@ -174,6 +198,10 @@ struct Cli {
   std::string stats_path;
   std::string out_dir;
   std::string batch_dir;
+  // observability
+  std::string events_path;         // --events=<file> (analyze/online)
+  std::string events_dir;          // --events-dir=<dir> (batch/fuzz)
+  std::string ignore_keys;         // events diff --ignore=k1,k2
   // lint / coverage
   std::string passes;              // --passes=a,b,... (empty = all)
   std::string format = "text";     // --format=text|json|sarif
@@ -275,6 +303,19 @@ Cli parse_cli(int argc, char** argv, int first) {
         throw CompileError({}, "--out-dir needs a directory");
       }
       cli.out_dir = a == "--out-dir" ? argv[++i] : value("--out-dir=");
+    } else if (starts_with(a, "--events-dir")) {
+      if (a == "--events-dir" && i + 1 >= argc) {
+        throw CompileError({}, "--events-dir needs a directory");
+      }
+      cli.events_dir =
+          a == "--events-dir" ? argv[++i] : value("--events-dir=");
+    } else if (starts_with(a, "--events")) {
+      if (a == "--events" && i + 1 >= argc) {
+        throw CompileError({}, "--events needs a file name");
+      }
+      cli.events_path = a == "--events" ? argv[++i] : value("--events=");
+    } else if (starts_with(a, "--ignore=")) {
+      cli.ignore_keys = value("--ignore=");
     } else if (a == "-o") {
       if (i + 1 >= argc) throw CompileError({}, "-o needs a file name");
       cli.output = argv[++i];
@@ -330,8 +371,23 @@ int cmd_analyze_batch(const Cli& cli) {
   for (const std::string& f : files) {
     traces.push_back(tr::parse_trace(spec, read_file(f)));
   }
+
+  // --events-dir: one stream per corpus entry, named after the trace file.
+  std::vector<std::unique_ptr<obs::JsonlSink>> sink_storage;
+  std::vector<obs::Sink*> sinks;
+  if (!cli.events_dir.empty()) {
+    std::filesystem::create_directories(cli.events_dir);
+    for (const std::string& f : files) {
+      const std::string stem = std::filesystem::path(f).stem().string();
+      auto sink = std::make_unique<obs::JsonlSink>(cli.events_dir + "/" +
+                                                   stem + ".jsonl");
+      sink->set_refs(cli.positional[0], f);
+      sinks.push_back(sink.get());
+      sink_storage.push_back(std::move(sink));
+    }
+  }
   std::vector<core::BatchItemResult> results =
-      core::analyze_batch(spec, traces, cli.options);
+      core::analyze_batch(spec, traces, cli.options, sinks);
 
   std::size_t valid = 0;
   for (std::size_t i = 0; i < files.size(); ++i) {
@@ -376,10 +432,20 @@ int cmd_analyze(const Cli& cli) {
     }
     return 0;
   }
-  core::DfsResult result = cli.options.jobs != 1
-                               ? core::analyze_parallel(spec, trace,
-                                                        cli.options)
-                               : core::analyze(spec, trace, cli.options);
+  std::unique_ptr<obs::JsonlSink> events;
+  core::Options options = cli.options;
+  if (!cli.events_path.empty()) {
+    events = std::make_unique<obs::JsonlSink>(cli.events_path);
+    events->set_refs(cli.positional[0], cli.positional[1]);
+    options.sink = events.get();
+  }
+  core::DfsResult result = options.jobs != 1
+                               ? core::analyze_parallel(spec, trace, options)
+                               : core::analyze(spec, trace, options);
+  if (events != nullptr) {
+    events.reset();  // flush the stream before reporting
+    std::cerr << "events:  " << cli.events_path << "\n";
+  }
   std::cout << "verdict: " << core::to_string(result.verdict) << "\n"
             << "stats:   " << result.stats.summary() << "\n";
   if (cli.verbose) {
@@ -399,6 +465,12 @@ int cmd_online(const Cli& cli) {
   tr::FileFollower follower(spec, cli.positional[1]);
   core::OnlineConfig config;
   config.options = cli.options;
+  std::unique_ptr<obs::JsonlSink> events;
+  if (!cli.events_path.empty()) {
+    events = std::make_unique<obs::JsonlSink>(cli.events_path);
+    events->set_refs(cli.positional[0], cli.positional[1]);
+    config.options.sink = events.get();
+  }
   core::OnlineAnalyzer analyzer(spec, follower, config);
   core::OnlineStatus last = core::OnlineStatus::Searching;
   while (!analyzer.conclusive()) {
@@ -410,6 +482,11 @@ int cmd_online(const Cli& cli) {
     }
     if (analyzer.conclusive()) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  analyzer.finalize_stream();
+  if (events != nullptr) {
+    events.reset();
+    std::cerr << "events:  " << cli.events_path << "\n";
   }
   std::cout << "verdict: " << core::to_string(analyzer.status()) << "\n"
             << "stats:   " << analyzer.stats().summary() << "\n";
@@ -523,6 +600,7 @@ int cmd_fuzz(const Cli& cli) {
   config.chunk = cli.chunk;
   config.jobs = cli.options.jobs;
   config.out_dir = cli.out_dir;
+  config.events_dir = cli.events_dir;
   config.verbose = cli.verbose;
   config.checkpoint = cli.options.checkpoint;
   config.static_prune = cli.options.static_prune;
@@ -583,6 +661,173 @@ int cmd_coverage(const Cli& cli) {
   return report.traces_valid == report.traces_total ? 0 : 1;
 }
 
+// ---- tango events ---------------------------------------------------------
+
+int events_usage() {
+  std::cerr
+      << "usage: tango events <check|stats|diff|replay> ...\n"
+         "  check <stream...>                 schema-validate JSONL streams\n"
+         "  stats <stream>                    per-kind counts, as JSON\n"
+         "  diff <a> <b> [--ignore=k1,k2]     field-order-insensitive diff\n"
+         "  replay <stream...>                re-execute each stream against\n"
+         "                                    its run header's spec_ref /\n"
+         "                                    trace_ref (fuzz captures)\n"
+         "  replay <spec> <trace> <stream>    explicit replay\n";
+  return 2;
+}
+
+int cmd_events_check(const Cli& cli) {
+  bool clean = true;
+  for (std::size_t i = 1; i < cli.positional.size(); ++i) {
+    const std::string& path = cli.positional[i];
+    std::vector<obs::SchemaError> errors;
+    if (obs::validate_stream(read_file(path), errors)) {
+      std::cout << path << ": ok\n";
+      continue;
+    }
+    clean = false;
+    for (const obs::SchemaError& e : errors) {
+      std::cout << path << ":" << e.line << ": " << e.message << "\n";
+    }
+  }
+  return clean ? 0 : 1;
+}
+
+int cmd_events_stats(const Cli& cli) {
+  obs::ReadResult rr = obs::read_events_file(cli.positional[1]);
+  for (const obs::ReadError& e : rr.errors) {
+    std::cerr << cli.positional[1] << ":" << e.line << ": " << e.message
+              << "\n";
+  }
+  std::cout << obs::stats_to_json(obs::summarize(rr.events)) << "\n";
+  return rr.errors.empty() ? 0 : 1;
+}
+
+/// Canonicalizes every JSONL line (keys sorted, --ignore keys dropped) so
+/// two recordings of the same run compare equal regardless of field order.
+std::vector<std::string> canonical_lines(const std::string& text,
+                                         const std::vector<std::string>& ignore,
+                                         const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t line_no = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    try {
+      out.push_back(obs::canonical(obs::parse_json(line), ignore));
+    } catch (const std::exception& e) {
+      throw CompileError({static_cast<std::uint32_t>(line_no), 1},
+                         path + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+int cmd_events_diff(const Cli& cli) {
+  if (cli.positional.size() < 3) return events_usage();
+  std::vector<std::string> ignore;
+  for (std::string_view part : split(cli.ignore_keys, ',')) {
+    if (!trim(part).empty()) ignore.emplace_back(trim(part));
+  }
+  const std::vector<std::string> a =
+      canonical_lines(read_file(cli.positional[1]), ignore, cli.positional[1]);
+  const std::vector<std::string> b =
+      canonical_lines(read_file(cli.positional[2]), ignore, cli.positional[2]);
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) continue;
+    std::cout << "streams differ at event " << i + 1 << ":\n- " << a[i]
+              << "\n+ " << b[i] << "\n";
+    return 1;
+  }
+  if (a.size() != b.size()) {
+    std::cout << "streams differ in length: " << a.size() << " vs "
+              << b.size() << " events\n";
+    return 1;
+  }
+  std::cout << "streams are equivalent (" << a.size() << " events)\n";
+  return 0;
+}
+
+int replay_one(const est::Spec& spec, const tr::Trace& trace,
+               const std::string& stream_path, bool verbose) {
+  const obs::ReplayReport report =
+      obs::replay_stream(spec, trace, read_file(stream_path));
+  if (report.ok()) {
+    std::cout << stream_path << ": ok — engine " << report.engine
+              << ", verdict " << report.verdict << ", "
+              << report.nodes_replayed << " nodes, " << report.fires_checked
+              << " fires re-executed\n";
+    return 0;
+  }
+  std::cout << stream_path << ": " << report.issues.size() << " issue(s)\n";
+  const std::size_t shown = verbose ? report.issues.size()
+                                    : std::min<std::size_t>(
+                                          report.issues.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::cout << "  event " << report.issues[i].event_index << ": "
+              << report.issues[i].message << "\n";
+  }
+  if (shown < report.issues.size()) {
+    std::cout << "  ... (" << report.issues.size() - shown
+              << " more; rerun with --verbose)\n";
+  }
+  return 1;
+}
+
+int cmd_events_replay(const Cli& cli) {
+  if (cli.positional.size() < 2) return events_usage();
+  // Explicit form: replay <spec> <trace> <stream> — the trace argument has
+  // a .tr extension (or the stream a .jsonl one), never ambiguous in
+  // practice; self-describing form: every positional is a stream.
+  if (cli.positional.size() == 4 &&
+      cli.positional[3].size() >= 6 &&
+      cli.positional[3].compare(cli.positional[3].size() - 6, 6, ".jsonl") ==
+          0) {
+    est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[1]));
+    tr::Trace trace = tr::parse_trace(spec, read_file(cli.positional[2]));
+    return replay_one(spec, trace, cli.positional[3], cli.verbose);
+  }
+  int rc = 0;
+  for (std::size_t i = 1; i < cli.positional.size(); ++i) {
+    const std::string& path = cli.positional[i];
+    obs::ReadResult rr = obs::read_events_file(path);
+    if (rr.events.empty() || rr.events[0].kind != obs::EventKind::Run ||
+        rr.events[0].spec_ref.empty() || rr.events[0].trace_ref.empty()) {
+      std::cout << path << ": run header lacks spec_ref/trace_ref; use "
+                   "`tango events replay <spec> <trace> <stream>`\n";
+      rc = 1;
+      continue;
+    }
+    est::Spec spec =
+        compile_with_warnings(load_spec_text(rr.events[0].spec_ref));
+    // trace_ref is relative to the stream's directory (fuzz sidecars).
+    std::filesystem::path trace_path(rr.events[0].trace_ref);
+    if (trace_path.is_relative()) {
+      trace_path = std::filesystem::path(path).parent_path() / trace_path;
+    }
+    tr::Trace trace =
+        tr::parse_trace(spec, read_file(trace_path.string()));
+    rc |= replay_one(spec, trace, path, cli.verbose);
+  }
+  return rc;
+}
+
+int cmd_events(const Cli& cli) {
+  if (cli.positional.empty()) return events_usage();
+  const std::string& sub = cli.positional[0];
+  if (sub == "check" && cli.positional.size() >= 2) {
+    return cmd_events_check(cli);
+  }
+  if (sub == "stats" && cli.positional.size() >= 2) {
+    return cmd_events_stats(cli);
+  }
+  if (sub == "diff") return cmd_events_diff(cli);
+  if (sub == "replay") return cmd_events_replay(cli);
+  return events_usage();
+}
+
 int cmd_print(const Cli& cli) {
   if (cli.positional.empty()) return usage();
   std::cout << est::print_spec(est::parse(load_spec_text(cli.positional[0])));
@@ -627,6 +872,7 @@ int main(int argc, char** argv) {
     if (cmd == "workload") return cmd_workload(cli);
     if (cmd == "fuzz") return cmd_fuzz(cli);
     if (cmd == "lint") return cmd_lint(cli);
+    if (cmd == "events") return cmd_events(cli);
     if (cmd == "coverage") return cmd_coverage(cli);
     if (cmd == "print") return cmd_print(cli);
     if (cmd == "specs") return cmd_specs();

@@ -152,6 +152,7 @@ InitResult apply_initializer(rt::Interp& interp, const tr::Trace& trace,
       return out;
     }
     ++stats.transitions_executed;
+    out.executed = true;
     TraceMatcher matcher(interp.spec(), trace, ro, out.state,
                          ro.base->partial);
     if (!interp.run_initializer(out.state.machine, init, matcher)) {

@@ -73,6 +73,11 @@ struct ApplyResult {
 struct InitResult {
   bool ok = false;
   bool retry_later = false;  // output queue exhausted on a growing trace
+  /// True iff this call counted a transition execution (TE): the provided
+  /// clause held, so the initializer body ran (successfully or not). The
+  /// replay oracle balances TE against the recorded enter/fire events
+  /// through this flag.
+  bool executed = false;
   SearchState state;
   std::string note;
 };

@@ -16,7 +16,8 @@ std::int64_t effective_priority(const est::Transition& tr) {
 }  // namespace
 
 GenResult generate(rt::Interp& interp, const tr::Trace& trace,
-                   const ResolvedOptions& ro, SearchState& st, Stats& stats) {
+                   const ResolvedOptions& ro, SearchState& st, Stats& stats,
+                   const ObsCtx& obs) {
   ++stats.generates;
   GenResult out;
   const est::Spec& spec = interp.spec();
@@ -32,10 +33,22 @@ GenResult generate(rt::Interp& interp, const tr::Trace& trace,
   const analysis::GuardMatrix* gm = ro.guard_matrix.get();
   std::vector<int> true_guards;
 
+  const auto emit_static_skip = [&](int ti) {
+    if (obs.sink == nullptr) return;
+    obs::Event e;
+    e.kind = obs::EventKind::PruneStatic;
+    e.parent = obs.node;
+    e.worker = obs.worker;
+    e.depth = obs.depth;
+    e.transition = ti;
+    obs.sink->emit(e);
+  };
+
   for (int ti : applicable) {
     if (gm != nullptr) {
       if (gm->skippable(ti)) {
         ++stats.static_skips;
+        emit_static_skip(ti);
         continue;
       }
       bool excluded = false;
@@ -47,6 +60,7 @@ GenResult generate(rt::Interp& interp, const tr::Trace& trace,
       }
       if (excluded) {
         ++stats.static_skips;
+        emit_static_skip(ti);
         continue;
       }
     }
@@ -128,10 +142,22 @@ GenResult generate(rt::Interp& interp, const tr::Trace& trace,
                                 transitions[static_cast<std::size_t>(
                                     f.transition)]));
     }
-    std::erase_if(out.firings, [&](const Firing& f) {
-      return effective_priority(
-                 transitions[static_cast<std::size_t>(f.transition)]) != best;
-    });
+    const std::size_t shadowed =
+        static_cast<std::size_t>(std::erase_if(out.firings, [&](const Firing&
+                                                                    f) {
+          return effective_priority(
+                     transitions[static_cast<std::size_t>(f.transition)]) !=
+                 best;
+        }));
+    if (shadowed != 0 && obs.sink != nullptr) {
+      obs::Event e;
+      e.kind = obs::EventKind::PruneShadow;
+      e.parent = obs.node;
+      e.worker = obs.worker;
+      e.depth = obs.depth;
+      e.count = shadowed;
+      obs.sink->emit(e);
+    }
   }
 
   stats.fanout_sum += out.firings.size();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/obs_record.hpp"
 #include "core/search_state.hpp"
 #include "core/stats.hpp"
 #include "runtime/interp.hpp"
@@ -33,9 +34,12 @@ struct GenResult {
 
 /// Enumerates fireable transitions in declaration order, then keeps only
 /// the highest-priority group (smallest priority value; transitions without
-/// a priority clause rank below all prioritized ones).
+/// a priority clause rank below all prioritized ones). With a sink in
+/// `obs`, guard-solver skips emit one `prune.static` event each and the
+/// priority filter emits one `prune.shadow` event carrying the number of
+/// shadowed candidates dropped.
 [[nodiscard]] GenResult generate(rt::Interp& interp, const tr::Trace& trace,
                                  const ResolvedOptions& ro, SearchState& st,
-                                 Stats& stats);
+                                 Stats& stats, const ObsCtx& obs = {});
 
 }  // namespace tango::core

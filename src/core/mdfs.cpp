@@ -4,13 +4,35 @@
 #include <utility>
 
 #include "core/executor.hpp"
+#include "core/obs_record.hpp"
 
 namespace tango::core {
+
+namespace {
+
+/// MDFS has no branch marks — every node is a materialized snapshot — so
+/// its checkpoint events carry count=0.
+void emit_at_node(obs::Sink* sink, obs::EventKind kind, std::uint64_t origin,
+                  int depth) {
+  if (sink == nullptr) return;
+  obs::Event e;
+  e.kind = kind;
+  e.parent = origin;
+  e.depth = depth;
+  sink->emit(e);
+}
+
+}  // namespace
 
 struct OnlineAnalyzer::MNode {
   SearchState state;
   GenResult gen;
   std::size_t next = 0;
+  /// Event id of the enter/fire that produced `state`, and the node's
+  /// search-tree depth — kept on the node because PG parking detaches it
+  /// from any stack position.
+  std::uint64_t origin = 0;
+  int depth = 0;
   /// Trace extent when `gen` was computed: a node that sat on the stack
   /// while new events (or the eof marker) arrived has a stale firing list.
   std::size_t gen_events = 0;
@@ -29,7 +51,8 @@ struct OnlineAnalyzer::MNode {
 };
 
 void OnlineAnalyzer::compute_gen(MNode& node) {
-  node.gen = generate(interp_, trace_, ro_, node.state, stats_);
+  node.gen = generate(interp_, trace_, ro_, node.state, stats_,
+                      ObsCtx{sink_, node.origin, -1, node.depth});
   node.gen_events = trace_.events().size();
   node.gen_eof = trace_.eof();
 }
@@ -39,13 +62,49 @@ OnlineAnalyzer::OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
     : spec_(spec),
       source_(source),
       config_(std::move(config)),
-      ro_(spec, config_.options),
+      ro_(resolve_timed(spec, config_.options, phase_static_)),
       interp_(spec,
               config_.options.partial ? rt::EvalMode::Partial
                                       : rt::EvalMode::Strict,
               config_.options.interp),
       trace_(static_cast<int>(spec.ips.size())),
-      ckpt_(make_checkpointer(config_.options.checkpoint, stats_)) {}
+      ckpt_(make_checkpointer(config_.options.checkpoint, stats_)) {
+  sink_ = config_.options.sink;
+  stats_.phase_static += phase_static_;
+  if (sink_ != nullptr) emit_run_header(*sink_, spec_, config_.options, "mdfs");
+}
+
+void OnlineAnalyzer::conclude(OnlineStatus status, std::uint64_t witness) {
+  concluded_ = true;
+  final_status_ = status;
+  if (sink_ != nullptr && !verdict_emitted_) {
+    verdict_emitted_ = true;
+    emit_verdict(*sink_, witness, to_string(status), stats_);
+  }
+}
+
+void OnlineAnalyzer::finalize_stream() {
+  if (sink_ == nullptr || verdict_emitted_) return;
+  verdict_emitted_ = true;
+  emit_verdict(*sink_, 0, to_string(status()), stats_);
+}
+
+std::uint64_t OnlineAnalyzer::emit_enter(int init, int start_state,
+                                         bool applied, bool ok, bool all_done,
+                                         std::uint64_t state_hash) {
+  if (sink_ == nullptr) return 0;
+  obs::Event e;
+  e.kind = obs::EventKind::Enter;
+  e.id = sink_->next_id();
+  e.init = init;
+  e.start_state = start_state;
+  e.applied = applied;
+  e.ok = ok;
+  e.all_done = all_done;
+  e.state_hash = state_hash;
+  sink_->emit(e);
+  return e.id;
+}
 
 OnlineAnalyzer::~OnlineAnalyzer() = default;
 
@@ -72,12 +131,19 @@ bool OnlineAnalyzer::poll_source() {
       InitResult init = apply_initializer(interp_, trace_, ro_, ii, stats_);
       if (!init.ok) {
         if (init.retry_later) still_pending.push_back(ii);
+        else emit_enter(static_cast<int>(ii), -1, init.executed, false,
+                        false, 0);
         continue;
       }
       auto node = std::make_unique<MNode>();
       node->state = std::move(init.state);
+      node->origin = emit_enter(
+          static_cast<int>(ii), node->state.machine.fsm_state, init.executed,
+          true, node->state.cursors.all_done(trace_, ro_),
+          sink_ != nullptr ? node->state.hash() : 0);
       compute_gen(*node);
       ++stats_.saves;
+      emit_at_node(sink_, obs::EventKind::CheckpointSave, node->origin, 0);
       stack_.push_back(std::move(node));
     }
     pending_roots_ = std::move(still_pending);
@@ -109,8 +175,7 @@ void OnlineAnalyzer::reactivate_pg(bool all) {
 void OnlineAnalyzer::regenerate(std::unique_ptr<MNode> node) {
   // A parked PGAV node becomes a full solution the moment eof is marked.
   if (trace_.eof() && node->state.cursors.all_done(trace_, ro_)) {
-    concluded_ = true;
-    final_status_ = OnlineStatus::Valid;
+    conclude(OnlineStatus::Valid, node->origin);
     return;
   }
   compute_gen(*node);
@@ -131,6 +196,8 @@ void OnlineAnalyzer::seed_roots() {
       // An initializer whose outputs are not in the trace yet is retried
       // when new events arrive.
       if (init.retry_later) pending_roots_.push_back(ii);
+      else emit_enter(static_cast<int>(ii), -1, init.executed, false, false,
+                      0);
       continue;
     }
     std::vector<int> start_states{init.state.machine.fsm_state};
@@ -139,12 +206,19 @@ void OnlineAnalyzer::seed_roots() {
         if (s != init.state.machine.fsm_state) start_states.push_back(s);
       }
     }
+    bool first_root = true;
     for (int start : start_states) {
       auto node = std::make_unique<MNode>();
       node->state = ckpt_->snapshot(init.state);
       node->state.machine.fsm_state = start;
+      node->origin = emit_enter(
+          static_cast<int>(ii), start, first_root && init.executed, true,
+          node->state.cursors.all_done(trace_, ro_),
+          sink_ != nullptr ? node->state.hash() : 0);
+      first_root = false;
       compute_gen(*node);
       ++stats_.saves;
+      emit_at_node(sink_, obs::EventKind::CheckpointSave, node->origin, 0);
       roots.push_back(std::move(node));
     }
   }
@@ -183,10 +257,11 @@ bool OnlineAnalyzer::do_step() {
   if (node.next >= node.gen.firings.size()) {
     std::unique_ptr<MNode> finished = std::move(stack_.back());
     stack_.pop_back();
+    emit_at_node(sink_, obs::EventKind::Backtrack, finished->origin,
+                 finished->depth);
     if (trace_.eof() && finished->state.cursors.all_done(trace_, ro_)) {
       // eof arrived while this all-verified node sat on the stack.
-      concluded_ = true;
-      final_status_ = OnlineStatus::Valid;
+      conclude(OnlineStatus::Valid, finished->origin);
       return true;
     }
     if (finished->pg(trace_)) {
@@ -210,9 +285,33 @@ bool OnlineAnalyzer::do_step() {
   child->state = ckpt_->snapshot(node.state);
   ++stats_.saves;
   ++stats_.restores;
+  emit_at_node(sink_, obs::EventKind::CheckpointSave, node.origin, node.depth);
+  emit_at_node(sink_, obs::EventKind::CheckpointRestore, node.origin,
+               node.depth);
 
   ApplyResult applied =
       apply_firing(interp_, trace_, ro_, child->state, firing, stats_);
+  const bool child_done =
+      applied.ok && child->state.cursors.all_done(trace_, ro_);
+  std::uint64_t fire_event = 0;
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::Fire;
+    e.id = sink_->next_id();
+    e.parent = node.origin;
+    e.depth = node.depth + 1;
+    e.transition = firing.transition;
+    e.input_event = firing.input_event;
+    e.synthesized = firing.synthesized;
+    e.ok = applied.ok;
+    e.retry = applied.retry_later;
+    if (applied.ok) {
+      e.all_done = child_done;
+      e.state_hash = child->state.hash();
+    }
+    sink_->emit(e);
+    fire_event = e.id;
+  }
   if (!applied.ok) {
     if (applied.retry_later) {
       // The firing produced an output the trace has not recorded YET.
@@ -224,12 +323,14 @@ bool OnlineAnalyzer::do_step() {
     return true;
   }
 
+  child->origin = fire_event;
+  child->depth = node.depth + 1;
+
   stats_.max_depth = std::max(stats_.max_depth,
                               static_cast<int>(stack_.size()));
 
-  if (child->state.cursors.all_done(trace_, ro_) && trace_.eof()) {
-    concluded_ = true;
-    final_status_ = OnlineStatus::Valid;
+  if (child_done && trace_.eof()) {
+    conclude(OnlineStatus::Valid, fire_event);
     return true;
   }
 
@@ -245,6 +346,7 @@ bool OnlineAnalyzer::do_step() {
 
 OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
   if (concluded_) return final_status_;
+  PhaseTimer search_timer(stats_.phase_search);
   if (!seeded_) {
     poll_source();
     seed_roots();
@@ -254,8 +356,7 @@ OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
     if (concluded_) return final_status_;
     if (config_.options.max_transitions != 0 &&
         stats_.transitions_executed >= config_.options.max_transitions) {
-      concluded_ = true;
-      final_status_ = OnlineStatus::Inconclusive;
+      conclude(OnlineStatus::Inconclusive, 0);
       return final_status_;
     }
     if (stack_.empty()) {
@@ -275,8 +376,7 @@ OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
     // Tree exhausted with nothing parked: conclusively invalid (§3.1.2).
     // (reactivate_pg can conclude Valid while draining pg_, leaving every
     // container empty — concluded_ must win over this emptiness test.)
-    concluded_ = true;
-    final_status_ = OnlineStatus::Invalid;
+    conclude(OnlineStatus::Invalid, 0);
     return final_status_;
   }
   return status();

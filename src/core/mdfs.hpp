@@ -70,6 +70,11 @@ class OnlineAnalyzer {
   [[nodiscard]] OnlineStatus status() const;
   [[nodiscard]] bool conclusive() const;
 
+  /// Emits a `verdict` event for the current status if the stream has none
+  /// yet — an on-line run can end quiescent ("valid so far", "likely
+  /// invalid") without ever concluding. No-op without a sink; idempotent.
+  void finalize_stream();
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const tr::Trace& trace() const { return trace_; }
   /// Number of PG nodes currently parked (the §3.2.1 memory concern).
@@ -86,10 +91,16 @@ class OnlineAnalyzer {
   bool do_step();  // one firing attempt / node service; false if none left
   [[nodiscard]] bool any_pgav() const;
   void prune_non_pgav();
+  /// Records the conclusive status (sticky) and, with a sink attached,
+  /// emits the `verdict` event naming `witness` as the completing node.
+  void conclude(OnlineStatus status, std::uint64_t witness);
+  std::uint64_t emit_enter(int init, int start_state, bool applied, bool ok,
+                           bool all_done, std::uint64_t state_hash);
 
   const est::Spec& spec_;
   tr::TraceSource& source_;
   OnlineConfig config_;
+  PhaseMetrics phase_static_;  // declared before ro_: resolve_timed fills it
   ResolvedOptions ro_;
   rt::Interp interp_;
   tr::Trace trace_;
@@ -99,12 +110,15 @@ class OnlineAnalyzer {
   /// either checkpoint mode (trail marks cannot outlive the stack order).
   std::unique_ptr<Checkpointer> ckpt_;
 
+  obs::Sink* sink_ = nullptr;
+
   std::vector<std::unique_ptr<MNode>> stack_;
   std::deque<std::unique_ptr<MNode>> pg_;
   std::vector<std::size_t> pending_roots_;  // initializers blocked on output
   std::size_t validated_events_ = 0;  // prefix checked against options
   std::uint64_t steps_since_poll_ = 0;
   bool seeded_ = false;
+  bool verdict_emitted_ = false;
   bool concluded_ = false;
   OnlineStatus final_status_ = OnlineStatus::Searching;
 };

@@ -1,0 +1,56 @@
+// Glue between the engines and the observability layer (src/obs/): the
+// run-header / verdict emission both ends of every recorded stream share,
+// the replay-relevant option fingerprint that rides in the header's
+// `flags` object, and the tiny context the generator needs to attribute
+// its prune events to the node being expanded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace tango::core {
+
+/// Where an emission happens: the node event (enter/fire id) being
+/// expanded, the worker doing it, and the node's depth. Passed by value
+/// into generate(); a default-constructed context (null sink) disables
+/// emission entirely.
+struct ObsCtx {
+  obs::Sink* sink = nullptr;
+  std::uint64_t node = 0;
+  std::int32_t worker = -1;
+  std::int32_t depth = 0;
+};
+
+/// The options that determine replay semantics, as a JSON object (sorted
+/// keys, no whitespace). Excludes tuning that cannot change any event's
+/// meaning (poll cadence, interpreter limits).
+[[nodiscard]] std::string options_flags_json(const Options& options);
+
+/// Inverse of options_flags_json: overlays the recorded flags onto
+/// `out` (other fields keep their current values). Throws
+/// std::runtime_error on a malformed flags object.
+void options_from_flags(const obs::JsonValue& flags, Options& out);
+
+/// Emits the stream's `run` header.
+void emit_run_header(obs::Sink& sink, const est::Spec& spec,
+                     const Options& options, const char* engine);
+
+/// Emits the final `verdict` event. `witness` is the enter/fire event
+/// whose state completed the trace (0 when there is none). The stats
+/// snapshot is serialized without timing so deterministic runs stay
+/// byte-stable.
+void emit_verdict(obs::Sink& sink, std::uint64_t witness,
+                  std::string_view verdict, const Stats& stats);
+
+/// ResolvedOptions construction timed into `phase` (guard-solver cost) —
+/// shaped for constructor init lists, where a scoped PhaseTimer can't go.
+[[nodiscard]] ResolvedOptions resolve_timed(const est::Spec& spec,
+                                            const Options& options,
+                                            PhaseMetrics& phase);
+
+}  // namespace tango::core

@@ -17,6 +17,10 @@
 #include "estelle/spec.hpp"
 #include "runtime/interp.hpp"
 
+namespace tango::obs {
+class Sink;
+}
+
 namespace tango::core {
 
 /// How the DFS engines implement the §2.2 save/restore primitives.
@@ -105,6 +109,11 @@ struct Options {
   /// Automatically disabled in partial mode and with unobservable ips,
   /// where undefined-tolerant semantics break the proofs.
   bool static_prune = true;
+  /// Structured search-event sink (src/obs/). Null — the default — records
+  /// nothing; engines guard every emission behind one branch. Non-owning:
+  /// the sink must outlive the analysis. Every engine emits the same typed
+  /// stream (docs/EVENTS.md), replayable by obs::replay.
+  obs::Sink* sink = nullptr;
 
   rt::InterpLimits interp;
 

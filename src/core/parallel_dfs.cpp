@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -14,6 +15,7 @@
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/generator.hpp"
+#include "core/obs_record.hpp"
 #include "core/visited.hpp"
 
 namespace tango::core {
@@ -43,6 +45,9 @@ struct Task {
   std::vector<std::string> path;
   int node_depth = 1;
   std::vector<std::uint32_t> lineage;
+  /// Event id of the enter/fire that produced `state` — the task's fires
+  /// keep pointing at the same parent a sequential run would name.
+  std::uint64_t origin = 0;
 };
 
 /// What one task's exploration produced. Outcomes merge in lineage order
@@ -55,6 +60,7 @@ struct Outcome {
   std::string note;
   bool found = false;
   std::vector<std::string> solution;
+  std::uint64_t witness = 0;  // fire event id of the completing state
 };
 
 struct NodeFrame {
@@ -62,6 +68,7 @@ struct NodeFrame {
   std::size_t next = 0;
   std::optional<std::size_t> mark;  // checkpoint; present iff node branches
   std::string chosen;               // name of the firing taken to descend
+  std::uint64_t origin = 0;         // enter/fire event that made this state
 };
 
 /// Same veto-preference rule as the sequential engine: a concrete
@@ -80,15 +87,28 @@ class ParallelEngine {
       : spec_(spec),
         trace_(trace),
         options_(options),
-        ro_(spec, options),
+        ro_(resolve_timed(spec, options, phase_static_)),
         jobs_(resolve_jobs(options.jobs)),
         det_(options.deterministic),
-        publish_watermark_(static_cast<std::size_t>(2 * jobs_)) {}
+        publish_watermark_(static_cast<std::size_t>(2 * jobs_)),
+        sink_(options.sink) {}
 
   DfsResult run() {
+    DfsResult result;
+    {
+      PhaseTimer search_timer(result.stats.phase_search);
+      run_impl(result);
+    }
+    result.stats.phase_static = phase_static_;
+    assert(result.stats.invariant_violations(false).empty());
+    return result;
+  }
+
+ private:
+  void run_impl(DfsResult& result) {
     validate_trace_against_options(spec_, trace_, ro_);
     CpuTimer timer;
-    DfsResult result;
+    if (sink_ != nullptr) emit_run_header(*sink_, spec_, options_, "par");
 
     Outcome init_out;  // empty lineage sorts first
     rt::Interp init_interp(spec_,
@@ -97,11 +117,15 @@ class ParallelEngine {
                            options_.interp);
     std::vector<Task> roots;
     std::uint32_t root_seq = 0;
-    for (std::size_t ii = 0; ii < spec_.body().initializers.size(); ++ii) {
+    std::uint64_t witness = 0;
+    bool early_valid = false;
+    for (std::size_t ii = 0;
+         !early_valid && ii < spec_.body().initializers.size(); ++ii) {
       InitResult init =
           apply_initializer(init_interp, trace_, ro_, ii, init_out.stats);
       bump_shared_te();
       if (!init.ok) {
+        emit_enter(static_cast<int>(ii), -1, init.executed, false, false, 0);
         merge_note(init_out.note, init.note);
         continue;
       }
@@ -111,58 +135,107 @@ class ParallelEngine {
           if (s != init.state.machine.fsm_state) start_states.push_back(s);
         }
       }
+      bool first_root = true;
       for (int start : start_states) {
         SearchState root = init.state;
         root.machine.fsm_state = start;
+        const bool done = root.cursors.all_done(trace_, ro_);
+        const std::uint64_t root_event =
+            emit_enter(static_cast<int>(ii), start,
+                       first_root && init.executed, true, done,
+                       sink_ != nullptr ? root.hash() : 0);
+        first_root = false;
         std::string label =
             "initialize to " + spec_.states[static_cast<std::size_t>(start)];
-        if (root.cursors.all_done(trace_, ro_)) {
+        if (done) {
           result.verdict = Verdict::Valid;
           result.solution = {std::move(label)};
-          result.stats = init_out.stats;
-          result.note = init_out.note;
-          result.stats.cpu_seconds = timer.elapsed();
-          return result;
+          witness = root_event;
+          early_valid = true;
+          break;
         }
         Task t;
         t.state = std::move(root);
         t.path = {std::move(label)};
         t.lineage = {root_seq++};
+        t.origin = root_event;
         roots.push_back(std::move(t));
       }
     }
 
-    if (!roots.empty()) run_pool(std::move(roots));
-
-    // Merge in lineage order; see Outcome.
-    std::sort(outcomes_.begin(), outcomes_.end(),
-              [](const Outcome& a, const Outcome& b) {
-                return a.lineage < b.lineage;
-              });
-    result.stats = init_out.stats;
-    result.note = init_out.note;
-    const Outcome* winner = nullptr;
-    for (const Outcome& o : outcomes_) {
-      result.stats += o.stats;
-      merge_note(result.note, o.note);
-      if (o.found && winner == nullptr) winner = &o;
-    }
-    if (shared_visited_ != nullptr) {
-      result.stats.evictions += shared_visited_->total_evictions();
-    }
-    if (winner != nullptr) {
-      result.verdict = Verdict::Valid;
-      result.solution = winner->solution;
+    if (early_valid) {
+      result.stats = init_out.stats;
+      result.note = init_out.note;
     } else {
-      result.verdict = (out_of_budget_.load() || depth_clipped_.load())
-                           ? Verdict::Inconclusive
-                           : Verdict::Invalid;
+      if (!roots.empty()) run_pool(std::move(roots));
+
+      // Merge in lineage order; see Outcome.
+      std::sort(outcomes_.begin(), outcomes_.end(),
+                [](const Outcome& a, const Outcome& b) {
+                  return a.lineage < b.lineage;
+                });
+      result.stats = init_out.stats;
+      result.note = init_out.note;
+      const Outcome* winner = nullptr;
+      for (const Outcome& o : outcomes_) {
+        result.stats += o.stats;
+        merge_note(result.note, o.note);
+        if (o.found && winner == nullptr) winner = &o;
+      }
+      if (shared_visited_ != nullptr) {
+        const std::uint64_t shared_evictions =
+            shared_visited_->total_evictions();
+        result.stats.evictions += shared_evictions;
+        if (sink_ != nullptr && shared_evictions > 0) {
+          obs::Event e;
+          e.kind = obs::EventKind::Evict;
+          e.count = shared_evictions;
+          sink_->emit(e);
+        }
+      }
+      if (winner != nullptr) {
+        result.verdict = Verdict::Valid;
+        result.solution = winner->solution;
+        witness = winner->witness;
+      } else {
+        result.verdict = (out_of_budget_.load() || depth_clipped_.load())
+                             ? Verdict::Inconclusive
+                             : Verdict::Invalid;
+      }
     }
     result.stats.cpu_seconds = timer.elapsed();
-    return result;
+    if (sink_ != nullptr) {
+      emit_verdict(*sink_, witness, to_string(result.verdict), result.stats);
+    }
   }
 
- private:
+  std::uint64_t emit_enter(int init, int start_state, bool applied, bool ok,
+                           bool all_done, std::uint64_t state_hash) {
+    if (sink_ == nullptr) return 0;
+    obs::Event e;
+    e.kind = obs::EventKind::Enter;
+    e.id = sink_->next_id();
+    e.init = init;
+    e.start_state = start_state;
+    e.applied = applied;
+    e.ok = ok;
+    e.all_done = all_done;
+    e.state_hash = state_hash;
+    sink_->emit(e);
+    return e.id;
+  }
+
+  void emit_at_node(obs::EventKind kind, std::uint64_t origin, int worker,
+                    int depth, std::uint64_t count) {
+    if (sink_ == nullptr) return;
+    obs::Event e;
+    e.kind = kind;
+    e.parent = origin;
+    e.worker = worker;
+    e.depth = depth;
+    e.count = count;
+    sink_->emit(e);
+  }
   struct WorkerDeque {
     std::mutex mu;
     std::deque<Task> dq;
@@ -294,7 +367,10 @@ class ParallelEngine {
     Outcome out;
     out.lineage = std::move(t.lineage);
     Stats& stats = out.stats;
-    if (stolen) stats.tasks_stolen = 1;
+    if (stolen) {
+      stats.tasks_stolen = 1;
+      emit_at_node(obs::EventKind::Steal, t.origin, wid, t.node_depth - 1, 0);
+    }
 
     SearchState cur = std::move(t.state);
     std::unique_ptr<Checkpointer> ckpt =
@@ -313,15 +389,19 @@ class ParallelEngine {
 
     {
       NodeFrame root;
+      root.origin = t.origin;
       if (t.generated) {
         root.gen.firings = std::move(t.firings);
       } else {
-        root.gen = generate(interp, trace_, ro_, cur, stats);
+        root.gen = generate(interp, trace_, ro_, cur, stats,
+                            ObsCtx{sink_, t.origin, wid, t.node_depth - 1});
         merge_note(out.note, root.gen.fault);
       }
       if (root.gen.firings.size() > 1) {
         root.mark = ckpt->save(cur);
         ++stats.saves;
+        emit_at_node(obs::EventKind::CheckpointSave, t.origin, wid,
+                     t.node_depth - 1, *root.mark);
       }
       stack.push_back(std::move(root));
     }
@@ -332,6 +412,8 @@ class ParallelEngine {
       if (frame.next >= frame.gen.firings.size()) {
         if (frame.mark) ckpt->forget(*frame.mark);
         if (!frame.chosen.empty()) path.pop_back();
+        emit_at_node(obs::EventKind::Backtrack, frame.origin, wid,
+                     t.node_depth + static_cast<int>(stack.size()) - 2, 0);
         stack.pop_back();
         continue;
       }
@@ -348,6 +430,8 @@ class ParallelEngine {
       if (pick > 0) {
         ckpt->restore(*frame.mark, cur);
         ++stats.restores;
+        emit_at_node(obs::EventKind::CheckpointRestore, frame.origin, wid,
+                     node_depth - 1, *frame.mark);
         if (!frame.chosen.empty()) path.pop_back();
         frame.chosen.clear();
       }
@@ -364,6 +448,7 @@ class ParallelEngine {
         cont.generated = true;
         cont.path = path;
         cont.node_depth = node_depth;
+        cont.origin = frame.origin;
         cont.lineage = out.lineage;
         // The lineage component must order continuations by DFS position.
         // In deterministic mode a task publishes at most once per depth,
@@ -385,6 +470,26 @@ class ParallelEngine {
       ApplyResult applied =
           apply_firing(interp, trace_, ro_, cur, firing, stats, ckpt.get());
       bump_shared_te();
+      const bool done = applied.ok && cur.cursors.all_done(trace_, ro_);
+      std::uint64_t fire_event = 0;
+      if (sink_ != nullptr) {
+        obs::Event e;
+        e.kind = obs::EventKind::Fire;
+        e.id = sink_->next_id();
+        e.parent = frame.origin;
+        e.worker = wid;
+        e.depth = node_depth;
+        e.transition = firing.transition;
+        e.input_event = firing.input_event;
+        e.synthesized = firing.synthesized;
+        e.ok = applied.ok;
+        if (applied.ok) {
+          e.all_done = done;
+          e.state_hash = cur.hash();
+        }
+        sink_->emit(e);
+        fire_event = e.id;
+      }
       if (!applied.ok) {
         merge_note(out.note, applied.note);
         continue;
@@ -397,9 +502,10 @@ class ParallelEngine {
       path.push_back(frame.chosen);
       stats.max_depth = std::max(stats.max_depth, node_depth);
 
-      if (cur.cursors.all_done(trace_, ro_)) {
+      if (done) {
         out.found = true;
         out.solution = path;
+        out.witness = fire_event;
         if (!det_) {
           stop_.store(true);  // first conclusion cancels the pool
           wake_all();
@@ -413,6 +519,15 @@ class ParallelEngine {
                                 : shared_visited_->insert(h);
         if (!fresh) {
           ++stats.pruned_by_hash;
+          if (sink_ != nullptr) {
+            obs::Event e;
+            e.kind = obs::EventKind::PruneVisited;
+            e.parent = fire_event;
+            e.worker = wid;
+            e.depth = node_depth;
+            e.state_hash = h;
+            sink_->emit(e);
+          }
           path.pop_back();
           frame.chosen.clear();
           continue;
@@ -427,17 +542,29 @@ class ParallelEngine {
       }
 
       NodeFrame child;
-      child.gen = generate(interp, trace_, ro_, cur, stats);
+      child.origin = fire_event;
+      child.gen = generate(interp, trace_, ro_, cur, stats,
+                           ObsCtx{sink_, fire_event, wid, node_depth});
       merge_note(out.note, child.gen.fault);
       if (child.gen.firings.size() > 1) {
         child.mark = ckpt->save(cur);
         ++stats.saves;
+        emit_at_node(obs::EventKind::CheckpointSave, fire_event, wid,
+                     node_depth, *child.mark);
       }
       stack.push_back(std::move(child));
     }
 
     if (local_visited != nullptr) {
-      stats.evictions += local_visited->evictions();
+      const std::uint64_t local_evictions = local_visited->evictions();
+      stats.evictions += local_evictions;
+      if (sink_ != nullptr && local_evictions > 0) {
+        obs::Event e;
+        e.kind = obs::EventKind::Evict;
+        e.worker = wid;
+        e.count = local_evictions;
+        sink_->emit(e);
+      }
     }
     std::lock_guard<std::mutex> lock(outcomes_mu_);
     outcomes_.push_back(std::move(out));
@@ -446,10 +573,12 @@ class ParallelEngine {
   const est::Spec& spec_;
   const tr::Trace& trace_;
   const Options& options_;
+  PhaseMetrics phase_static_;  // declared before ro_: resolve_timed fills it
   ResolvedOptions ro_;
   const int jobs_;
   const bool det_;
   const std::size_t publish_watermark_;
+  obs::Sink* sink_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
   std::atomic<int> pending_{0};          // tasks queued or running
@@ -475,18 +604,22 @@ DfsResult analyze_parallel(const est::Spec& spec, const tr::Trace& trace,
 
 std::vector<BatchItemResult> analyze_batch(const est::Spec& spec,
                                            const std::vector<tr::Trace>& traces,
-                                           const Options& options) {
+                                           const Options& options,
+                                           const std::vector<obs::Sink*>& sinks) {
   std::vector<BatchItemResult> results(traces.size());
+  const auto analyze_one = [&](std::size_t i) {
+    Options item_options = options;
+    item_options.sink = i < sinks.size() ? sinks[i] : nullptr;
+    try {
+      results[i].result = analyze(spec, traces[i], item_options);
+    } catch (const std::exception& e) {
+      results[i].error = e.what();
+    }
+  };
   const int jobs = std::min<int>(resolve_jobs(options.jobs),
                                  static_cast<int>(traces.size()));
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      try {
-        results[i].result = analyze(spec, traces[i], options);
-      } catch (const std::exception& e) {
-        results[i].error = e.what();
-      }
-    }
+    for (std::size_t i = 0; i < traces.size(); ++i) analyze_one(i);
     return results;
   }
   std::atomic<std::size_t> next{0};
@@ -497,11 +630,7 @@ std::vector<BatchItemResult> analyze_batch(const est::Spec& spec,
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= traces.size()) return;
-        try {
-          results[i].result = analyze(spec, traces[i], options);
-        } catch (const std::exception& e) {
-          results[i].error = e.what();
-        }
+        analyze_one(i);
       }
     });
   }

@@ -52,9 +52,12 @@ struct BatchItemResult {
 /// traces across options.jobs workers, each analyzed with the sequential
 /// engine (one trace is one unit of work; combine with analyze_parallel
 /// by hand if a single giant trace dominates the corpus). Results are in
-/// input order regardless of completion order.
+/// input order regardless of completion order. `sinks`, when nonempty,
+/// must parallel `traces`: item i records its event stream into sinks[i]
+/// (null entries record nothing), overriding options.sink — a shared sink
+/// would interleave streams from concurrent items.
 [[nodiscard]] std::vector<BatchItemResult> analyze_batch(
     const est::Spec& spec, const std::vector<tr::Trace>& traces,
-    const Options& options);
+    const Options& options, const std::vector<obs::Sink*>& sinks = {});
 
 }  // namespace tango::core

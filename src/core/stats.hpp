@@ -5,8 +5,25 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tango::core {
+
+/// Wall-clock and peak-RSS movement attributed to one phase of an analysis
+/// (parse / static-analysis / search). Additive so Stats::operator+= stays
+/// associative and commutative across worker merge orders; rss_delta_kb is
+/// how far ru_maxrss moved while the phase ran (0 when the peak predates
+/// the phase), a cheap allocation proxy that needs no allocator hooks.
+struct PhaseMetrics {
+  double wall_seconds = 0.0;
+  std::int64_t rss_delta_kb = 0;
+
+  PhaseMetrics& operator+=(const PhaseMetrics& other) {
+    wall_seconds += other.wall_seconds;
+    rss_delta_kb += other.rss_delta_kb;
+    return *this;
+  }
+};
 
 struct Stats {
   std::uint64_t transitions_executed = 0;  // TE
@@ -35,6 +52,11 @@ struct Stats {
   std::uint64_t checkpoint_bytes = 0;
   int max_depth = 0;
   double cpu_seconds = 0.0;
+  /// Per-phase wall/RSS attribution: trace/spec parsing, option resolution
+  /// including the guard solver, and the search proper.
+  PhaseMetrics phase_parse;
+  PhaseMetrics phase_static;
+  PhaseMetrics phase_search;
 
   [[nodiscard]] double average_fanout() const {
     return fanout_samples == 0
@@ -57,8 +79,34 @@ struct Stats {
 
   /// One-line JSON object with the Figure 3/4 counter names
   /// ({"te":…,"ge":…,"re":…,"sa":…,…}), for `tango fuzz --stats` output
-  /// comparable with the bench/ figures.
+  /// comparable with the bench/ figures. Includes cpu_seconds and the
+  /// per-phase wall/RSS block.
   [[nodiscard]] std::string to_json() const;
+
+  /// The counters only — no cpu_seconds, no phases. This is what `verdict`
+  /// events record: a stream from a deterministic run must be byte-stable,
+  /// and timing never is.
+  [[nodiscard]] std::string to_json_counters() const;
+
+  /// Consistency checks over the counters; returns one message per
+  /// violated invariant (empty = consistent).
+  ///
+  /// The default set holds for every engine by construction:
+  ///   - fanout_samples == generates (generate() bumps both, exactly once)
+  ///   - pruned_by_hash <= transitions_executed (each prune follows one
+  ///     successful apply of the pruned state)
+  ///
+  /// `strict` adds the paper-model invariants, which hold for plain DFS
+  /// runs but have documented exemptions (see docs/OBSERVABILITY.md):
+  ///   - transitions_executed >= generates — violated by MDFS
+  ///     re-generation (§3.1.1 re-generates parked nodes without firing)
+  ///     and by --initial-state-search (one initializer apply seeds a
+  ///     generate per start state)
+  ///   - static_skips + evictions <= transitions_executed — can fail on
+  ///     specs where most candidates are statically skippable, since
+  ///     several skips can occur per executed transition
+  [[nodiscard]] std::vector<std::string> invariant_violations(
+      bool strict = false) const;
 };
 
 /// Scoped CPU-time measurement (process CPU clock, like the paper's CPUT).
@@ -70,6 +118,22 @@ class CpuTimer {
 
  private:
   std::int64_t start_ns_;
+};
+
+/// RAII phase measurement: on destruction ADDS the elapsed monotonic wall
+/// time and the ru_maxrss movement to `target`, so one PhaseMetrics can
+/// accumulate across repeated scopes (the on-line analyzer's rounds).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(PhaseMetrics& target);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  PhaseMetrics& target_;
+  std::int64_t start_ns_;
+  std::int64_t start_rss_kb_;
 };
 
 }  // namespace tango::core

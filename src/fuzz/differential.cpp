@@ -1,10 +1,14 @@
 #include "fuzz/differential.hpp"
 
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/parallel_dfs.hpp"
+#include "obs/sink.hpp"
 #include "support/text.hpp"
 #include "trace/dynamic_source.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tango::fuzz {
 
@@ -86,6 +90,7 @@ EngineRun run_mdfs(const est::Spec& spec, const tr::Trace& trace,
   }
   if (trace.eof()) feed.push_eof();
   const core::OnlineStatus status = analyzer.run(1u << 18, /*idle_rounds=*/4);
+  analyzer.finalize_stream();  // no-op unless options carry a sink
 
   run.verdict = to_verdict(status);
   // With eof delivered the tree is finite: a non-conclusive terminal
@@ -146,8 +151,15 @@ core::Verdict MatrixResult::column_verdict(std::string_view order) const {
 
 MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
                         const std::vector<Engine>& engines,
-                        const core::Options& base, std::size_t chunk) {
+                        const core::Options& base, std::size_t chunk,
+                        const EventsCapture* capture) {
   MatrixResult result;
+  std::string trace_ref;
+  if (capture != nullptr) {
+    trace_ref = capture->stem + ".tr";
+    std::ofstream(capture->dir + "/" + trace_ref, std::ios::binary)
+        << tr::to_text(spec, trace);
+  }
   for (const OrderPreset& preset : order_presets()) {
     MatrixColumn column;
     column.order = preset.name;
@@ -166,7 +178,16 @@ MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
     options.deterministic = base.deterministic;
     options.visited_max = base.visited_max;
     for (Engine e : engines) {
+      std::unique_ptr<obs::JsonlSink> sink;
+      if (capture != nullptr) {
+        sink = std::make_unique<obs::JsonlSink>(
+            capture->dir + "/" + capture->stem + "-" + preset.name + "-" +
+            std::string(to_string(e)) + ".jsonl");
+        sink->set_refs(capture->spec_ref, trace_ref);
+        options.sink = sink.get();
+      }
       EngineRun run = run_engine(spec, trace, options, e, chunk);
+      options.sink = nullptr;  // the sink dies with this cell
       run.order = preset.name;
       column.runs.push_back(std::move(run));
     }

@@ -77,14 +77,26 @@ struct MatrixResult {
   [[nodiscard]] core::Verdict column_verdict(std::string_view order) const;
 };
 
+/// Search-event recording for one matrix run (docs/OBSERVABILITY.md).
+/// Each cell writes `<dir>/<stem>-<order>-<engine>.jsonl`, and the
+/// analyzed trace is written once as `<dir>/<stem>.tr` so `tango events
+/// replay` can re-execute every stream from its run header's trace_ref.
+/// `dir` must already exist.
+struct EventsCapture {
+  std::string dir;
+  std::string stem;
+  std::string spec_ref;  // e.g. "builtin:abp"
+};
+
 /// Runs the full engines × order-presets matrix. `base` carries shared
 /// budgets (max_transitions etc.); its order flags are overwritten by each
-/// preset.
+/// preset. With a non-null `capture`, every cell records its event stream.
 [[nodiscard]] MatrixResult run_matrix(const est::Spec& spec,
                                       const tr::Trace& trace,
                                       const std::vector<Engine>& engines,
                                       const core::Options& base,
-                                      std::size_t chunk);
+                                      std::size_t chunk,
+                                      const EventsCapture* capture = nullptr);
 
 /// Maps an on-line status to the batch verdict space (ValidSoFar and
 /// LikelyInvalid pass through; with eof delivered they indicate an

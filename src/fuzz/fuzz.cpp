@@ -42,9 +42,10 @@ struct Variant {
 std::vector<std::string> evaluate(const est::Spec& spec, const Variant& v,
                                   const FuzzConfig& config,
                                   const core::Options& base,
-                                  FuzzReport* report) {
+                                  FuzzReport* report,
+                                  const EventsCapture* capture = nullptr) {
   MatrixResult m =
-      run_matrix(spec, v.trace, config.engines, base, config.chunk);
+      run_matrix(spec, v.trace, config.engines, base, config.chunk, capture);
   if (report != nullptr) {
     ++report->traces_analyzed;
     for (const MatrixColumn& column : m.columns) {
@@ -231,6 +232,9 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
   base.max_transitions = config.max_transitions;
   base.checkpoint = config.checkpoint;
   base.static_prune = config.static_prune;
+  if (!config.events_dir.empty()) {
+    std::filesystem::create_directories(config.events_dir);
+  }
 
   // One self-contained iteration; the `report`/`log` parameters shadow the
   // captured outer ones so a concurrent run can hand in a private delta
@@ -303,8 +307,16 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
     }
 
     for (const Variant& v : variants) {
+      EventsCapture capture;
+      if (!config.events_dir.empty()) {
+        capture.dir = config.events_dir;
+        capture.stem =
+            names[si] + "-seed" + std::to_string(iseed) + "-" + v.name;
+        capture.spec_ref = "builtin:" + names[si];
+      }
       const std::vector<std::string> failures =
-          evaluate(spec, v, config, base, &report);
+          evaluate(spec, v, config, base, &report,
+                   config.events_dir.empty() ? nullptr : &capture);
       if (failures.empty()) continue;
 
       // Only engine-agreement failures are prefix-shrinkable: the engines

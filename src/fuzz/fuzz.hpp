@@ -69,6 +69,12 @@ struct FuzzConfig {
   GenConfig generator;
   /// Directory for reproducer bundles; empty disables writing.
   std::string out_dir;
+  /// Directory for per-cell search-event streams (docs/OBSERVABILITY.md):
+  /// every matrix cell writes `<spec>-seed<N>-<variant>-<order>-<engine>
+  /// .jsonl` plus one `.tr` sidecar per variant, replayable with
+  /// `tango events replay`. Empty disables recording. Shrink probes are
+  /// never recorded.
+  std::string events_dir;
   bool verbose = false;
 };
 

@@ -1,0 +1,327 @@
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tango::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Events only ever escape control characters; encode BMP points
+          // as UTF-8 and reject surrogates (never emitted by our writer).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    errno = 0;
+    char* end = nullptr;
+    v.number = std::strtod(lexeme.c_str(), &end);
+    if (end != lexeme.c_str() + lexeme.size() || errno == ERANGE) {
+      pos_ = start;
+      fail("bad number '" + lexeme + "'");
+    }
+    if (integral) {
+      errno = 0;
+      const long long i = std::strtoll(lexeme.c_str(), &end, 10);
+      if (end == lexeme.c_str() + lexeme.size() && errno != ERANGE) {
+        v.is_integer = true;
+        v.integer = i;
+      }
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void escape_into(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void canonical_into(const JsonValue& v, std::string& out) {
+  switch (v.type) {
+    case JsonValue::Type::Null:
+      out += "null";
+      break;
+    case JsonValue::Type::Bool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Type::Number: {
+      char buf[40];
+      if (v.is_integer) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, v.integer);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::String:
+      escape_into(out, v.string);
+      break;
+    case JsonValue::Type::Array:
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) out += ',';
+        canonical_into(v.array[i], out);
+      }
+      out += ']';
+      break;
+    case JsonValue::Type::Object: {
+      std::vector<const std::pair<std::string, JsonValue>*> members;
+      members.reserve(v.object.size());
+      for (const auto& m : v.object) members.push_back(&m);
+      std::sort(members.begin(), members.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      out += '{';
+      bool first = true;
+      for (const auto* m : members) {
+        if (!first) out += ',';
+        first = false;
+        escape_into(out, m->first);
+        out += ':';
+        canonical_into(m->second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string canonical(const JsonValue& v,
+                      const std::vector<std::string>& ignore_keys) {
+  if (v.type == JsonValue::Type::Object && !ignore_keys.empty()) {
+    JsonValue filtered;
+    filtered.type = JsonValue::Type::Object;
+    for (const auto& m : v.object) {
+      if (std::find(ignore_keys.begin(), ignore_keys.end(), m.first) ==
+          ignore_keys.end()) {
+        filtered.object.push_back(m);
+      }
+    }
+    std::string out;
+    canonical_into(filtered, out);
+    return out;
+  }
+  std::string out;
+  canonical_into(v, out);
+  return out;
+}
+
+}  // namespace tango::obs

@@ -1,0 +1,52 @@
+// Minimal JSON for the observability tooling: parsing recorded JSONL event
+// lines back into values, canonical re-serialization for field-order-
+// insensitive comparison (`tango events diff`, the golden tests), and
+// lookup helpers for the schema validator. Deliberately tiny — events are
+// flat objects with at most one nested level — and dependency-free, so it
+// is NOT a general JSON library (no \uXXXX surrogate pairs, numbers parse
+// as double or int64).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tango::obs {
+
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set iff the literal was integral and fits; `number` carries the
+  /// (possibly lossy) double view either way.
+  bool is_integer = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved; canonical() sorts by key.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_bool() const { return type == Type::Bool; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document. Throws std::runtime_error with a byte offset
+/// on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Serializes with object keys sorted and a fixed number format, so two
+/// documents are semantically equal iff their canonical forms are equal
+/// strings. `ignore_keys` drops those top-level object members first.
+[[nodiscard]] std::string canonical(
+    const JsonValue& v, const std::vector<std::string>& ignore_keys = {});
+
+}  // namespace tango::obs

@@ -1,0 +1,311 @@
+#include "obs/schema.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+
+#include "obs/event.hpp"
+
+namespace tango::obs {
+
+namespace {
+
+enum class FieldType : std::uint8_t { Int, Bool, Str, Hash, Obj };
+
+enum class Need : std::uint8_t {
+  Required,  // must be present
+  Optional,  // may be present
+  IfOk,      // present iff the event's "ok" field is true
+};
+
+struct FieldRule {
+  const char* name;
+  FieldType type;
+  Need need;
+};
+
+constexpr FieldRule kRunRules[] = {
+    {"version", FieldType::Int, Need::Required},
+    {"engine", FieldType::Str, Need::Required},
+    {"spec", FieldType::Str, Need::Required},
+    {"spec_ref", FieldType::Str, Need::Required},
+    {"trace_ref", FieldType::Str, Need::Required},
+    {"order", FieldType::Str, Need::Required},
+    {"flags", FieldType::Obj, Need::Required},
+};
+constexpr FieldRule kEnterRules[] = {
+    {"id", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"init", FieldType::Int, Need::Required},
+    {"start_state", FieldType::Int, Need::Required},
+    {"applied", FieldType::Bool, Need::Required},
+    {"ok", FieldType::Bool, Need::Required},
+    {"all_done", FieldType::Bool, Need::IfOk},
+    {"state_hash", FieldType::Hash, Need::IfOk},
+};
+constexpr FieldRule kFireRules[] = {
+    {"id", FieldType::Int, Need::Required},
+    {"parent", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"depth", FieldType::Int, Need::Required},
+    {"transition", FieldType::Int, Need::Required},
+    {"input_event", FieldType::Int, Need::Required},
+    {"synthesized", FieldType::Bool, Need::Optional},
+    {"ok", FieldType::Bool, Need::Required},
+    {"retry", FieldType::Bool, Need::Optional},
+    {"all_done", FieldType::Bool, Need::IfOk},
+    {"state_hash", FieldType::Hash, Need::IfOk},
+};
+constexpr FieldRule kNodeRules[] = {
+    {"parent", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"depth", FieldType::Int, Need::Required},
+};
+constexpr FieldRule kPruneVisitedRules[] = {
+    {"parent", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"depth", FieldType::Int, Need::Required},
+    {"state_hash", FieldType::Hash, Need::Required},
+};
+constexpr FieldRule kPruneStaticRules[] = {
+    {"parent", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"depth", FieldType::Int, Need::Required},
+    {"transition", FieldType::Int, Need::Required},
+};
+constexpr FieldRule kCountedRules[] = {
+    {"parent", FieldType::Int, Need::Required},
+    {"worker", FieldType::Int, Need::Required},
+    {"depth", FieldType::Int, Need::Required},
+    {"count", FieldType::Int, Need::Required},
+};
+constexpr FieldRule kEvictRules[] = {
+    {"worker", FieldType::Int, Need::Required},
+    {"count", FieldType::Int, Need::Required},
+};
+constexpr FieldRule kVerdictRules[] = {
+    {"parent", FieldType::Int, Need::Required},
+    {"verdict", FieldType::Str, Need::Required},
+    {"stats", FieldType::Obj, Need::Required},
+};
+
+struct RuleSet {
+  const FieldRule* rules;
+  std::size_t count;
+};
+
+RuleSet rules_for(EventKind kind) {
+  switch (kind) {
+    case EventKind::Run: return {kRunRules, std::size(kRunRules)};
+    case EventKind::Enter: return {kEnterRules, std::size(kEnterRules)};
+    case EventKind::Fire: return {kFireRules, std::size(kFireRules)};
+    case EventKind::Backtrack:
+    case EventKind::Steal: return {kNodeRules, std::size(kNodeRules)};
+    case EventKind::PruneVisited:
+      return {kPruneVisitedRules, std::size(kPruneVisitedRules)};
+    case EventKind::PruneStatic:
+      return {kPruneStaticRules, std::size(kPruneStaticRules)};
+    case EventKind::PruneShadow:
+    case EventKind::CheckpointSave:
+    case EventKind::CheckpointRestore:
+      return {kCountedRules, std::size(kCountedRules)};
+    case EventKind::Evict: return {kEvictRules, std::size(kEvictRules)};
+    case EventKind::Verdict: return {kVerdictRules, std::size(kVerdictRules)};
+  }
+  return {nullptr, 0};
+}
+
+bool is_hash_string(const JsonValue& v) {
+  if (!v.is_string() || v.string.size() != 16) return false;
+  for (const char c : v.string) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+const char* type_name(FieldType t) {
+  switch (t) {
+    case FieldType::Int: return "integer";
+    case FieldType::Bool: return "boolean";
+    case FieldType::Str: return "string";
+    case FieldType::Hash: return "16-hex-digit string";
+    case FieldType::Obj: return "object";
+  }
+  return "?";
+}
+
+bool type_matches(const JsonValue& v, FieldType t) {
+  switch (t) {
+    case FieldType::Int: return v.is_number() && v.is_integer;
+    case FieldType::Bool: return v.is_bool();
+    case FieldType::Str: return v.is_string();
+    case FieldType::Hash: return is_hash_string(v);
+    case FieldType::Obj: return v.is_object();
+  }
+  return false;
+}
+
+void add_error(std::vector<SchemaError>& errors, std::size_t line,
+               std::string message) {
+  errors.push_back({line, std::move(message)});
+}
+
+}  // namespace
+
+bool validate_event(const JsonValue& v, std::size_t line,
+                    std::vector<SchemaError>& errors) {
+  const std::size_t before = errors.size();
+  if (!v.is_object()) {
+    add_error(errors, line, "event is not a JSON object");
+    return false;
+  }
+  const JsonValue* kind_v = v.find("kind");
+  if (kind_v == nullptr || !kind_v->is_string()) {
+    add_error(errors, line, "missing string field 'kind'");
+    return false;
+  }
+  EventKind kind{};
+  if (!parse_kind(kind_v->string, kind)) {
+    add_error(errors, line, "unknown event kind '" + kind_v->string + "'");
+    return false;
+  }
+  const RuleSet rules = rules_for(kind);
+
+  const JsonValue* ok_v = v.find("ok");
+  const bool ok = ok_v != nullptr && ok_v->is_bool() && ok_v->boolean;
+
+  for (std::size_t i = 0; i < rules.count; ++i) {
+    const FieldRule& rule = rules.rules[i];
+    const JsonValue* field = v.find(rule.name);
+    const bool required =
+        rule.need == Need::Required || (rule.need == Need::IfOk && ok);
+    if (field == nullptr) {
+      if (required) {
+        add_error(errors, line,
+                  std::string(kind_v->string) + ": missing field '" +
+                      rule.name + "'");
+      }
+      continue;
+    }
+    if (rule.need == Need::IfOk && !ok) {
+      add_error(errors, line,
+                std::string(kind_v->string) + ": field '" + rule.name +
+                    "' present on a vetoed event");
+      continue;
+    }
+    if (!type_matches(*field, rule.type)) {
+      add_error(errors, line,
+                std::string(kind_v->string) + ": field '" + rule.name +
+                    "' is not a " + type_name(rule.type));
+    }
+  }
+
+  // Strict about unknown keys: a typo'd field name should fail the check,
+  // not silently ride along.
+  for (const auto& [key, value] : v.object) {
+    (void)value;
+    if (key == "kind") continue;
+    bool known = false;
+    for (std::size_t i = 0; i < rules.count; ++i) {
+      if (key == rules.rules[i].name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      add_error(errors, line,
+                std::string(kind_v->string) + ": unknown field '" + key + "'");
+    }
+  }
+  return errors.size() == before;
+}
+
+bool validate_stream(const std::string& text,
+                     std::vector<SchemaError>& errors) {
+  const std::size_t before = errors.size();
+  std::unordered_set<std::uint64_t> node_ids;
+  bool saw_run = false;
+  bool saw_any = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? text.size() : eol;
+    std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (eol == std::string::npos && line.empty()) break;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::runtime_error& err) {
+      add_error(errors, line_no, err.what());
+      continue;
+    }
+    if (!validate_event(v, line_no, errors)) continue;
+
+    const JsonValue* kind_v = v.find("kind");
+    EventKind kind{};
+    if (!parse_kind(kind_v->string, kind)) continue;  // validate_event caught it
+
+    if (!saw_any) {
+      saw_any = true;
+      if (kind != EventKind::Run) {
+        add_error(errors, line_no, "stream does not start with a run header");
+      }
+    }
+    if (kind == EventKind::Run) {
+      if (saw_run) {
+        add_error(errors, line_no, "duplicate run header");
+      }
+      saw_run = true;
+      const JsonValue* version = v.find("version");
+      if (version != nullptr && version->is_integer &&
+          version->integer != static_cast<std::int64_t>(kEventSchemaVersion)) {
+        add_error(errors, line_no,
+                  "unsupported schema version " +
+                      std::to_string(version->integer) + " (expected " +
+                      std::to_string(kEventSchemaVersion) + ")");
+      }
+      continue;
+    }
+
+    if (kind == EventKind::Enter || kind == EventKind::Fire) {
+      const JsonValue* id = v.find("id");
+      if (id != nullptr && id->is_integer) {
+        if (id->integer <= 0) {
+          add_error(errors, line_no, "node id must be positive");
+        } else if (!node_ids.insert(static_cast<std::uint64_t>(id->integer))
+                        .second) {
+          add_error(errors, line_no,
+                    "duplicate node id " + std::to_string(id->integer));
+        }
+      }
+    }
+    const JsonValue* parent = v.find("parent");
+    if (parent != nullptr && parent->is_integer && parent->integer != 0) {
+      if (parent->integer < 0 ||
+          node_ids.count(static_cast<std::uint64_t>(parent->integer)) == 0) {
+        add_error(errors, line_no,
+                  "parent " + std::to_string(parent->integer) +
+                      " does not reference an earlier enter/fire event");
+      }
+    } else if (parent != nullptr && parent->is_integer &&
+               parent->integer == 0 && kind != EventKind::Verdict) {
+      add_error(errors, line_no, "parent must be a node id (0 is only valid "
+                                 "for verdict events with no witness)");
+    }
+  }
+
+  if (!saw_any) add_error(errors, 0, "empty event stream");
+  return errors.size() == before;
+}
+
+}  // namespace tango::obs

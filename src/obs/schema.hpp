@@ -1,0 +1,33 @@
+// Event schema validation (`tango events check`, the golden tests, and the
+// replay oracle's input gate). The C++ validator is the executable twin of
+// docs/schema/search_events.schema.json: per-kind required/optional key
+// sets, type checks, and strictness about unknown keys, so a stream that
+// validates here also validates against the published JSON Schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tango::obs {
+
+/// One validation problem, tied to a 1-based JSONL line number.
+struct SchemaError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Validates a single parsed event object. Appends to `errors`; returns
+/// true when the object is a well-formed event of a known kind.
+bool validate_event(const JsonValue& v, std::size_t line,
+                    std::vector<SchemaError>& errors);
+
+/// Validates a whole stream (one JSON object per line; blank lines are
+/// ignored). Checks per-line schema plus stream-level rules: the first
+/// event is a `run` header of a supported version, enter/fire ids are
+/// unique, and every `parent` references an earlier enter/fire id.
+/// Returns true when no errors were appended.
+bool validate_stream(const std::string& text, std::vector<SchemaError>& errors);
+
+}  // namespace tango::obs

@@ -1,0 +1,197 @@
+#include "obs/stream.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace tango::obs {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("event: " + what);
+}
+
+std::int64_t get_int(const JsonValue& v, const char* key, std::int64_t fallback) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return fallback;
+  if (!f->is_number() || !f->is_integer) {
+    bad(std::string("field '") + key + "' is not an integer");
+  }
+  return f->integer;
+}
+
+bool get_bool(const JsonValue& v, const char* key, bool fallback) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return fallback;
+  if (!f->is_bool()) bad(std::string("field '") + key + "' is not a boolean");
+  return f->boolean;
+}
+
+std::string get_str(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return {};
+  if (!f->is_string()) bad(std::string("field '") + key + "' is not a string");
+  return f->string;
+}
+
+std::uint64_t get_hash(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return 0;
+  if (!f->is_string()) bad(std::string("field '") + key + "' is not a string");
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(f->string.c_str(), &end, 16);
+  if (end != f->string.c_str() + f->string.size() || f->string.empty()) {
+    bad(std::string("field '") + key + "' is not a hex hash");
+  }
+  return value;
+}
+
+/// Raw nested payloads round-trip through canonical form so downstream
+/// comparisons are field-order-insensitive.
+std::string get_raw(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return {};
+  if (!f->is_object()) bad(std::string("field '") + key + "' is not an object");
+  return canonical(*f);
+}
+
+}  // namespace
+
+Event event_from_json(const JsonValue& v) {
+  if (!v.is_object()) bad("not a JSON object");
+  const JsonValue* kind_v = v.find("kind");
+  if (kind_v == nullptr || !kind_v->is_string()) bad("missing 'kind'");
+  Event e;
+  if (!parse_kind(kind_v->string, e.kind)) {
+    bad("unknown kind '" + kind_v->string + "'");
+  }
+  e.id = static_cast<std::uint64_t>(get_int(v, "id", 0));
+  e.parent = static_cast<std::uint64_t>(get_int(v, "parent", 0));
+  e.worker = static_cast<std::int32_t>(get_int(v, "worker", -1));
+  e.depth = static_cast<std::int32_t>(get_int(v, "depth", 0));
+  e.transition = static_cast<std::int32_t>(get_int(v, "transition", -1));
+  e.input_event = static_cast<std::int32_t>(get_int(v, "input_event", -1));
+  e.init = static_cast<std::int32_t>(get_int(v, "init", -1));
+  e.start_state = static_cast<std::int32_t>(get_int(v, "start_state", -1));
+  e.synthesized = get_bool(v, "synthesized", false);
+  e.applied = get_bool(v, "applied", true);
+  e.ok = get_bool(v, "ok", false);
+  e.retry = get_bool(v, "retry", false);
+  e.all_done = get_bool(v, "all_done", false);
+  e.state_hash = get_hash(v, "state_hash");
+  e.count = static_cast<std::uint64_t>(get_int(v, "count", 0));
+  e.version = static_cast<std::uint32_t>(get_int(v, "version", 0));
+  e.engine = get_str(v, "engine");
+  e.spec = get_str(v, "spec");
+  e.spec_ref = get_str(v, "spec_ref");
+  e.trace_ref = get_str(v, "trace_ref");
+  e.order = get_str(v, "order");
+  e.flags = get_raw(v, "flags");
+  e.verdict = get_str(v, "verdict");
+  e.stats_json = get_raw(v, "stats");
+  return e;
+}
+
+ReadResult read_events(const std::string& text) {
+  ReadResult result;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? text.size() : eol;
+    std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+    try {
+      result.events.push_back(event_from_json(parse_json(line)));
+    } catch (const std::runtime_error& err) {
+      result.errors.push_back({line_no, err.what()});
+    }
+  }
+  return result;
+}
+
+ReadResult read_events_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open events file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_events(buffer.str());
+}
+
+StreamStats summarize(const std::vector<Event>& events) {
+  StreamStats s;
+  std::set<std::int32_t> workers;
+  for (const Event& e : events) {
+    ++s.by_kind[std::string(to_string(e.kind))];
+    if (e.worker >= 0) workers.insert(e.worker);
+    if (e.depth > s.max_depth) s.max_depth = e.depth;
+    switch (e.kind) {
+      case EventKind::Enter:
+      case EventKind::Fire:
+        ++s.nodes;
+        if (e.ok) {
+          ++s.applied_ok;
+        } else {
+          ++s.vetoed;
+        }
+        break;
+      case EventKind::Run:
+        s.engine = e.engine;
+        break;
+      case EventKind::Verdict:
+        s.verdict = e.verdict;
+        break;
+      default:
+        break;
+    }
+  }
+  s.workers = static_cast<std::int32_t>(workers.size());
+  return s;
+}
+
+std::string stats_to_json(const StreamStats& s) {
+  std::string out = "{";
+  char buf[64];
+  auto num = [&](const char* key, std::uint64_t value, bool first = false) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",", key,
+                  value);
+    out += buf;
+  };
+  out += "\"engine\":\"" + s.engine + "\"";
+  out += ",\"verdict\":\"" + s.verdict + "\"";
+  num("events", [&] {
+    std::uint64_t total = 0;
+    for (const auto& [kind, count] : s.by_kind) {
+      (void)kind;
+      total += count;
+    }
+    return total;
+  }());
+  num("nodes", s.nodes);
+  num("applied_ok", s.applied_ok);
+  num("vetoed", s.vetoed);
+  num("max_depth", static_cast<std::uint64_t>(s.max_depth));
+  num("workers", static_cast<std::uint64_t>(s.workers));
+  out += ",\"by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, count] : s.by_kind) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, kind.c_str(), count);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tango::obs

@@ -1,0 +1,56 @@
+// Reading recorded event streams back: JSONL text -> Event records, plus
+// the aggregation behind `tango events stats`. Parsing is tolerant of
+// per-line noise (each bad line becomes one error, later lines still
+// parse); use validate_stream for strict schema checking first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+
+namespace tango::obs {
+
+/// Converts a parsed JSON object into an Event. Throws std::runtime_error
+/// on a structurally unusable object (no/unknown kind, bad field type);
+/// unknown fields are ignored here — strictness lives in the validator.
+[[nodiscard]] Event event_from_json(const JsonValue& v);
+
+struct ReadError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct ReadResult {
+  std::vector<Event> events;
+  std::vector<ReadError> errors;
+};
+
+/// Parses a whole JSONL stream; blank lines are skipped.
+[[nodiscard]] ReadResult read_events(const std::string& text);
+
+/// Reads and parses a JSONL file. Throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] ReadResult read_events_file(const std::string& path);
+
+/// `tango events stats`: per-kind counts plus headline figures.
+struct StreamStats {
+  std::map<std::string, std::uint64_t> by_kind;  // kind name -> count
+  std::uint64_t nodes = 0;          // enter + fire events (ok or not)
+  std::uint64_t applied_ok = 0;     // enter/fire with ok=true
+  std::uint64_t vetoed = 0;         // enter/fire with ok=false
+  std::int32_t max_depth = 0;
+  std::int32_t workers = 0;         // distinct worker ids (>= 0) seen
+  std::string engine;               // from the run header, "" if absent
+  std::string verdict;              // from the verdict event, "" if absent
+};
+
+[[nodiscard]] StreamStats summarize(const std::vector<Event>& events);
+
+/// Renders the summary as a small JSON object (stable key order).
+[[nodiscard]] std::string stats_to_json(const StreamStats& s);
+
+}  // namespace tango::obs

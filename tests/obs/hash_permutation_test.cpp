@@ -1,0 +1,245 @@
+// Satellite of the observability PR: the canonicalization contract of
+// MachineState::hash() (DESIGN.md "State hashing"). Heap cells are hashed
+// in pointer-reachability order with addresses renumbered by first visit,
+// so two states whose heaps are isomorphic — same reachable structure and
+// contents, different absolute addresses from different new/dispose
+// interleavings — must hash equal, while any observable difference
+// (contents, aliasing, a leaked cell) must still be distinguished.
+#include "runtime/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/value.hpp"
+
+namespace tango::rt {
+namespace {
+
+Value list_cell(std::int64_t payload, std::uint32_t next_addr) {
+  return Value::make_record(
+      {Value::make_int(payload), Value::make_pointer(next_addr)});
+}
+
+TEST(HashPermutation, AllocationOrderDoesNotChangeHash) {
+  // A: cells allocated in visit order.
+  MachineState a;
+  a.fsm_state = 2;
+  const std::uint32_t a1 = a.heap.allocate(Value::make_int(7));
+  const std::uint32_t a2 = a.heap.allocate(Value::make_int(9));
+  a.vars = {Value::make_pointer(a1), Value::make_pointer(a2)};
+
+  // B: a padding allocation shifts every address, and the two live cells
+  // are allocated in the opposite order; the reachable graph seen from the
+  // variables is identical.
+  MachineState b;
+  b.fsm_state = 2;
+  const std::uint32_t pad = b.heap.allocate(Value::make_int(0));
+  const std::uint32_t b9 = b.heap.allocate(Value::make_int(9));
+  const std::uint32_t b7 = b.heap.allocate(Value::make_int(7));
+  ASSERT_TRUE(b.heap.release(pad));
+  b.vars = {Value::make_pointer(b7), Value::make_pointer(b9)};
+
+  ASSERT_NE(a1, b7);  // the absolute addresses really do differ
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(HashPermutation, LinkedListBuildDirectionDoesNotChangeHash) {
+  // Forward build: head allocated first, so addresses ascend along the
+  // list. Backward build: tail first, addresses descend. Same list.
+  constexpr std::int64_t payloads[] = {3, 1, 4, 1, 5};
+
+  MachineState fwd;
+  fwd.fsm_state = 0;
+  {
+    std::vector<std::uint32_t> addrs;
+    for (std::int64_t p : payloads) {
+      addrs.push_back(fwd.heap.allocate(list_cell(p, 0)));
+    }
+    for (std::size_t i = 0; i + 1 < addrs.size(); ++i) {
+      fwd.heap.cell(addrs[i])->elems()[1] =
+          Value::make_pointer(addrs[i + 1]);
+    }
+    fwd.vars = {Value::make_pointer(addrs.front())};
+  }
+
+  MachineState bwd;
+  bwd.fsm_state = 0;
+  {
+    std::uint32_t next = 0;
+    for (std::size_t i = std::size(payloads); i-- > 0;) {
+      next = bwd.heap.allocate(list_cell(payloads[i], next));
+    }
+    bwd.vars = {Value::make_pointer(next)};
+  }
+
+  EXPECT_EQ(fwd.hash(), bwd.hash());
+}
+
+TEST(HashPermutation, ReachableContentsStillDistinguish) {
+  MachineState a;
+  a.fsm_state = 1;
+  a.vars = {Value::make_pointer(a.heap.allocate(Value::make_int(7)))};
+
+  MachineState b;
+  b.fsm_state = 1;
+  b.vars = {Value::make_pointer(b.heap.allocate(Value::make_int(8)))};
+
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(HashPermutation, AliasingIsObservable) {
+  // Two variables pointing at ONE shared cell vs. two distinct cells with
+  // equal contents: assignment through one alias behaves differently, so
+  // canonicalization must not conflate them.
+  MachineState shared;
+  shared.fsm_state = 0;
+  const std::uint32_t cell = shared.heap.allocate(Value::make_int(5));
+  shared.vars = {Value::make_pointer(cell), Value::make_pointer(cell)};
+
+  MachineState distinct;
+  distinct.fsm_state = 0;
+  distinct.vars = {
+      Value::make_pointer(distinct.heap.allocate(Value::make_int(5))),
+      Value::make_pointer(distinct.heap.allocate(Value::make_int(5)))};
+
+  EXPECT_NE(shared.hash(), distinct.hash());
+}
+
+TEST(HashPermutation, LeakedCellsStillDistinguish) {
+  // A leaked (unreachable) cell is part of the paper's state: it changes
+  // what future allocations may alias. Same reachable region, one leaked
+  // cell extra -> different hash.
+  MachineState clean;
+  clean.fsm_state = 0;
+  clean.vars = {Value::make_pointer(clean.heap.allocate(Value::make_int(1)))};
+
+  MachineState leaky;
+  leaky.fsm_state = 0;
+  leaky.vars = {Value::make_pointer(leaky.heap.allocate(Value::make_int(1)))};
+  (void)leaky.heap.allocate(Value::make_int(99));  // no root reaches it
+
+  EXPECT_NE(clean.hash(), leaky.hash());
+}
+
+std::uint32_t next_rand(std::uint32_t& state) {
+  state = state * 1664525u + 1013904223u;
+  return state;
+}
+
+/// Builds one random heap graph — `n` record cells {payload, left, right}
+/// whose edges may form cycles, self-loops and shared (aliased) subtrees —
+/// allocating the cells in the order given by `perm`, then patching the
+/// edges through the address map. The logical graph depends only on the
+/// edge lists; the absolute addresses depend only on `perm`.
+MachineState build_graph(std::size_t n,
+                         const std::vector<std::size_t>& perm,
+                         const std::vector<std::int64_t>& payloads,
+                         const std::vector<std::size_t>& left,
+                         const std::vector<std::size_t>& right,
+                         const std::vector<std::size_t>& roots) {
+  MachineState m;
+  m.fsm_state = 1;
+  std::vector<std::uint32_t> addr(n, 0);
+  for (std::size_t i : perm) {
+    addr[i] = m.heap.allocate(Value::make_record(
+        {Value::make_int(payloads[i]), Value::nil(), Value::nil()}));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Value* cell = m.heap.cell(addr[i]);
+    cell->elems()[1] = Value::make_pointer(addr[left[i]]);
+    cell->elems()[2] = Value::make_pointer(addr[right[i]]);
+  }
+  for (std::size_t r : roots) m.vars.push_back(Value::make_pointer(addr[r]));
+  return m;
+}
+
+TEST(HashPermutation, RandomGraphsWithCyclesAndAliases) {
+  for (std::uint32_t seed : {11u, 23u, 95u, 1995u, 4242u}) {
+    std::uint32_t rng = seed;
+    const std::size_t n = 3 + next_rand(rng) % 10;
+    std::vector<std::int64_t> payloads;
+    std::vector<std::size_t> left;
+    std::vector<std::size_t> right;
+    for (std::size_t i = 0; i < n; ++i) {
+      payloads.push_back(static_cast<std::int64_t>(next_rand(rng) % 5));
+      left.push_back(next_rand(rng) % n);   // may point anywhere: cycles,
+      right.push_back(next_rand(rng) % n);  // self-loops, shared cells
+    }
+    // Roots: a random entry point, then one extra root per cell the
+    // closure misses. The invariance contract covers the REACHABLE
+    // region; leaked cells hash in address order on purpose (a leak is an
+    // allocation-history artifact, see DESIGN.md), so the property test
+    // keeps every cell reachable.
+    std::vector<std::size_t> roots = {next_rand(rng) % n};
+    std::vector<bool> reached(n, false);
+    std::vector<std::size_t> frontier = roots;
+    while (!frontier.empty()) {
+      const std::size_t i = frontier.back();
+      frontier.pop_back();
+      if (reached[i]) continue;
+      reached[i] = true;
+      frontier.push_back(left[i]);
+      frontier.push_back(right[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reached[i]) continue;
+      roots.push_back(i);
+      frontier.push_back(i);
+      while (!frontier.empty()) {
+        const std::size_t j = frontier.back();
+        frontier.pop_back();
+        if (reached[j]) continue;
+        reached[j] = true;
+        frontier.push_back(left[j]);
+        frontier.push_back(right[j]);
+      }
+    }
+
+    std::vector<std::size_t> identity(n);
+    for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+
+    const MachineState reference =
+        build_graph(n, identity, payloads, left, right, roots);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::size_t> perm = identity;
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(perm[i - 1], perm[next_rand(rng) % i]);
+      }
+      const MachineState shuffled =
+          build_graph(n, perm, payloads, left, right, roots);
+      EXPECT_EQ(reference.hash(), shuffled.hash())
+          << "seed " << seed << " round " << round;
+    }
+
+    // ...and a payload edit in the reachable region is never canonicalized
+    // away (every cell is reachable from the roots or leaked — either way
+    // the hash must move).
+    std::vector<std::int64_t> edited = payloads;
+    edited[next_rand(rng) % n] += 1000;
+    const MachineState mutated =
+        build_graph(n, identity, payloads, left, right, roots);
+    const MachineState changed =
+        build_graph(n, identity, edited, left, right, roots);
+    EXPECT_NE(mutated.hash(), changed.hash()) << "seed " << seed;
+  }
+}
+
+TEST(HashPermutation, FsmStateAndNilAreCovered) {
+  MachineState a;
+  a.fsm_state = 1;
+  a.vars = {Value::nil()};
+  MachineState b;
+  b.fsm_state = 2;
+  b.vars = {Value::nil()};
+  EXPECT_NE(a.hash(), b.hash());
+
+  MachineState c;
+  c.fsm_state = 1;
+  c.vars = {Value::nil()};
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+}  // namespace
+}  // namespace tango::rt

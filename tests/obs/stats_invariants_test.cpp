@@ -1,0 +1,193 @@
+// Satellite of the observability PR: the Stats counter invariants hold on
+// real engine runs, violations are reported on corrupted counters, and
+// operator+= is associative and commutative (the work-stealing engine and
+// the fuzz campaign merge per-worker/per-iteration Stats in arbitrary
+// orders, so the aggregate must not depend on the order).
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/dfs.hpp"
+#include "core/mdfs.hpp"
+#include "core/parallel_dfs.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/dynamic_source.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::core {
+namespace {
+
+constexpr const char* kAckTrace =
+    "in A.x\nin A.x\nin A.x\nin B.y\nout A.ack\n";
+
+est::Spec ack() { return est::compile_spec(specs::ack()); }
+
+TEST(StatsInvariants, DfsRunIsStrictlyConsistent) {
+  est::Spec spec = ack();
+  DfsResult r = analyze_text(spec, kAckTrace, Options::none());
+  ASSERT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_TRUE(r.stats.invariant_violations(/*strict=*/true).empty());
+}
+
+TEST(StatsInvariants, HashDfsRunIsStrictlyConsistent) {
+  est::Spec spec = ack();
+  Options options = Options::full();
+  options.hash_states = true;
+  DfsResult r = analyze_text(spec, kAckTrace, options);
+  ASSERT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_TRUE(r.stats.invariant_violations(/*strict=*/true).empty());
+}
+
+TEST(StatsInvariants, ParallelRunIsConsistent) {
+  est::Spec spec = ack();
+  Options options = Options::io();
+  options.jobs = 2;
+  tr::Trace trace = tr::parse_trace(spec, kAckTrace);
+  DfsResult r = analyze_parallel(spec, trace, options);
+  ASSERT_EQ(r.verdict, Verdict::Valid);
+  EXPECT_TRUE(r.stats.invariant_violations().empty());
+}
+
+TEST(StatsInvariants, MdfsRunIsConsistentAtDefaultLevel) {
+  // MDFS re-generates parked nodes, so te >= ge (the strict set) does not
+  // apply; the default set must still hold.
+  est::Spec spec = ack();
+  tr::MemoryFeed feed(spec);
+  tr::Trace full = tr::parse_trace(spec, kAckTrace);
+  for (const tr::TraceEvent& e : full.events()) feed.push(e);
+  feed.push_eof();
+  OnlineConfig config;
+  OnlineAnalyzer analyzer(spec, feed, config);
+  ASSERT_EQ(analyzer.run(), OnlineStatus::Valid);
+  EXPECT_TRUE(analyzer.stats().invariant_violations().empty());
+}
+
+TEST(StatsInvariants, CorruptedCountersAreReported) {
+  Stats s;
+  s.generates = 4;
+  s.fanout_samples = 3;  // generate() bumps both — can never diverge
+  s.transitions_executed = 2;
+  s.pruned_by_hash = 5;  // every prune follows one executed transition
+  std::vector<std::string> v = s.invariant_violations();
+  ASSERT_EQ(v.size(), 2u);
+
+  Stats t;
+  t.transitions_executed = 1;
+  t.generates = 3;  // strict: te >= ge for plain DFS
+  t.fanout_samples = 3;
+  EXPECT_TRUE(t.invariant_violations().empty());
+  EXPECT_FALSE(t.invariant_violations(/*strict=*/true).empty());
+}
+
+// --- merge-order property test ------------------------------------------
+
+std::uint32_t next_rand(std::uint32_t& state) {
+  state = state * 1664525u + 1013904223u;  // numerical-recipes LCG
+  return state;
+}
+
+Stats random_stats(std::uint32_t& rng) {
+  Stats s;
+  s.transitions_executed = next_rand(rng) % 1000;
+  s.generates = next_rand(rng) % 1000;
+  s.restores = next_rand(rng) % 1000;
+  s.saves = next_rand(rng) % 1000;
+  s.pruned_by_hash = next_rand(rng) % 100;
+  s.evictions = next_rand(rng) % 100;
+  s.tasks_published = next_rand(rng) % 100;
+  s.tasks_stolen = next_rand(rng) % 100;
+  s.fanout_sum = next_rand(rng) % 1000;
+  s.fanout_samples = next_rand(rng) % 100;
+  s.static_skips = next_rand(rng) % 100;
+  s.trail_entries = next_rand(rng) % 1000;
+  s.checkpoint_bytes = next_rand(rng) % 10000;
+  s.max_depth = static_cast<int>(next_rand(rng) % 64);
+  // Exactly representable (multiples of 1/64, bounded), so double addition
+  // is exact in every order and the comparisons below can be ==.
+  s.cpu_seconds = static_cast<double>(next_rand(rng) % 256) / 64.0;
+  s.phase_parse.wall_seconds = static_cast<double>(next_rand(rng) % 256) / 64.0;
+  s.phase_search.wall_seconds =
+      static_cast<double>(next_rand(rng) % 256) / 64.0;
+  s.phase_parse.rss_delta_kb = static_cast<std::int64_t>(next_rand(rng) % 512);
+  return s;
+}
+
+void expect_same_aggregate(const Stats& a, const Stats& b) {
+  EXPECT_EQ(a.transitions_executed, b.transitions_executed);
+  EXPECT_EQ(a.generates, b.generates);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.saves, b.saves);
+  EXPECT_EQ(a.pruned_by_hash, b.pruned_by_hash);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.tasks_published, b.tasks_published);
+  EXPECT_EQ(a.tasks_stolen, b.tasks_stolen);
+  EXPECT_EQ(a.fanout_sum, b.fanout_sum);
+  EXPECT_EQ(a.fanout_samples, b.fanout_samples);
+  EXPECT_EQ(a.static_skips, b.static_skips);
+  EXPECT_EQ(a.trail_entries, b.trail_entries);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_EQ(a.cpu_seconds, b.cpu_seconds);
+  EXPECT_EQ(a.phase_parse.wall_seconds, b.phase_parse.wall_seconds);
+  EXPECT_EQ(a.phase_search.wall_seconds, b.phase_search.wall_seconds);
+  EXPECT_EQ(a.phase_parse.rss_delta_kb, b.phase_parse.rss_delta_kb);
+}
+
+Stats sum(const std::vector<Stats>& parts) {
+  Stats total;
+  for (const Stats& p : parts) total += p;
+  return total;
+}
+
+TEST(StatsInvariants, MergeIsOrderAndPartitionInvariant) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1995u}) {
+    std::uint32_t rng = seed;
+    std::vector<Stats> parts;
+    const std::size_t n = 5 + next_rand(rng) % 12;
+    parts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) parts.push_back(random_stats(rng));
+    const Stats reference = sum(parts);
+
+    // Commutativity: random permutations.
+    for (int round = 0; round < 4; ++round) {
+      std::vector<Stats> shuffled = parts;
+      for (std::size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1], shuffled[next_rand(rng) % i]);
+      }
+      expect_same_aggregate(sum(shuffled), reference);
+    }
+
+    // Associativity: random partitions into groups, each group summed
+    // first (the per-worker subtotal), then the subtotals merged.
+    for (int round = 0; round < 4; ++round) {
+      const std::size_t groups = 1 + next_rand(rng) % n;
+      std::vector<std::vector<Stats>> buckets(groups);
+      for (const Stats& p : parts) {
+        buckets[next_rand(rng) % groups].push_back(p);
+      }
+      std::vector<Stats> subtotals;
+      subtotals.reserve(groups);
+      for (const std::vector<Stats>& bucket : buckets) {
+        subtotals.push_back(sum(bucket));
+      }
+      expect_same_aggregate(sum(subtotals), reference);
+    }
+  }
+}
+
+TEST(StatsInvariants, IdentityMergeIsNeutral) {
+  std::uint32_t rng = 3u;
+  Stats s = random_stats(rng);
+  Stats merged = s;
+  merged += Stats{};
+  expect_same_aggregate(merged, s);
+}
+
+}  // namespace
+}  // namespace tango::core
