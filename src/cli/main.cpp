@@ -20,9 +20,11 @@
 // <spec> is a file path or `builtin:<name>` (see `tango specs`).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -142,10 +144,21 @@ analysis options:
                                     changes verdicts — see docs/LINT.md)
   --batch <dir>                     analyze every *.tr file in <dir>,
                                     scheduling whole traces across --jobs
-                                    workers; exit 0 iff all are valid
+                                    workers; exit 0 iff all are valid. One
+                                    failing/over-budget item never aborts
+                                    the rest; --format=json emits the
+                                    per-item report as JSON
   --no-reorder                      disable MDFS dynamic node reordering
-  --max-transitions=<n>             search budget
-  --max-depth=<n>                   depth bound
+  --max-transitions=<n>             search budget (reason "transitions")
+  --max-depth=<n>                   depth bound (reason "depth")
+  --deadline=<ms>                   wall-clock budget; expiry yields an
+                                    inconclusive verdict with reason
+                                    "deadline". Applies per item in --batch
+  --max-memory=<bytes>              checkpoint/trail allocation budget — a
+                                    deterministic proxy, not process RSS;
+                                    reason "memory" (docs/ROBUSTNESS.md)
+  --item-retries=<n>                --batch: retry an item up to n extra
+                                    times after a transient runtime fault
   --events=<file>                   record a structured search-event stream
                                     (JSONL, docs/EVENTS.md) for analyze and
                                     online runs; inspect with tango events
@@ -169,6 +182,43 @@ std::string read_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Strict numeric flag parsing: the whole value must be decimal digits and
+/// fit below `max_value`. A typo'd "--jobs=abc" becomes a usage error
+/// naming the flag instead of a bare "stoi" exception, and a negative
+/// "--max-depth=-1" is rejected instead of wrapping to a huge unsigned.
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text,
+                             std::uint64_t max_value) {
+  if (text.empty()) {
+    throw CompileError({}, std::string(flag) + " needs a number");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw CompileError({}, std::string("bad ") + flag + " value '" + text +
+                                 "' (expected a non-negative integer)");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (max_value - digit) / 10) {
+      throw CompileError({}, std::string(flag) + " value '" + text +
+                                 "' is out of range (max " +
+                                 std::to_string(max_value) + ")");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
+  return parse_u64_flag(flag, text,
+                        std::numeric_limits<std::uint64_t>::max());
+}
+
+int parse_int_flag(const char* flag, const std::string& text) {
+  return static_cast<int>(parse_u64_flag(
+      flag, text,
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
 }
 
 std::string load_spec_text(const std::string& arg) {
@@ -222,7 +272,7 @@ Cli parse_cli(int argc, char** argv, int first) {
     } else if (a == "--invalid") {
       cli.invalid = true;
     } else if (starts_with(a, "--size=")) {
-      cli.size = std::stoi(value("--size="));
+      cli.size = parse_int_flag("--size", value("--size="));
     } else if (starts_with(a, "--order=")) {
       std::string m = value("--order=");
       if (m == "none") cli.options = core::Options::none();
@@ -255,14 +305,21 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.options.reorder_pg_nodes = false;
     } else if (starts_with(a, "--max-transitions=")) {
       cli.options.max_transitions =
-          std::stoull(value("--max-transitions="));
+          parse_u64_flag("--max-transitions", value("--max-transitions="));
     } else if (starts_with(a, "--max-depth=")) {
-      cli.options.max_depth = std::stoi(value("--max-depth="));
+      cli.options.max_depth =
+          parse_int_flag("--max-depth", value("--max-depth="));
+    } else if (starts_with(a, "--deadline=")) {
+      cli.options.deadline_ms =
+          parse_u64_flag("--deadline", value("--deadline="));
+    } else if (starts_with(a, "--max-memory=")) {
+      cli.options.max_memory =
+          parse_u64_flag("--max-memory", value("--max-memory="));
+    } else if (starts_with(a, "--item-retries=")) {
+      cli.options.item_retries =
+          parse_int_flag("--item-retries", value("--item-retries="));
     } else if (starts_with(a, "--jobs=")) {
-      cli.options.jobs = std::stoi(value("--jobs="));
-      if (cli.options.jobs < 0) {
-        throw CompileError({}, "--jobs must be >= 0");
-      }
+      cli.options.jobs = parse_int_flag("--jobs", value("--jobs="));
     } else if (a == "--deterministic") {
       cli.options.deterministic = true;
     } else if (a == "--no-static-prune") {
@@ -277,7 +334,8 @@ Cli parse_cli(int argc, char** argv, int first) {
                                    "' (expected text, json or sarif)");
       }
     } else if (starts_with(a, "--visited-max=")) {
-      cli.options.visited_max = std::stoull(value("--visited-max="));
+      cli.options.visited_max =
+          parse_u64_flag("--visited-max", value("--visited-max="));
     } else if (starts_with(a, "--batch")) {
       if (a == "--batch" && i + 1 >= argc) {
         throw CompileError({}, "--batch needs a directory");
@@ -286,13 +344,15 @@ Cli parse_cli(int argc, char** argv, int first) {
     } else if (starts_with(a, "--script")) {
       cli.script = a == "--script" ? argv[++i] : value("--script=");
     } else if (starts_with(a, "--seed=")) {
-      cli.seed = static_cast<std::uint32_t>(std::stoul(value("--seed=")));
+      cli.seed = static_cast<std::uint32_t>(
+          parse_u64_flag("--seed", value("--seed="),
+                         std::numeric_limits<std::uint32_t>::max()));
     } else if (starts_with(a, "--iterations=")) {
-      cli.iterations = std::stoi(value("--iterations="));
+      cli.iterations = parse_int_flag("--iterations", value("--iterations="));
     } else if (starts_with(a, "--engines=")) {
       cli.engines = value("--engines=");
     } else if (starts_with(a, "--chunk=")) {
-      cli.chunk = std::stoull(value("--chunk="));
+      cli.chunk = parse_u64_flag("--chunk", value("--chunk="));
     } else if (starts_with(a, "--stats")) {
       if (a == "--stats" && i + 1 >= argc) {
         throw CompileError({}, "--stats needs a file name");
@@ -346,6 +406,22 @@ int cmd_check(const Cli& cli) {
   return 0;
 }
 
+/// A run header's trace_ref is resolved relative to the stream's own
+/// directory on replay, so it must be recorded that way too — a stream
+/// written into --events-dir stays replayable from any cwd. Falls back to
+/// the raw path when no relative form exists (different filesystem root).
+std::string trace_ref_for(const std::string& stream_path,
+                          const std::string& trace_path) {
+  std::filesystem::path base =
+      std::filesystem::path(stream_path).parent_path();
+  if (base.empty()) base = ".";
+  std::error_code ec;
+  std::filesystem::path rel =
+      std::filesystem::proximate(trace_path, base, ec);
+  if (ec || rel.empty()) return trace_path;
+  return rel.generic_string();
+}
+
 /// `tango analyze <spec> --batch <dir>`: every *.tr in <dir> (sorted by
 /// name, so output order is stable), whole traces scheduled across the
 /// worker pool.
@@ -366,10 +442,21 @@ int cmd_analyze_batch(const Cli& cli) {
     return 2;
   }
 
+  // Per-item parse isolation: one unreadable or malformed trace file is
+  // that item's error, never a reason to abort the other items.
   std::vector<tr::Trace> traces;
-  traces.reserve(files.size());
-  for (const std::string& f : files) {
-    traces.push_back(tr::parse_trace(spec, read_file(f)));
+  std::vector<std::string> parse_errors(files.size());
+  std::vector<std::ptrdiff_t> slot(files.size(), -1);  // file -> batch index
+  std::vector<std::size_t> good;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    try {
+      tr::Trace t = tr::parse_trace(spec, read_file(files[i]));
+      slot[i] = static_cast<std::ptrdiff_t>(traces.size());
+      traces.push_back(std::move(t));
+      good.push_back(i);
+    } catch (const std::exception& e) {
+      parse_errors[i] = e.what();
+    }
   }
 
   // --events-dir: one stream per corpus entry, named after the trace file.
@@ -377,11 +464,12 @@ int cmd_analyze_batch(const Cli& cli) {
   std::vector<obs::Sink*> sinks;
   if (!cli.events_dir.empty()) {
     std::filesystem::create_directories(cli.events_dir);
-    for (const std::string& f : files) {
-      const std::string stem = std::filesystem::path(f).stem().string();
-      auto sink = std::make_unique<obs::JsonlSink>(cli.events_dir + "/" +
-                                                   stem + ".jsonl");
-      sink->set_refs(cli.positional[0], f);
+    for (const std::size_t i : good) {
+      const std::string stem =
+          std::filesystem::path(files[i]).stem().string();
+      const std::string stream_path = cli.events_dir + "/" + stem + ".jsonl";
+      auto sink = std::make_unique<obs::JsonlSink>(stream_path);
+      sink->set_refs(cli.positional[0], trace_ref_for(stream_path, files[i]));
       sinks.push_back(sink.get());
       sink_storage.push_back(std::move(sink));
     }
@@ -390,22 +478,74 @@ int cmd_analyze_batch(const Cli& cli) {
       core::analyze_batch(spec, traces, cli.options, sinks);
 
   std::size_t valid = 0;
+  std::size_t errors = 0;
+  const bool json = cli.format == "json";
+  std::string out;
+  if (json) out = "{\"items\":[";
   for (std::size_t i = 0; i < files.size(); ++i) {
-    const core::BatchItemResult& r = results[i];
-    if (!r.error.empty()) {
-      std::cout << files[i] << ": error: " << r.error << "\n";
+    static const core::BatchItemResult kEmpty;
+    const bool parsed = slot[i] >= 0;
+    const core::BatchItemResult& r =
+        parsed ? results[static_cast<std::size_t>(slot[i])] : kEmpty;
+    const std::string& error = parsed ? r.error : parse_errors[i];
+    const core::InconclusiveReason reason = r.result.reason;
+    if (error.empty() && r.result.verdict == core::Verdict::Valid) ++valid;
+    if (!error.empty()) ++errors;
+    if (json) {
+      if (i != 0) out += ',';
+      out += "{\"file\":";
+      obs::escape_json_into(out, files[i]);
+      out += ",\"verdict\":\"";
+      out += error.empty() ? core::to_string(r.result.verdict)
+                           : std::string_view("error");
+      out += '"';
+      if (reason != core::InconclusiveReason::None) {
+        out += ",\"reason\":\"";
+        out += core::to_string(reason);
+        out += '"';
+      }
+      if (!error.empty()) {
+        out += ",\"error\":";
+        obs::escape_json_into(out, error);
+      }
+      out += ",\"attempts\":" + std::to_string(r.attempts);
+      if (error.empty()) out += ",\"stats\":" + r.result.stats.to_json();
+      out += '}';
       continue;
     }
-    if (r.result.verdict == core::Verdict::Valid) ++valid;
+    if (!error.empty()) {
+      std::cout << files[i] << ": error: " << error;
+      if (r.attempts > 1) std::cout << " (attempts: " << r.attempts << ")";
+      std::cout << "\n";
+      continue;
+    }
     std::cout << files[i] << ": " << core::to_string(r.result.verdict);
+    if (reason != core::InconclusiveReason::None) {
+      std::cout << " (reason: " << core::to_string(reason) << ")";
+    }
+    if (r.attempts > 1) std::cout << " (attempts: " << r.attempts << ")";
     if (cli.verbose) std::cout << " (" << r.result.stats.summary() << ")";
     std::cout << "\n";
   }
-  std::cout << "batch: " << valid << "/" << files.size() << " valid\n";
+  if (json) {
+    out += "],\"summary\":{\"total\":" + std::to_string(files.size()) +
+           ",\"valid\":" + std::to_string(valid) +
+           ",\"errors\":" + std::to_string(errors) + "}}";
+    std::cout << out << "\n";
+  } else {
+    std::cout << "batch: " << valid << "/" << files.size() << " valid\n";
+  }
   return valid == files.size() ? 0 : 1;
 }
 
 int cmd_analyze(const Cli& cli) {
+  // --visited-max bounds the --hash-states table; without the table it
+  // would be a silent no-op, which has bitten users expecting a memory cap.
+  if (cli.options.visited_max != 0 && !cli.options.hash_states) {
+    throw CompileError({}, "--visited-max has no effect without "
+                           "--hash-states (add --hash-states, or drop "
+                           "--visited-max)");
+  }
   if (!cli.batch_dir.empty()) return cmd_analyze_batch(cli);
   if (cli.positional.size() < 2) return usage();
   est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
@@ -436,7 +576,8 @@ int cmd_analyze(const Cli& cli) {
   core::Options options = cli.options;
   if (!cli.events_path.empty()) {
     events = std::make_unique<obs::JsonlSink>(cli.events_path);
-    events->set_refs(cli.positional[0], cli.positional[1]);
+    events->set_refs(cli.positional[0],
+                     trace_ref_for(cli.events_path, cli.positional[1]));
     options.sink = events.get();
   }
   core::DfsResult result = options.jobs != 1
@@ -446,8 +587,11 @@ int cmd_analyze(const Cli& cli) {
     events.reset();  // flush the stream before reporting
     std::cerr << "events:  " << cli.events_path << "\n";
   }
-  std::cout << "verdict: " << core::to_string(result.verdict) << "\n"
-            << "stats:   " << result.stats.summary() << "\n";
+  std::cout << "verdict: " << core::to_string(result.verdict) << "\n";
+  if (result.reason != core::InconclusiveReason::None) {
+    std::cout << "reason:  " << core::to_string(result.reason) << "\n";
+  }
+  std::cout << "stats:   " << result.stats.summary() << "\n";
   if (cli.verbose) {
     if (!result.solution.empty()) {
       std::cout << "solution:";
@@ -468,7 +612,8 @@ int cmd_online(const Cli& cli) {
   std::unique_ptr<obs::JsonlSink> events;
   if (!cli.events_path.empty()) {
     events = std::make_unique<obs::JsonlSink>(cli.events_path);
-    events->set_refs(cli.positional[0], cli.positional[1]);
+    events->set_refs(cli.positional[0],
+                     trace_ref_for(cli.events_path, cli.positional[1]));
     config.options.sink = events.get();
   }
   core::OnlineAnalyzer analyzer(spec, follower, config);
@@ -509,7 +654,21 @@ int cmd_simulate(const Cli& cli) {
     if (sp == std::string_view::npos) {
       throw CompileError({line_no, 1}, "script: expected '<step> <event>'");
     }
-    const std::uint64_t step = std::stoull(std::string(line.substr(0, sp)));
+    const std::string step_text(line.substr(0, sp));
+    std::uint64_t step = 0;
+    std::size_t used = 0;
+    try {
+      if (!step_text.empty() && step_text.front() != '-') {
+        step = std::stoull(step_text, &used);
+      }
+    } catch (const std::exception&) {
+      used = 0;  // reported below with position info
+    }
+    if (used == 0 || used != step_text.size()) {
+      throw CompileError({line_no, 1},
+                         "script: step must be a non-negative integer, got '" +
+                             step_text + "'");
+    }
     tr::TraceEvent e = tr::parse_event_line(
         spec, "in " + std::string(trim(line.substr(sp))), line_no);
     sim::Feed f;
@@ -607,6 +766,7 @@ int cmd_fuzz(const Cli& cli) {
   if (cli.options.max_transitions != 0) {
     config.max_transitions = cli.options.max_transitions;
   }
+  config.deadline_ms = cli.options.deadline_ms;
 
   fuzz::FuzzReport report = fuzz::run_fuzz(config, &std::cerr);
   std::cout << report.summary();

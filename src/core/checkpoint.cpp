@@ -1,5 +1,9 @@
 #include "core/checkpoint.hpp"
 
+#include <new>
+
+#include "core/fault.hpp"
+
 namespace tango::core {
 
 std::uint64_t Checkpointer::copy_cost_bytes(const SearchState& st) {
@@ -16,6 +20,9 @@ std::uint64_t Checkpointer::copy_cost_bytes(const SearchState& st) {
 }
 
 SearchState Checkpointer::snapshot(const SearchState& st) {
+  // Debug-build injection point for the allocation-failure degradation
+  // path: a materialized copy is the search's dominant allocation.
+  if (fault_probe(FaultSite::Alloc)) throw std::bad_alloc();
   stats_.checkpoint_bytes += copy_cost_bytes(st);
   return st;
 }
@@ -25,6 +32,7 @@ void Checkpointer::log_cursor_advance(tr::Dir, int) {}
 // ---------------------------------------------------------------- copy --
 
 std::size_t CopyCheckpointer::save(const SearchState& st) {
+  if (fault_probe(FaultSite::Alloc)) throw std::bad_alloc();
   stats_.checkpoint_bytes += copy_cost_bytes(st);
   snapshots_.push_back(st);
   return snapshots_.size() - 1;

@@ -7,6 +7,7 @@
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/generator.hpp"
+#include "core/governor.hpp"
 #include "core/obs_record.hpp"
 #include "core/visited.hpp"
 #include "trace/trace_io.hpp"
@@ -58,6 +59,7 @@ class DfsEngine {
                 options.partial ? rt::EvalMode::Partial : rt::EvalMode::Strict,
                 options.interp),
         visited_(options.visited_max),
+        governor_(options),
         sink_(options.sink) {}
 
   DfsResult run() {
@@ -120,7 +122,12 @@ class DfsEngine {
       result.verdict = (out_of_budget_ || depth_clipped_)
                            ? Verdict::Inconclusive
                            : Verdict::Invalid;
+      if (result.verdict == Verdict::Inconclusive) {
+        result.reason =
+            out_of_budget_ ? budget_reason_ : InconclusiveReason::Depth;
+      }
     }
+    result.stats.reason = result.reason;
     result.stats.evictions = visited_.evictions();
     result.stats.cpu_seconds = timer.elapsed();
     if (sink_ != nullptr) {
@@ -130,7 +137,8 @@ class DfsEngine {
         e.count = result.stats.evictions;
         sink_->emit(e);
       }
-      emit_verdict(*sink_, witness_, to_string(result.verdict), result.stats);
+      emit_verdict(*sink_, witness_, to_string(result.verdict), result.stats,
+                   to_string(result.reason));
     }
   }
 
@@ -147,12 +155,25 @@ class DfsEngine {
     }
   }
 
+  /// Cooperative budget check at the generate/backtrack boundary: the
+  /// transition budget first, then the wall-clock/memory governor.
   bool budget_exceeded(const Stats& stats) {
+    if (out_of_budget_) return true;
     if (options_.max_transitions != 0 &&
         stats.transitions_executed >= options_.max_transitions) {
       out_of_budget_ = true;
+      budget_reason_ = InconclusiveReason::Transitions;
+      return true;
     }
-    return out_of_budget_;
+    if (governor_.armed()) {
+      const InconclusiveReason r = governor_.check(stats);
+      if (r != InconclusiveReason::None) {
+        out_of_budget_ = true;
+        budget_reason_ = r;
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Emits an `enter` event for one search root (or failed initializer);
@@ -329,9 +350,11 @@ class DfsEngine {
   ResolvedOptions ro_;
   rt::Interp interp_;
   VisitedSet visited_;
+  ResourceGovernor governor_;
   obs::Sink* sink_ = nullptr;
   std::uint64_t witness_ = 0;
   bool out_of_budget_ = false;
+  InconclusiveReason budget_reason_ = InconclusiveReason::None;
   bool depth_clipped_ = false;
 };
 

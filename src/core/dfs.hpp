@@ -17,6 +17,10 @@ namespace tango::core {
 
 struct DfsResult {
   Verdict verdict = Verdict::Inconclusive;
+  /// Which resource contract produced an Inconclusive verdict; None on
+  /// every other verdict. Mirrored into stats.reason so it survives
+  /// Stats-level merges and shows in Stats::to_json.
+  InconclusiveReason reason = InconclusiveReason::None;
   Stats stats;
   /// For a valid trace: the transition names of one solution path, root to
   /// leaf (first entry is the initialize clause).

@@ -68,25 +68,30 @@ OnlineAnalyzer::OnlineAnalyzer(const est::Spec& spec, tr::TraceSource& source,
                                       : rt::EvalMode::Strict,
               config_.options.interp),
       trace_(static_cast<int>(spec.ips.size())),
+      governor_(config_.options),
       ckpt_(make_checkpointer(config_.options.checkpoint, stats_)) {
   sink_ = config_.options.sink;
   stats_.phase_static += phase_static_;
   if (sink_ != nullptr) emit_run_header(*sink_, spec_, config_.options, "mdfs");
 }
 
-void OnlineAnalyzer::conclude(OnlineStatus status, std::uint64_t witness) {
+void OnlineAnalyzer::conclude(OnlineStatus status, std::uint64_t witness,
+                              InconclusiveReason reason) {
   concluded_ = true;
   final_status_ = status;
+  stats_.reason = reason;
   if (sink_ != nullptr && !verdict_emitted_) {
     verdict_emitted_ = true;
-    emit_verdict(*sink_, witness, to_string(status), stats_);
+    emit_verdict(*sink_, witness, to_string(status), stats_,
+                 to_string(reason));
   }
 }
 
 void OnlineAnalyzer::finalize_stream() {
   if (sink_ == nullptr || verdict_emitted_) return;
   verdict_emitted_ = true;
-  emit_verdict(*sink_, 0, to_string(status()), stats_);
+  emit_verdict(*sink_, 0, to_string(status()), stats_,
+               to_string(stats_.reason));
 }
 
 std::uint64_t OnlineAnalyzer::emit_enter(int init, int start_state,
@@ -356,8 +361,15 @@ OnlineStatus OnlineAnalyzer::step_round(std::uint64_t steps) {
     if (concluded_) return final_status_;
     if (config_.options.max_transitions != 0 &&
         stats_.transitions_executed >= config_.options.max_transitions) {
-      conclude(OnlineStatus::Inconclusive, 0);
+      conclude(OnlineStatus::Inconclusive, 0, InconclusiveReason::Transitions);
       return final_status_;
+    }
+    if (governor_.armed()) {
+      const InconclusiveReason r = governor_.check(stats_);
+      if (r != InconclusiveReason::None) {
+        conclude(OnlineStatus::Inconclusive, 0, r);
+        return final_status_;
+      }
     }
     if (stack_.empty()) {
       prune_non_pgav();

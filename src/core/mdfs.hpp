@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/dfs.hpp"
 #include "core/generator.hpp"
+#include "core/governor.hpp"
 #include "core/options.hpp"
 #include "core/stats.hpp"
 #include "core/verdict.hpp"
@@ -93,7 +94,9 @@ class OnlineAnalyzer {
   void prune_non_pgav();
   /// Records the conclusive status (sticky) and, with a sink attached,
   /// emits the `verdict` event naming `witness` as the completing node.
-  void conclude(OnlineStatus status, std::uint64_t witness);
+  /// `reason` names the exhausted resource for Inconclusive conclusions.
+  void conclude(OnlineStatus status, std::uint64_t witness,
+                InconclusiveReason reason = InconclusiveReason::None);
   std::uint64_t emit_enter(int init, int start_state, bool applied, bool ok,
                            bool all_done, std::uint64_t state_hash);
 
@@ -105,6 +108,7 @@ class OnlineAnalyzer {
   rt::Interp interp_;
   tr::Trace trace_;
   Stats stats_;
+  ResourceGovernor governor_;
   /// MDFS parks whole states on PG nodes for §3.1.1 re-generation, so
   /// per-node saves go through snapshot() — a materialized deep copy in
   /// either checkpoint mode (trail marks cannot outlive the stack order).

@@ -88,12 +88,14 @@ std::string options_flags_json(const Options& o) {
   out += "\"checkpoint\":\"";
   out += to_string(o.checkpoint);
   out += "\",";
+  flag_u64(out, "deadline_ms", o.deadline_ms);
   flag_bool(out, "deterministic", o.deterministic);
   flag_list(out, "disabled_ips", o.disabled_ips);
   flag_bool(out, "hash_states", o.hash_states);
   flag_bool(out, "initial_state_search", o.initial_state_search);
   flag_u64(out, "jobs", static_cast<std::uint64_t>(o.jobs));
   flag_u64(out, "max_depth", static_cast<std::uint64_t>(o.max_depth));
+  flag_u64(out, "max_memory", o.max_memory);
   flag_u64(out, "max_transitions", o.max_transitions);
   flag_bool(out, "partial", o.partial);
   flag_bool(out, "prune_on_pgav", o.prune_on_pgav);
@@ -121,6 +123,9 @@ void options_from_flags(const obs::JsonValue& flags, Options& out) {
     out.checkpoint =
         cp->string == "copy" ? CheckpointMode::Copy : CheckpointMode::Trail;
   }
+  out.deadline_ms = static_cast<std::uint64_t>(
+      read_int(flags, "deadline_ms",
+               static_cast<std::int64_t>(out.deadline_ms)));
   out.deterministic = read_bool(flags, "deterministic", out.deterministic);
   out.disabled_ips = read_list(flags, "disabled_ips");
   out.hash_states = read_bool(flags, "hash_states", out.hash_states);
@@ -128,6 +133,9 @@ void options_from_flags(const obs::JsonValue& flags, Options& out) {
       read_bool(flags, "initial_state_search", out.initial_state_search);
   out.jobs = static_cast<int>(read_int(flags, "jobs", out.jobs));
   out.max_depth = static_cast<int>(read_int(flags, "max_depth", out.max_depth));
+  out.max_memory = static_cast<std::uint64_t>(
+      read_int(flags, "max_memory",
+               static_cast<std::int64_t>(out.max_memory)));
   out.max_transitions = static_cast<std::uint64_t>(
       read_int(flags, "max_transitions",
                static_cast<std::int64_t>(out.max_transitions)));
@@ -157,11 +165,13 @@ void emit_run_header(obs::Sink& sink, const est::Spec& spec,
 }
 
 void emit_verdict(obs::Sink& sink, std::uint64_t witness,
-                  std::string_view verdict, const Stats& stats) {
+                  std::string_view verdict, const Stats& stats,
+                  std::string_view reason) {
   obs::Event e;
   e.kind = obs::EventKind::Verdict;
   e.parent = witness;
   e.verdict = std::string(verdict);
+  e.reason = std::string(reason);
   e.stats_json = stats.to_json_counters();
   sink.emit(e);
 }

@@ -43,9 +43,11 @@ void emit_run_header(obs::Sink& sink, const est::Spec& spec,
 /// Emits the final `verdict` event. `witness` is the enter/fire event
 /// whose state completed the trace (0 when there is none). The stats
 /// snapshot is serialized without timing so deterministic runs stay
-/// byte-stable.
+/// byte-stable. `reason` names the exhausted resource on an inconclusive
+/// verdict ("" on every other verdict).
 void emit_verdict(obs::Sink& sink, std::uint64_t witness,
-                  std::string_view verdict, const Stats& stats);
+                  std::string_view verdict, const Stats& stats,
+                  std::string_view reason = "");
 
 /// ResolvedOptions construction timed into `phase` (guard-solver cost) —
 /// shaped for constructor init lists, where a scoped PhaseTimer can't go.

@@ -84,6 +84,22 @@ struct Options {
   std::uint64_t max_transitions = 0;
   /// 0 = unlimited search depth. Needed for partial traces (§5.4).
   int max_depth = 0;
+  /// Wall-clock deadline in milliseconds (`--deadline`, 0 = none), checked
+  /// cooperatively at generate/backtrack boundaries; expiry yields
+  /// Inconclusive with reason "deadline". In batch mode the deadline is
+  /// per item: each trace's clock starts when its analysis starts.
+  std::uint64_t deadline_ms = 0;
+  /// Checkpoint/heap byte budget (`--max-memory`, 0 = none) over the
+  /// deterministic allocation proxy ResourceGovernor::memory_bytes —
+  /// cumulative bytes charged to state preservation (checkpoint copies,
+  /// snapshots and trail entries), not process RSS. Exceeding it yields
+  /// Inconclusive with reason "memory". A pure function of the search, so
+  /// it trips at the same point on every run, --deterministic included.
+  std::uint64_t max_memory = 0;
+  /// Batch mode (`--item-retries`): re-run an item up to N extra times
+  /// when its analysis dies with a transient RuntimeFault. Compile errors
+  /// and budget verdicts are never retried.
+  int item_retries = 0;
   /// Worker threads for analyze_parallel (`--jobs`): 1 = one worker, 0 =
   /// one per hardware thread. The sequential analyze() ignores this.
   int jobs = 1;

@@ -14,9 +14,12 @@
 
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
+#include "core/fault.hpp"
 #include "core/generator.hpp"
+#include "core/governor.hpp"
 #include "core/obs_record.hpp"
 #include "core/visited.hpp"
+#include "support/diagnostics.hpp"
 
 namespace tango::core {
 
@@ -91,6 +94,7 @@ class ParallelEngine {
         jobs_(resolve_jobs(options.jobs)),
         det_(options.deterministic),
         publish_watermark_(static_cast<std::size_t>(2 * jobs_)),
+        governor_(options),
         sink_(options.sink) {}
 
   DfsResult run() {
@@ -197,15 +201,31 @@ class ParallelEngine {
         result.verdict = Verdict::Valid;
         result.solution = winner->solution;
         witness = winner->witness;
+        // A budget may have tripped in a losing task; a Valid verdict
+        // carries no reason.
+        result.stats.reason = InconclusiveReason::None;
+      } else if (out_of_budget_.load() || depth_clipped_.load()) {
+        result.verdict = Verdict::Inconclusive;
+        // Deterministic mode: the merged stats carry the first tripped
+        // reason in lineage order (a pure function of the task set).
+        // Relaxed mode falls back to the first-wins shared trip, which
+        // also covers budget trips outside any task (initializer loop).
+        InconclusiveReason r = result.stats.reason;
+        if (r == InconclusiveReason::None) {
+          r = static_cast<InconclusiveReason>(stop_reason_.load());
+        }
+        if (r == InconclusiveReason::None) r = InconclusiveReason::Depth;
+        result.reason = r;
+        result.stats.reason = r;
       } else {
-        result.verdict = (out_of_budget_.load() || depth_clipped_.load())
-                             ? Verdict::Inconclusive
-                             : Verdict::Invalid;
+        result.verdict = Verdict::Invalid;
+        result.stats.reason = InconclusiveReason::None;
       }
     }
     result.stats.cpu_seconds = timer.elapsed();
     if (sink_ != nullptr) {
-      emit_verdict(*sink_, witness, to_string(result.verdict), result.stats);
+      emit_verdict(*sink_, witness, to_string(result.verdict), result.stats,
+                   to_string(result.reason));
     }
   }
 
@@ -357,10 +377,20 @@ class ParallelEngine {
   void bump_shared_te() {
     if (det_ || options_.max_transitions == 0) return;
     if (te_shared_.fetch_add(1) + 1 >= options_.max_transitions) {
-      out_of_budget_.store(true);
-      stop_.store(true);
-      wake_all();
+      trip_relaxed(InconclusiveReason::Transitions);
     }
+  }
+
+  /// Relaxed-mode budget trip: records the winning reason (first trip
+  /// wins) and cancels the pool cooperatively — the shared flag every
+  /// worker observes through stop_.
+  void trip_relaxed(InconclusiveReason r) {
+    std::uint32_t expected = 0;
+    stop_reason_.compare_exchange_strong(expected,
+                                         static_cast<std::uint32_t>(r));
+    out_of_budget_.store(true);
+    stop_.store(true);
+    wake_all();
   }
 
   void run_task(Task t, int wid, rt::Interp& interp, bool stolen) {
@@ -373,6 +403,11 @@ class ParallelEngine {
     }
 
     SearchState cur = std::move(t.state);
+    // Per-task copy: every task races the same absolute deadline but
+    // samples its own clock stride; in deterministic mode the memory
+    // budget applies to this task's stats alone.
+    ResourceGovernor gov = governor_;
+    std::uint64_t mem_reported = 0;  // relaxed: bytes pushed to mem_shared_
     std::unique_ptr<Checkpointer> ckpt =
         make_checkpointer(options_.checkpoint, stats);
     std::unique_ptr<VisitedSet> local_visited;
@@ -422,7 +457,43 @@ class ParallelEngine {
         // Deterministic budgets are per task: the clip point depends only
         // on the task, never on sibling tasks' progress.
         out_of_budget_.store(true);
+        stats.reason = InconclusiveReason::Transitions;
         break;
+      }
+      if (gov.armed()) {
+        if (det_) {
+          // Per-task accounting, no cancellation: sibling tasks run to
+          // completion, so every counter stays a pure function of its
+          // task (modulo the wall clock itself for a deadline trip).
+          const InconclusiveReason r = gov.check(stats);
+          if (r != InconclusiveReason::None) {
+            out_of_budget_.store(true);
+            stats.reason = r;
+            break;
+          }
+        } else {
+          // Relaxed mode pools the memory proxy across workers and turns
+          // any trip into a shared cancellation.
+          const std::uint64_t mem = ResourceGovernor::memory_bytes(stats);
+          if (mem > mem_reported) {
+            mem_shared_.fetch_add(mem - mem_reported,
+                                  std::memory_order_relaxed);
+            mem_reported = mem;
+          }
+          InconclusiveReason r = InconclusiveReason::None;
+          if (options_.max_memory != 0 &&
+              mem_shared_.load(std::memory_order_relaxed) >=
+                  options_.max_memory) {
+            r = InconclusiveReason::Memory;
+          } else if (gov.deadline_expired()) {
+            r = InconclusiveReason::Deadline;
+          }
+          if (r != InconclusiveReason::None) {
+            stats.reason = r;
+            trip_relaxed(r);
+            break;
+          }
+        }
       }
 
       const int node_depth = t.node_depth + static_cast<int>(stack.size()) - 1;
@@ -578,6 +649,7 @@ class ParallelEngine {
   const int jobs_;
   const bool det_;
   const std::size_t publish_watermark_;
+  const ResourceGovernor governor_;  // copied per task; see run_task
   obs::Sink* sink_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
@@ -589,6 +661,9 @@ class ParallelEngine {
   std::atomic<bool> out_of_budget_{false};
   std::atomic<bool> depth_clipped_{false};
   std::atomic<std::uint64_t> te_shared_{0};
+  std::atomic<std::uint64_t> mem_shared_{0};
+  /// First budget reason to trip in relaxed mode (InconclusiveReason).
+  std::atomic<std::uint32_t> stop_reason_{0};
   std::unique_ptr<ShardedVisitedTable> shared_visited_;
   std::mutex outcomes_mu_;
   std::vector<Outcome> outcomes_;
@@ -607,13 +682,32 @@ std::vector<BatchItemResult> analyze_batch(const est::Spec& spec,
                                            const Options& options,
                                            const std::vector<obs::Sink*>& sinks) {
   std::vector<BatchItemResult> results(traces.size());
+  const int max_attempts = 1 + std::max(0, options.item_retries);
   const auto analyze_one = [&](std::size_t i) {
     Options item_options = options;
     item_options.sink = i < sinks.size() ? sinks[i] : nullptr;
-    try {
-      results[i].result = analyze(spec, traces[i], item_options);
-    } catch (const std::exception& e) {
-      results[i].error = e.what();
+    // Thread-local fault-injection identity: a spec like
+    // "deadline@item:1" fires only inside item 1's analysis.
+    FaultScope scope("item:" + std::to_string(i));
+    BatchItemResult& out = results[i];
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      out.attempts = attempt;
+      out.error.clear();
+      try {
+        if (fault_probe(FaultSite::TraceRead)) {
+          throw RuntimeFault({}, "fault injection: trace read failed");
+        }
+        out.result = analyze(spec, traces[i], item_options);
+        return;
+      } catch (const RuntimeFault& e) {
+        out.error = e.what();  // transient: retry while the budget allows
+      } catch (const std::exception& e) {
+        out.error = e.what();  // permanent (bad trace, bad options): no retry
+        return;
+      } catch (...) {
+        out.error = "unknown exception";
+        return;
+      }
     }
   };
   const int jobs = std::min<int>(resolve_jobs(options.jobs),

@@ -42,10 +42,15 @@ namespace tango::core {
 
 /// One corpus entry's outcome in batch mode. `error` is nonempty when the
 /// analysis threw (e.g. the trace references a disabled ip); the verdict
-/// is then Inconclusive and the other fields are meaningless.
+/// is then Inconclusive and the other fields are meaningless. A throwing
+/// or over-budget item never aborts the batch: every other entry still
+/// carries its own result. `attempts` counts analysis attempts — more
+/// than 1 when Options::item_retries re-ran the item after a transient
+/// RuntimeFault.
 struct BatchItemResult {
   DfsResult result;
   std::string error;
+  int attempts = 1;
 };
 
 /// Inter-trace parallelism for `tango analyze --batch`: schedules whole

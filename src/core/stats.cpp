@@ -23,6 +23,7 @@ Stats& Stats::operator+=(const Stats& other) {
   trail_entries += other.trail_entries;
   checkpoint_bytes += other.checkpoint_bytes;
   max_depth = std::max(max_depth, other.max_depth);
+  if (reason == InconclusiveReason::None) reason = other.reason;
   cpu_seconds += other.cpu_seconds;
   phase_parse += other.phase_parse;
   phase_static += other.phase_static;
@@ -71,6 +72,14 @@ std::string Stats::to_json_counters() const {
 
 std::string Stats::to_json() const {
   std::string out = to_json_counters();
+  // The reason lives in the full JSON only: to_json_counters() feeds
+  // byte-stable verdict events, and a deadline trip point never is.
+  if (reason != InconclusiveReason::None) {
+    out.pop_back();
+    out += ",\"reason\":\"";
+    out += to_string(reason);
+    out += "\"}";
+  }
   char buf[320];
   std::snprintf(
       buf, sizeof(buf),

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "core/verdict.hpp"
+
 namespace tango::core {
 
 /// Wall-clock and peak-RSS movement attributed to one phase of an analysis
@@ -51,6 +53,11 @@ struct Stats {
   /// top-level containers, not nested record/array payloads).
   std::uint64_t checkpoint_bytes = 0;
   int max_depth = 0;
+  /// Why the analysis went Inconclusive (None otherwise). Rides on Stats
+  /// so parallel Outcome merges carry it: operator+= keeps the first
+  /// non-None reason in merge order, which in --deterministic mode is
+  /// lineage order and therefore reproducible.
+  InconclusiveReason reason = InconclusiveReason::None;
   double cpu_seconds = 0.0;
   /// Per-phase wall/RSS attribution: trace/spec parsing, option resolution
   /// including the guard solver, and the search proper.

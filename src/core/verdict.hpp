@@ -28,4 +28,42 @@ enum class Verdict {
   return "?";
 }
 
+/// Which resource contract made a verdict Inconclusive. None on every other
+/// verdict. Carried on Stats (so parallel outcome merges keep the first
+/// reason in lineage order), in Stats::to_json, and in the `verdict.reason`
+/// field of the search-event schema.
+enum class InconclusiveReason : std::uint8_t {
+  None,         // verdict is conclusive (or the engine never clipped)
+  Transitions,  // --max-transitions budget exhausted
+  Depth,        // --max-depth clipped at least one path
+  Deadline,     // --deadline wall-clock expired
+  Memory,       // --max-memory checkpoint/heap budget exceeded
+};
+
+[[nodiscard]] constexpr std::string_view to_string(InconclusiveReason r) {
+  switch (r) {
+    case InconclusiveReason::None: return "";
+    case InconclusiveReason::Transitions: return "transitions";
+    case InconclusiveReason::Depth: return "depth";
+    case InconclusiveReason::Deadline: return "deadline";
+    case InconclusiveReason::Memory: return "memory";
+  }
+  return "";
+}
+
+/// Inverse of to_string; "" parses to None. Returns false on unknown names.
+[[nodiscard]] constexpr bool parse_reason(std::string_view name,
+                                          InconclusiveReason& out) {
+  for (const InconclusiveReason r :
+       {InconclusiveReason::None, InconclusiveReason::Transitions,
+        InconclusiveReason::Depth, InconclusiveReason::Deadline,
+        InconclusiveReason::Memory}) {
+    if (to_string(r) == name) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace tango::core

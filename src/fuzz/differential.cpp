@@ -172,6 +172,7 @@ MatrixResult run_matrix(const est::Spec& spec, const tr::Trace& trace,
     options.prune_on_pgav = base.prune_on_pgav;
     options.max_transitions = base.max_transitions;
     options.max_depth = base.max_depth;
+    options.deadline_ms = base.deadline_ms;
     options.checkpoint = base.checkpoint;
     options.interp = base.interp;
     options.jobs = base.jobs;

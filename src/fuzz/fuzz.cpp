@@ -230,6 +230,7 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
 
   core::Options base = core::Options::none();
   base.max_transitions = config.max_transitions;
+  base.deadline_ms = config.deadline_ms;
   base.checkpoint = config.checkpoint;
   base.static_prune = config.static_prune;
   if (!config.events_dir.empty()) {

@@ -52,6 +52,10 @@ struct FuzzConfig {
   /// Per-analysis search budget; exhaustion yields Inconclusive, which the
   /// agreement relation skips.
   std::uint64_t max_transitions = 200'000;
+  /// Per-analysis wall-clock deadline in milliseconds (0 = none). A cell
+  /// that trips it is Inconclusive(reason=deadline), which the agreement
+  /// relation skips — so a slow machine degrades coverage, not soundness.
+  std::uint64_t deadline_ms = 0;
   /// Save/restore implementation the DFS engines run under; campaigns with
   /// both modes and the same seed must report identical verdicts and
   /// identical TE/GE/RE/SA totals (the copy-vs-trail differential oracle).

@@ -16,7 +16,7 @@ namespace tango::obs {
 /// Version of the event schema (docs/schema/search_events.schema.json).
 /// Bump on any field rename, removal, or semantic change; `run` headers
 /// record it and the readers reject streams from a different major.
-inline constexpr std::uint32_t kEventSchemaVersion = 1;
+inline constexpr std::uint32_t kEventSchemaVersion = 2;
 
 enum class EventKind : std::uint8_t {
   Run,                // stream header: engine, spec, options fingerprint
@@ -103,6 +103,10 @@ struct Event {
 
   // --- verdict only ---
   std::string verdict;     // core::to_string(Verdict)
+  /// Exhausted resource behind an inconclusive verdict: one of
+  /// "transitions" | "depth" | "deadline" | "memory"; "" otherwise.
+  /// Serialized only when non-empty (schema v2).
+  std::string reason;
   std::string stats_json;  // Stats::to_json_counters(): no timing fields
 };
 

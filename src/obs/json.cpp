@@ -226,26 +226,39 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void escape_into(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+/// Length of the well-formed UTF-8 sequence starting at s[i], validating
+/// continuation bytes and rejecting overlong encodings, surrogates and
+/// code points past U+10FFFF; 0 when the bytes are not valid UTF-8.
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  std::size_t n = 0;
+  std::uint32_t cp = 0;
+  std::uint32_t min_cp = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    n = 2;
+    cp = b0 & 0x1Fu;
+    min_cp = 0x80;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    n = 3;
+    cp = b0 & 0x0Fu;
+    min_cp = 0x800;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    n = 4;
+    cp = b0 & 0x07u;
+    min_cp = 0x10000;
+  } else {
+    return 0;  // continuation byte or invalid lead byte
   }
-  out += '"';
+  if (i + n > s.size()) return 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3Fu);
+  }
+  if (cp < min_cp || cp > 0x10FFFF) return 0;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;
+  return n;
 }
 
 void canonical_into(const JsonValue& v, std::string& out) {
@@ -267,7 +280,7 @@ void canonical_into(const JsonValue& v, std::string& out) {
       break;
     }
     case JsonValue::Type::String:
-      escape_into(out, v.string);
+      escape_json_into(out, v.string);
       break;
     case JsonValue::Type::Array:
       out += '[';
@@ -288,7 +301,7 @@ void canonical_into(const JsonValue& v, std::string& out) {
       for (const auto* m : members) {
         if (!first) out += ',';
         first = false;
-        escape_into(out, m->first);
+        escape_json_into(out, m->first);
         out += ':';
         canonical_into(m->second, out);
       }
@@ -302,6 +315,57 @@ void canonical_into(const JsonValue& v, std::string& out) {
 
 JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+void escape_json_into(std::string& out, std::string_view s) {
+  out += '"';
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    switch (c) {
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (b < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    const std::size_t n = utf8_sequence_length(s, i);
+    if (n == 0) {
+      // Not UTF-8: escape the raw byte so the emitted text stays valid
+      // UTF-8. The byte reads back as U+00XX — lossy for mojibake input,
+      // but deterministic and parseable.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+      out += buf;
+      ++i;
+    } else {
+      out.append(s.substr(i, n));
+      i += n;
+    }
+  }
+  out += '"';
+}
+
+bool is_valid_utf8(std::string_view s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const std::size_t n = utf8_sequence_length(s, i);
+    if (n == 0) return false;
+    i += n;
+  }
+  return true;
 }
 
 std::string canonical(const JsonValue& v,

@@ -49,4 +49,17 @@ struct JsonValue {
 [[nodiscard]] std::string canonical(
     const JsonValue& v, const std::vector<std::string>& ignore_keys = {});
 
+/// Appends `s` to `out` as a quoted JSON string. Control characters get
+/// the usual short escapes, well-formed UTF-8 sequences pass through
+/// verbatim (so valid UTF-8 round-trips byte-identically through
+/// parse_json), and any byte that is NOT part of a well-formed UTF-8
+/// sequence is escaped as \u00XX — every emitted line is valid UTF-8 no
+/// matter what bytes a spec name or fault note carried. Shared by every
+/// writer (event JSONL, canonical form).
+void escape_json_into(std::string& out, std::string_view s);
+
+/// True iff `s` is well-formed UTF-8 (rejecting overlong encodings,
+/// surrogate code points, and values beyond U+10FFFF).
+[[nodiscard]] bool is_valid_utf8(std::string_view s);
+
 }  // namespace tango::obs

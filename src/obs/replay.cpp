@@ -314,6 +314,44 @@ class Replayer {
                    std::to_string(e.parent) + "; only 'valid' may");
     }
 
+    // Schema v2 reason: must be a known token, appear exactly on
+    // inconclusive verdicts, and name a budget the run-header flags
+    // actually armed — a "deadline" reason in a run with no --deadline is
+    // a fabricated stream.
+    if (!e.reason.empty()) {
+      core::InconclusiveReason r = core::InconclusiveReason::None;
+      if (!core::parse_reason(e.reason, r)) {
+        issue(i, "unknown verdict reason '" + e.reason + "'");
+      } else if (e.verdict != "inconclusive") {
+        issue(i, "verdict '" + e.verdict + "' carries reason '" + e.reason +
+                     "'; only 'inconclusive' may");
+      } else {
+        bool armed = false;
+        switch (r) {
+          case core::InconclusiveReason::Transitions:
+            armed = options_.max_transitions != 0;
+            break;
+          case core::InconclusiveReason::Depth:
+            armed = options_.max_depth != 0;
+            break;
+          case core::InconclusiveReason::Deadline:
+            armed = options_.deadline_ms != 0;
+            break;
+          case core::InconclusiveReason::Memory:
+            armed = options_.max_memory != 0;
+            break;
+          case core::InconclusiveReason::None:
+            break;
+        }
+        if (!armed) {
+          issue(i, "verdict reason '" + e.reason +
+                       "' names a budget the run-header flags never armed");
+        }
+      }
+    } else if (e.verdict == "inconclusive") {
+      issue(i, "inconclusive verdict without a reason");
+    }
+
     if (e.stats_json.empty()) {
       issue(i, "verdict event carries no stats");
       return;

@@ -88,6 +88,9 @@ constexpr FieldRule kEvictRules[] = {
 constexpr FieldRule kVerdictRules[] = {
     {"parent", FieldType::Int, Need::Required},
     {"verdict", FieldType::Str, Need::Required},
+    // v2: exhausted-resource tag on inconclusive verdicts; writers omit it
+    // entirely otherwise.
+    {"reason", FieldType::Str, Need::Optional},
     {"stats", FieldType::Obj, Need::Required},
 };
 
@@ -239,6 +242,12 @@ bool validate_stream(const std::string& text,
     ++line_no;
     if (eol == std::string::npos && line.empty()) break;
     if (line.empty() || line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+    if (!is_valid_utf8(line)) {
+      // The writers escape every non-UTF-8 byte; a raw byte here means the
+      // stream was produced (or corrupted) by something else.
+      add_error(errors, line_no, "line is not valid UTF-8");
       continue;
     }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace tango::obs {
 
 bool parse_kind(std::string_view name, EventKind& out) {
@@ -19,33 +21,13 @@ bool parse_kind(std::string_view name, EventKind& out) {
 
 namespace {
 
-void append_escaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
 void field_str(std::string& out, const char* key, std::string_view value) {
   out += ",\"";
   out += key;
   out += "\":";
-  append_escaped(out, value);
+  // Shared UTF-8-validating escaper: every JSONL line is valid UTF-8 even
+  // when a spec name or note carries arbitrary bytes.
+  escape_json_into(out, value);
 }
 
 void field_u64(std::string& out, const char* key, std::uint64_t value) {
@@ -165,6 +147,7 @@ std::string to_jsonl(const Event& e) {
     case EventKind::Verdict:
       field_u64(out, "parent", e.parent);
       field_str(out, "verdict", e.verdict);
+      if (!e.reason.empty()) field_str(out, "reason", e.reason);
       field_raw(out, "stats", e.stats_json);
       break;
   }

@@ -93,6 +93,7 @@ Event event_from_json(const JsonValue& v) {
   e.order = get_str(v, "order");
   e.flags = get_raw(v, "flags");
   e.verdict = get_str(v, "verdict");
+  e.reason = get_str(v, "reason");
   e.stats_json = get_raw(v, "stats");
   return e;
 }

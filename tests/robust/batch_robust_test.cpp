@@ -1,0 +1,155 @@
+// Batch front-end degradation (docs/ROBUSTNESS.md): one failing corpus
+// entry must never take the others down. Fault injection forces the
+// degradation paths — a trace-read fault, a transient fault healed by
+// --item-retries, an injected per-item deadline — and each test asserts
+// the faulted item degrades alone while its neighbours' results match an
+// unfaulted run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/parallel_dfs.hpp"
+#include "obs/sink.hpp"
+#include "sim/mutate.hpp"
+#include "sim/workloads.hpp"
+#include "specs/builtin_specs.hpp"
+
+namespace tango::core {
+namespace {
+
+class BatchRobust : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFaultInjectionAvailable) {
+      GTEST_SKIP() << "fault injection is compiled out in NDEBUG builds";
+    }
+    FaultInjector::instance().reset();
+  }
+  void TearDown() override {
+    if (kFaultInjectionAvailable) FaultInjector::instance().reset();
+  }
+};
+
+struct Corpus {
+  est::Spec spec;
+  std::vector<tr::Trace> traces;
+};
+
+Corpus tp0_corpus() {
+  Corpus c{est::compile_spec(specs::builtin_spec("tp0")), {}};
+  c.traces.push_back(sim::tp0_paper_trace(c.spec, 3));
+  c.traces.push_back(
+      sim::mutate_last_output_param(sim::tp0_paper_trace(c.spec, 3)));
+  c.traces.push_back(sim::tp0_paper_trace(c.spec, 5));
+  return c;
+}
+
+TEST_F(BatchRobust, TraceReadFaultIsolatesToItsItem) {
+  Corpus c = tp0_corpus();
+  Options options = Options::io();
+  options.jobs = 2;
+  const auto clean = analyze_batch(c.spec, c.traces, options);
+
+  FaultInjector::instance().configure("trace-read@item:1");
+  const auto faulted = analyze_batch(c.spec, c.traces, options);
+  ASSERT_EQ(faulted.size(), clean.size());
+
+  EXPECT_FALSE(faulted[1].error.empty());
+  EXPECT_EQ(faulted[1].attempts, 1);
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_TRUE(faulted[i].error.empty()) << "item " << i;
+    EXPECT_EQ(faulted[i].result.verdict, clean[i].result.verdict)
+        << "item " << i;
+    EXPECT_EQ(faulted[i].result.stats.transitions_executed,
+              clean[i].result.stats.transitions_executed)
+        << "item " << i;
+  }
+}
+
+TEST_F(BatchRobust, ItemRetriesHealATransientFault) {
+  Corpus c = tp0_corpus();
+  Options options = Options::io();
+  options.jobs = 1;  // probe order = item order, so ":1" hits item 0 only
+  options.item_retries = 1;
+  // Fire only the first trace-read probe: attempt 1 of item 0 dies, its
+  // retry (and every later item) is clean.
+  FaultInjector::instance().configure("trace-read:1");
+  const auto results = analyze_batch(c.spec, c.traces, options);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].error.empty());
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(results[0].result.verdict, Verdict::Valid);
+  EXPECT_EQ(results[1].attempts, 1);
+  EXPECT_EQ(results[2].attempts, 1);
+}
+
+TEST_F(BatchRobust, ExhaustedRetriesReportTheFault) {
+  Corpus c = tp0_corpus();
+  Options options = Options::io();
+  options.jobs = 1;
+  options.item_retries = 2;
+  FaultInjector::instance().configure("trace-read@item:0");  // every attempt
+  const auto results = analyze_batch(c.spec, c.traces, options);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_EQ(results[0].attempts, 3);  // 1 + item_retries
+  EXPECT_TRUE(results[1].error.empty());
+  EXPECT_TRUE(results[2].error.empty());
+}
+
+TEST_F(BatchRobust, InjectedDeadlineDegradesOneItemToInconclusive) {
+  // The issue's acceptance shape: one item forced over its deadline ends
+  // Inconclusive(reason=deadline) in the batch result AND on its verdict
+  // event; every other item matches the unfaulted run.
+  Corpus c = tp0_corpus();
+  Options options = Options::io();
+  options.jobs = 2;
+  const auto clean = analyze_batch(c.spec, c.traces, options);
+
+  options.deadline_ms = 60'000;
+  FaultInjector::instance().configure("deadline@item:1");
+  std::vector<obs::MemorySink> sinks(c.traces.size());
+  std::vector<obs::Sink*> sink_ptrs;
+  for (auto& s : sinks) sink_ptrs.push_back(&s);
+  const auto faulted = analyze_batch(c.spec, c.traces, options, sink_ptrs);
+  ASSERT_EQ(faulted.size(), clean.size());
+
+  EXPECT_TRUE(faulted[1].error.empty());
+  EXPECT_EQ(faulted[1].result.verdict, Verdict::Inconclusive);
+  EXPECT_EQ(faulted[1].result.reason, InconclusiveReason::Deadline);
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_EQ(faulted[i].result.verdict, clean[i].result.verdict)
+        << "item " << i;
+    EXPECT_EQ(faulted[i].result.reason, InconclusiveReason::None)
+        << "item " << i;
+  }
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    std::string reason;
+    for (const obs::Event& e : sinks[i].events()) {
+      if (e.kind == obs::EventKind::Verdict) reason = e.reason;
+    }
+    EXPECT_EQ(reason, i == 1 ? "deadline" : "") << "item " << i;
+  }
+}
+
+// Plain TEST: needs no injection, so it runs in NDEBUG builds too.
+TEST(BatchDeadline, PerItemDeadlineClockStartsPerItem) {
+  // A real (uninjected) per-item deadline: each item gets its own clock,
+  // so a generous budget passes every small item even though the batch as
+  // a whole takes longer than any single analysis.
+  Corpus c = tp0_corpus();
+  Options options = Options::io();
+  options.jobs = 1;
+  options.deadline_ms = 60'000;
+  const auto results = analyze_batch(c.spec, c.traces, options);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].error.empty()) << "item " << i;
+    EXPECT_NE(results[i].result.verdict, Verdict::Inconclusive)
+        << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tango::core
