@@ -1,38 +1,206 @@
 // Ablation for the paper's §4.2 suggestion: "keep information about which
 // states were reached during the search in a hash table, to prevent the
-// analysis of the same state twice". Invalid TP0 traces are exactly the
-// workload where the exponential interleaving blowup bites; hashing prunes
-// permutations that reconverge to the same composite state.
+// analysis of the same state twice" — extended with the hash-COST ablation
+// for the incremental (trail-maintained) hash implementation.
+//
+// Two sections, both written to BENCH_hashing.json (or argv[1]):
+//
+//   micro  - per-hash cost of MachineState::hash() (full recursive walk)
+//            vs hash_cached() with one dirty slot per hash and with a
+//            clean cache (pure combine). This is the per-node cost the
+//            incremental path is designed to cut.
+//   macro  - invalid TP0 traces (the exponential-interleaving workload
+//            where hashing prunes reconverging permutations) across all
+//            four order presets (NR/IO/IP/FULL, §2.4.2): hashing off as
+//            the baseline, then hash-dfs on with hash_impl full vs
+//            incremental. Verdicts and counters must agree pairwise —
+//            the impls are bit-identical by contract — so the only column
+//            allowed to move is CPUT.
+//
+// `--smoke` shrinks sizes/iterations for the CI validity check (the JSON
+// must parse and contain both impl variants; numbers are not judged).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "runtime/machine.hpp"
 #include "sim/mutate.hpp"
 #include "sim/workloads.hpp"
 
-int main() {
-  using namespace tango;
+namespace {
+
+using namespace tango;
+
+struct Preset {
+  const char* name;
+  core::Options options;
+};
+
+struct MacroRow {
+  const char* order;
+  int n;
+  bool hashing;
+  core::HashImpl impl;
+  core::DfsResult result;
+};
+
+struct Micro {
+  int iterations = 0;
+  std::size_t vars = 0;
+  double full_ns = 0;
+  double dirty_ns = 0;
+  double clean_ns = 0;
+};
+
+double ns_per_iter(std::chrono::steady_clock::time_point t0,
+                   std::chrono::steady_clock::time_point t1, int iters) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return static_cast<double>(ns) / iters;
+}
+
+/// Per-hash cost on the TP0 initial machine: between hashes, one module
+/// variable is stored through the same note_var_write hook the
+/// interpreter uses, so the incremental path rehashes exactly one
+/// component per call.
+Micro run_micro(const est::Spec& spec, int iters) {
+  Micro m;
+  m.iterations = iters;
+  rt::MachineState machine = rt::make_initial_machine(spec);
+  machine.fsm_state = 0;
+  m.vars = machine.vars.size();
+  const int slots = static_cast<int>(machine.vars.size());
+  std::uint64_t sink = 0;
+
+  auto mutate = [&](int i) {
+    const int slot = slots > 0 ? i % slots : -1;
+    if (slot >= 0) {
+      machine.note_var_write(slot);
+      machine.vars[static_cast<std::size_t>(slot)] =
+          rt::Value::make_int(i & 0xff);
+    }
+  };
+
+  // Warm both paths (and build the cache) outside the timed regions.
+  sink ^= machine.hash();
+  sink ^= machine.hash_cached();
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    mutate(i);
+    sink ^= machine.hash();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  m.full_ns = ns_per_iter(t0, t1, iters);
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    mutate(i);
+    sink ^= machine.hash_cached();
+  }
+  t1 = std::chrono::steady_clock::now();
+  m.dirty_ns = ns_per_iter(t0, t1, iters);
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) sink ^= machine.hash_cached();
+  t1 = std::chrono::steady_clock::now();
+  m.clean_ns = ns_per_iter(t0, t1, iters);
+
+  if (sink == 0x5eed) std::printf("(ignore)\n");  // keep the loops alive
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_hashing.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
   est::Spec spec = bench::load("tp0");
 
-  std::printf("State-hashing ablation on invalid TP0 traces (§4.2)\n\n");
-  std::printf("%-10s ", "hashing");
-  bench::print_header("n");
+  std::printf("State-hashing ablation (§4.2 pruning + incremental cost)\n\n");
 
-  for (int n : {2, 3, 4}) {
-    tr::Trace bad =
-        sim::mutate_last_output_param(sim::tp0_paper_trace(spec, n));
-    for (bool hash : {false, true}) {
-      core::Options opts = core::Options::none();
-      opts.hash_states = hash;
-      opts.max_transitions = 30'000'000;
-      core::DfsResult r = core::analyze(spec, bad, opts);
-      std::printf("%-10s ", hash ? "on" : "off");
-      bench::print_row(n, r);
-      if (hash) {
-        std::printf("%10s pruned-by-hash=%llu\n", "",
-                    static_cast<unsigned long long>(
-                        r.stats.pruned_by_hash));
+  const Micro micro = run_micro(spec, smoke ? 20'000 : 2'000'000);
+  std::printf("micro: per-hash cost, TP0 machine, %zu vars, %d iters\n",
+              micro.vars, micro.iterations);
+  std::printf("  full walk          %8.1f ns/hash\n", micro.full_ns);
+  std::printf("  incremental dirty  %8.1f ns/hash  (one slot stored)\n",
+              micro.dirty_ns);
+  std::printf("  incremental clean  %8.1f ns/hash  (pure combine)\n\n",
+              micro.clean_ns);
+
+  const std::vector<Preset> presets = {{"NR", core::Options::none()},
+                                       {"IO", core::Options::io()},
+                                       {"IP", core::Options::ip()},
+                                       {"FULL", core::Options::full()}};
+  const std::vector<int> sizes = smoke ? std::vector<int>{2}
+                                       : std::vector<int>{2, 3, 4};
+
+  std::vector<MacroRow> rows;
+  std::printf("macro: invalid TP0, hash-dfs ablation per order preset\n");
+  std::printf("%-5s %-8s %-12s ", "order", "hashing", "impl");
+  bench::print_header("n");
+  for (const Preset& preset : presets) {
+    for (int n : sizes) {
+      tr::Trace bad =
+          sim::mutate_last_output_param(sim::tp0_paper_trace(spec, n));
+      struct Variant {
+        bool hashing;
+        core::HashImpl impl;
+      };
+      const Variant variants[] = {
+          {false, core::HashImpl::Full},
+          {true, core::HashImpl::Full},
+          {true, core::HashImpl::Incremental},
+      };
+      for (const Variant& v : variants) {
+        core::Options opts = preset.options;
+        opts.hash_states = v.hashing;
+        opts.hash_impl = v.impl;
+        opts.max_transitions = 30'000'000;
+        MacroRow row{preset.name, n, v.hashing, v.impl,
+                     core::analyze(spec, bad, opts)};
+        std::printf("%-5s %-8s %-12s ", preset.name,
+                    v.hashing ? "on" : "off",
+                    v.hashing ? std::string(core::to_string(v.impl)).c_str()
+                              : "-");
+        bench::print_row(n, row.result);
+        rows.push_back(std::move(row));
       }
     }
   }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"hashing\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n";
+  json << "  \"micro\": {\"iterations\": " << micro.iterations
+       << ", \"vars\": " << micro.vars
+       << ", \"ns_per_hash\": {\"full\": " << micro.full_ns
+       << ", \"incremental_dirty_slot\": " << micro.dirty_ns
+       << ", \"incremental_clean\": " << micro.clean_ns << "}},\n";
+  json << "  \"macro\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MacroRow& row = rows[i];
+    json << "    {\"order\": \"" << row.order << "\", \"n\": " << row.n
+         << ", \"hashing\": " << (row.hashing ? "true" : "false")
+         << ", \"hash_impl\": \""
+         << (row.hashing ? core::to_string(row.impl) : "-")
+         << "\", \"verdict\": \"" << core::to_string(row.result.verdict)
+         << "\", \"stats\": " << row.result.stats.to_json() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", json_path);
   return 0;
 }

@@ -128,6 +128,11 @@ analysis options:
   --checkpoint=copy|trail           save/restore implementation: deep-copy
                                     states (§3.2.2 oracle) or undo-log
                                     trail marks (default trail)
+  --hash-impl=incremental|full      state-hash implementation: trail-
+                                    maintained component hashes combined in
+                                    O(dirty) (default), or the full
+                                    recursive walk (differential oracle);
+                                    both yield identical hash values
   --jobs=<n>                        worker threads (default 1; 0 = one per
                                     hardware thread). For analyze, >1 runs
                                     the work-stealing parallel DFS; for
@@ -300,6 +305,16 @@ Cli parse_cli(int argc, char** argv, int first) {
       } else {
         throw CompileError({}, "bad --checkpoint value '" + m +
                                    "' (expected copy or trail)");
+      }
+    } else if (starts_with(a, "--hash-impl=")) {
+      std::string m = value("--hash-impl=");
+      if (m == "incremental") {
+        cli.options.hash_impl = core::HashImpl::Incremental;
+      } else if (m == "full") {
+        cli.options.hash_impl = core::HashImpl::Full;
+      } else {
+        throw CompileError({}, "bad --hash-impl value '" + m +
+                                   "' (expected incremental or full)");
       }
     } else if (a == "--no-reorder") {
       cli.options.reorder_pg_nodes = false;

@@ -14,7 +14,7 @@ std::uint64_t Checkpointer::copy_cost_bytes(const SearchState& st) {
   bytes += st.machine.vars.size() * sizeof(rt::Value);
   bytes += st.machine.heap.live_cells() *
            (sizeof(rt::Value) + sizeof(std::uint32_t));
-  bytes += (st.cursors.in_next.size() + st.cursors.out_next.size()) *
+  bytes += 2ull * static_cast<std::uint64_t>(st.cursors.ip_count()) *
            sizeof(std::uint32_t);
   return bytes;
 }
@@ -67,13 +67,9 @@ void TrailCheckpointer::restore(std::size_t mark, SearchState& st) {
   trail_.undo_to(m.trail, st.machine);
   while (cursor_log_.size() > m.cursors) {
     const CursorUndo& u = cursor_log_.back();
-    const auto ip = static_cast<std::size_t>(u.ip);
-    // Cursors only ever advance by one, so undo is a decrement.
-    if (u.dir == tr::Dir::In) {
-      --st.cursors.in_next[ip];
-    } else {
-      --st.cursors.out_next[ip];
-    }
+    // Cursors only ever advance by one, so undo is one retreat (which
+    // also rewinds the maintained cursor-set hash).
+    st.cursors.retreat(u.dir, u.ip);
     cursor_log_.pop_back();
   }
 }

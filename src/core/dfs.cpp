@@ -105,7 +105,7 @@ class DfsEngine {
             emit_enter(static_cast<int>(ii), start,
                        first_root && init.executed, true,
                        root.cursors.all_done(trace_, ro_),
-                       sink_ != nullptr ? root.hash() : 0);
+                       sink_ != nullptr ? state_hash(root, options_) : 0);
         first_root = false;
         std::string root_label =
             "initialize to " + spec_.states[static_cast<std::size_t>(start)];
@@ -253,6 +253,13 @@ class DfsEngine {
       ApplyResult applied =
           apply_firing(interp_, trace_, ro_, cur, firing, stats, ckpt.get());
       const bool done = applied.ok && cur.cursors.all_done(trace_, ro_);
+      // One hash per fired node, shared by the fire event and the visited
+      // insert (with --events and --hash-states both on, this used to be
+      // computed twice).
+      std::uint64_t cur_hash = 0;
+      if (applied.ok && (sink_ != nullptr || options_.hash_states)) {
+        cur_hash = state_hash(cur, options_);
+      }
       std::uint64_t fire_event = 0;
       if (sink_ != nullptr) {
         obs::Event e;
@@ -266,7 +273,7 @@ class DfsEngine {
         e.ok = applied.ok;
         if (applied.ok) {
           e.all_done = done;
-          e.state_hash = cur.hash();
+          e.state_hash = cur_hash;
         }
         sink_->emit(e);
         fire_event = e.id;
@@ -296,7 +303,7 @@ class DfsEngine {
       if (options_.hash_states) {
         // §4.2's proposed hash table of visited states: a revisited state
         // has an identical subtree, already explored or in progress.
-        const std::uint64_t h = cur.hash();
+        const std::uint64_t h = cur_hash;
         if (!visited_.insert(h)) {
           ++stats.pruned_by_hash;
           if (sink_ != nullptr) {

@@ -66,7 +66,7 @@ bool TraceMatcher::on_output(int ip, int interaction_id,
   }
 
   if (ckpt_ != nullptr) ckpt_->log_cursor_advance(tr::Dir::Out, ip);
-  st_.cursors.out_next[static_cast<std::size_t>(ip)]++;
+  st_.cursors.advance(tr::Dir::Out, ip);
   matched_.push_back(seq);
   return true;
 }
@@ -93,7 +93,7 @@ bool TraceMatcher::finish() {
     }
     if (best_ip < 0) break;
     expected.push_back(best);
-    probe.out_next[static_cast<std::size_t>(best_ip)]++;
+    probe.advance(tr::Dir::Out, best_ip);
   }
 
   std::vector<std::uint32_t> got = matched_;
@@ -119,7 +119,7 @@ ApplyResult apply_firing(rt::Interp& interp, const tr::Trace& trace,
     const tr::TraceEvent& ev =
         trace.event(static_cast<std::uint32_t>(firing.input_event));
     if (ckpt != nullptr) ckpt->log_cursor_advance(tr::Dir::In, ev.ip);
-    st.cursors.in_next[static_cast<std::size_t>(ev.ip)]++;
+    st.cursors.advance(tr::Dir::In, ev.ip);
   }
 
   TraceMatcher matcher(interp.spec(), trace, ro, st,

@@ -145,7 +145,7 @@ bool OnlineAnalyzer::poll_source() {
       node->origin = emit_enter(
           static_cast<int>(ii), node->state.machine.fsm_state, init.executed,
           true, node->state.cursors.all_done(trace_, ro_),
-          sink_ != nullptr ? node->state.hash() : 0);
+          sink_ != nullptr ? state_hash(node->state, config_.options) : 0);
       compute_gen(*node);
       ++stats_.saves;
       emit_at_node(sink_, obs::EventKind::CheckpointSave, node->origin, 0);
@@ -219,7 +219,7 @@ void OnlineAnalyzer::seed_roots() {
       node->origin = emit_enter(
           static_cast<int>(ii), start, first_root && init.executed, true,
           node->state.cursors.all_done(trace_, ro_),
-          sink_ != nullptr ? node->state.hash() : 0);
+          sink_ != nullptr ? state_hash(node->state, config_.options) : 0);
       first_root = false;
       compute_gen(*node);
       ++stats_.saves;
@@ -312,7 +312,7 @@ bool OnlineAnalyzer::do_step() {
     e.retry = applied.retry_later;
     if (applied.ok) {
       e.all_done = child_done;
-      e.state_hash = child->state.hash();
+      e.state_hash = state_hash(child->state, config_.options);
     }
     sink_->emit(e);
     fire_event = e.id;

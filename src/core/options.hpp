@@ -36,6 +36,17 @@ enum class CheckpointMode : std::uint8_t { Copy, Trail };
   return m == CheckpointMode::Copy ? "copy" : "trail";
 }
 
+/// Which SearchState hash implementation the engines use for §4.2 pruning
+/// and obs `state_hash` emission. `Incremental` combines trail-maintained
+/// per-component hashes in O(dirty) (runtime/machine.hpp); `Full` is the
+/// original full recursive walk, kept as the differential oracle (debug
+/// builds assert the two agree on every hash the engines take).
+enum class HashImpl : std::uint8_t { Incremental, Full };
+
+[[nodiscard]] constexpr const char* to_string(HashImpl h) {
+  return h == HashImpl::Incremental ? "incremental" : "full";
+}
+
 struct Options {
   // --- relative order checking (§2.4.2) ---
   /// The next input consumed must precede every pending output at the same
@@ -80,6 +91,10 @@ struct Options {
   bool prune_on_pgav = false;
   /// Save/restore implementation for the DFS engines (see CheckpointMode).
   CheckpointMode checkpoint = CheckpointMode::Trail;
+  /// State-hash implementation (see HashImpl). `--hash-impl=full` opts
+  /// back into the O(state) walk for differential runs; both produce
+  /// identical hash values, so verdicts, pruning and event streams match.
+  HashImpl hash_impl = HashImpl::Incremental;
   /// 0 = unlimited. When exceeded the verdict is Inconclusive.
   std::uint64_t max_transitions = 0;
   /// 0 = unlimited search depth. Needed for partial traces (§5.4).

@@ -147,7 +147,7 @@ class ParallelEngine {
         const std::uint64_t root_event =
             emit_enter(static_cast<int>(ii), start,
                        first_root && init.executed, true, done,
-                       sink_ != nullptr ? root.hash() : 0);
+                       sink_ != nullptr ? state_hash(root, options_) : 0);
         first_root = false;
         std::string label =
             "initialize to " + spec_.states[static_cast<std::size_t>(start)];
@@ -542,6 +542,13 @@ class ParallelEngine {
           apply_firing(interp, trace_, ro_, cur, firing, stats, ckpt.get());
       bump_shared_te();
       const bool done = applied.ok && cur.cursors.all_done(trace_, ro_);
+      // One hash per fired node, shared by the fire event and the visited
+      // insert (with --events and --hash-states both on, this used to be
+      // computed twice).
+      std::uint64_t cur_hash = 0;
+      if (applied.ok && (sink_ != nullptr || options_.hash_states)) {
+        cur_hash = state_hash(cur, options_);
+      }
       std::uint64_t fire_event = 0;
       if (sink_ != nullptr) {
         obs::Event e;
@@ -556,7 +563,7 @@ class ParallelEngine {
         e.ok = applied.ok;
         if (applied.ok) {
           e.all_done = done;
-          e.state_hash = cur.hash();
+          e.state_hash = cur_hash;
         }
         sink_->emit(e);
         fire_event = e.id;
@@ -585,7 +592,7 @@ class ParallelEngine {
       }
 
       if (options_.hash_states) {
-        const std::uint64_t h = cur.hash();
+        const std::uint64_t h = cur_hash;
         const bool fresh = det_ ? local_visited->insert(h)
                                 : shared_visited_->insert(h);
         if (!fresh) {

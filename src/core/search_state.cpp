@@ -2,14 +2,51 @@
 
 #include <limits>
 
+#include "support/hash.hpp"
+
 namespace tango::core {
+
+namespace {
+
+constexpr std::uint64_t kCursorSeed = 0x9ae16a3b2f90404fULL;
+
+/// Placement of one cursor in the fold: `j` indexes the (dir, ip) pair —
+/// inputs first, then outputs. XOR-composable, so advance/retreat patch
+/// the fold in O(1).
+std::uint64_t cursor_place(std::size_t j, std::uint32_t c) {
+  return support::mix64((j + 1) * support::kGolden64 ^
+                        (static_cast<std::uint64_t>(c) + kCursorSeed));
+}
+
+}  // namespace
+
+CursorSet::CursorSet(int ip_count)
+    : in_next_(static_cast<std::size_t>(ip_count), 0),
+      out_next_(static_cast<std::size_t>(ip_count), 0) {
+  const std::size_t n = in_next_.size();
+  for (std::size_t j = 0; j < 2 * n; ++j) acc_ ^= cursor_place(j, 0);
+}
+
+void CursorSet::advance(tr::Dir dir, int ip) {
+  const auto i = static_cast<std::size_t>(ip);
+  std::uint32_t& c = dir == tr::Dir::In ? in_next_[i] : out_next_[i];
+  const std::size_t j = dir == tr::Dir::In ? i : in_next_.size() + i;
+  acc_ ^= cursor_place(j, c) ^ cursor_place(j, c + 1);
+  ++c;
+}
+
+void CursorSet::retreat(tr::Dir dir, int ip) {
+  const auto i = static_cast<std::size_t>(ip);
+  std::uint32_t& c = dir == tr::Dir::In ? in_next_[i] : out_next_[i];
+  const std::size_t j = dir == tr::Dir::In ? i : in_next_.size() + i;
+  acc_ ^= cursor_place(j, c) ^ cursor_place(j, c - 1);
+  --c;
+}
 
 std::uint32_t CursorSet::next_seq(const tr::Trace& trace, int ip,
                                   tr::Dir dir) const {
   const auto& list = trace.list(ip, dir);
-  const std::uint32_t c = dir == tr::Dir::In
-                              ? in_next[static_cast<std::size_t>(ip)]
-                              : out_next[static_cast<std::size_t>(ip)];
+  const std::uint32_t c = cursor(dir, ip);
   if (c >= list.size()) return std::numeric_limits<std::uint32_t>::max();
   return list[c];
 }
@@ -29,20 +66,24 @@ bool CursorSet::all_done(const tr::Trace& trace,
   for (int ip = 0; ip < trace.ip_count(); ++ip) {
     if (ro.is_disabled(ip)) continue;
     const std::size_t i = static_cast<std::size_t>(ip);
-    if (in_next[i] < trace.list(ip, tr::Dir::In).size()) return false;
-    if (out_next[i] < trace.list(ip, tr::Dir::Out).size()) return false;
+    if (in_next_[i] < trace.list(ip, tr::Dir::In).size()) return false;
+    if (out_next_[i] < trace.list(ip, tr::Dir::Out).size()) return false;
   }
   return true;
 }
 
 std::uint64_t CursorSet::hash() const {
-  std::uint64_t h = 0x9ae16a3b2f90404fULL;
-  auto mix = [&h](std::uint64_t x) {
-    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  };
-  for (std::uint32_t c : in_next) mix(c);
-  for (std::uint32_t c : out_next) mix(~static_cast<std::uint64_t>(c));
-  return h;
+  return support::mix64(acc_ ^ kCursorSeed);
+}
+
+std::uint64_t CursorSet::hash_full() const {
+  std::uint64_t acc = 0;
+  const std::size_t n = in_next_.size();
+  for (std::size_t i = 0; i < n; ++i) acc ^= cursor_place(i, in_next_[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc ^= cursor_place(n + i, out_next_[i]);
+  }
+  return support::mix64(acc ^ kCursorSeed);
 }
 
 }  // namespace tango::core

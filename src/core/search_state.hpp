@@ -5,6 +5,7 @@
 // verified (outputs).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -14,13 +15,29 @@
 
 namespace tango::core {
 
-struct CursorSet {
-  std::vector<std::uint32_t> in_next;   // per ip: next unconsumed input
-  std::vector<std::uint32_t> out_next;  // per ip: next unverified output
+/// Cursor positions, one pair per interaction point. Mutation goes through
+/// advance()/retreat(), which also patch an XOR-fold of position-salted
+/// per-cursor hashes — hash() is then O(1), the cursor-set leg of the
+/// incremental SearchState hash.
+class CursorSet {
+ public:
+  explicit CursorSet(int ip_count = 0);
 
-  explicit CursorSet(int ip_count = 0)
-      : in_next(static_cast<std::size_t>(ip_count), 0),
-        out_next(static_cast<std::size_t>(ip_count), 0) {}
+  [[nodiscard]] int ip_count() const {
+    return static_cast<int>(in_next_.size());
+  }
+
+  /// Next unconsumed input (Dir::In) / unverified output (Dir::Out) list
+  /// position at `ip`.
+  [[nodiscard]] std::uint32_t cursor(tr::Dir dir, int ip) const {
+    const auto i = static_cast<std::size_t>(ip);
+    return dir == tr::Dir::In ? in_next_[i] : out_next_[i];
+  }
+
+  /// Consumes/verifies one event at (dir, ip).
+  void advance(tr::Dir dir, int ip);
+  /// Undo of exactly one advance() at (dir, ip).
+  void retreat(tr::Dir dir, int ip);
 
   /// Global seq of the next pending event at (ip, dir), or UINT32_MAX.
   [[nodiscard]] std::uint32_t next_seq(const tr::Trace& trace, int ip,
@@ -35,7 +52,16 @@ struct CursorSet {
   [[nodiscard]] bool all_done(const tr::Trace& trace,
                               const ResolvedOptions& ro) const;
 
+  /// O(1): the maintained fold. Bit-identical to hash_full().
   [[nodiscard]] std::uint64_t hash() const;
+  /// Recomputes the fold from the cursor values — the oracle for the
+  /// maintained one (full-hash SearchState::hash() goes through this).
+  [[nodiscard]] std::uint64_t hash_full() const;
+
+ private:
+  std::vector<std::uint32_t> in_next_;   // per ip: next unconsumed input
+  std::vector<std::uint32_t> out_next_;  // per ip: next unverified output
+  std::uint64_t acc_ = 0;  // XOR-fold of every cursor's placement
 };
 
 /// One node's complete state in the search tree.
@@ -43,9 +69,28 @@ struct SearchState {
   rt::MachineState machine;
   CursorSet cursors;
 
+  /// Full-walk hash (the differential oracle).
   [[nodiscard]] std::uint64_t hash() const {
-    return machine.hash() * 0x9e3779b97f4a7c15ULL ^ cursors.hash();
+    return machine.hash() * 0x9e3779b97f4a7c15ULL ^ cursors.hash_full();
+  }
+
+  /// Incremental hash: same value as hash(), O(dirty) to compute.
+  [[nodiscard]] std::uint64_t hash_cached() const {
+    return machine.hash_cached() * 0x9e3779b97f4a7c15ULL ^ cursors.hash();
   }
 };
+
+/// The engines' single hashing entry point: picks the implementation from
+/// the options, and in debug builds asserts the incremental value against
+/// the full-walk oracle on EVERY hash taken — which covers every
+/// visited-table insert and every obs state_hash emission.
+[[nodiscard]] inline std::uint64_t state_hash(const SearchState& st,
+                                              const Options& options) {
+  if (options.hash_impl == HashImpl::Full) return st.hash();
+  const std::uint64_t h = st.hash_cached();
+  assert(h == st.hash() &&
+         "incremental state hash diverged from the full-walk oracle");
+  return h;
+}
 
 }  // namespace tango::core

@@ -4,6 +4,7 @@ namespace tango::rt {
 
 std::uint32_t Heap::allocate(Value initial) {
   affinity_.bind_or_check();
+  ++epoch_;
   const std::uint32_t addr = next_++;
   cells_.emplace(addr, std::move(initial));
   return addr;
@@ -11,11 +12,13 @@ std::uint32_t Heap::allocate(Value initial) {
 
 bool Heap::release(std::uint32_t addr) {
   affinity_.bind_or_check();
+  ++epoch_;
   return cells_.erase(addr) != 0;
 }
 
 Value* Heap::cell(std::uint32_t addr) {
   affinity_.bind_or_check();  // non-const access can mutate
+  ++epoch_;
   auto it = cells_.find(addr);
   return it == cells_.end() ? nullptr : &it->second;
 }
@@ -27,6 +30,7 @@ const Value* Heap::cell(std::uint32_t addr) const {
 
 void Heap::revert_allocate(std::uint32_t addr) {
   affinity_.bind_or_check();
+  ++epoch_;
   cells_.erase(addr);
   // Undoing allocations newest-first lands the cursor back on the value it
   // had at the trail mark.
@@ -35,6 +39,7 @@ void Heap::revert_allocate(std::uint32_t addr) {
 
 void Heap::revert_release(std::uint32_t addr, Value old_value) {
   affinity_.bind_or_check();
+  ++epoch_;
   cells_.emplace(addr, std::move(old_value));
 }
 

@@ -23,11 +23,21 @@ class Heap {
   /// dispose or wild pointer).
   bool release(std::uint32_t addr);
 
-  /// Live cell lookup; nullptr when the address is not allocated.
+  /// Live cell lookup; nullptr when the address is not allocated. The
+  /// non-const overload counts as a mutation (the caller may write through
+  /// the returned pointer) and bumps the epoch; pure reads must go through
+  /// the const overload or they thrash the heap hash cache.
   [[nodiscard]] Value* cell(std::uint32_t addr);
   [[nodiscard]] const Value* cell(std::uint32_t addr) const;
 
   [[nodiscard]] std::size_t live_cells() const { return cells_.size(); }
+
+  /// Mutation epoch: bumped by allocate/release/revert_* and by every
+  /// non-const cell() lookup. The MachineState hash cache records the
+  /// epoch it last hashed at; a mismatch means the heap component must be
+  /// rehashed. This catches writes made *through* a cell pointer, which
+  /// the heap itself never sees.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   /// All live cells in address order (for hashing/equality walks).
   [[nodiscard]] const std::map<std::uint32_t, Value>& cells() const {
@@ -45,6 +55,7 @@ class Heap {
  private:
   std::map<std::uint32_t, Value> cells_;
   std::uint32_t next_ = 1;
+  std::uint64_t epoch_ = 0;
   /// Debug-only: whichever thread mutates the heap first owns it; copying
   /// (snapshot for a stolen continuation) unbinds the copy.
   ThreadAffinity affinity_;

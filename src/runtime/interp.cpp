@@ -194,7 +194,7 @@ class Exec {
           if (mode_ == EvalMode::Partial) return Value{};
           throw RuntimeFault(e.loc, "dereference of undefined pointer");
         }
-        return *deref(p, e.loc);
+        return *deref_const(p, e.loc);
       }
       case ExprKind::Unary: {
         Value v = eval(*e.children[0], f);
@@ -228,7 +228,10 @@ class Exec {
             // through here first, and a slot index stays valid however the
             // value is later reassigned (interior pointers would not).
             Value* root = &m_.vars[static_cast<std::size_t>(e.slot)];
-            if (trail_ != nullptr) trail_->log_var(e.slot, *root);
+            if (trail_ != nullptr) {
+              trail_->log_var(e.slot, *root, m_.var_cache_entry(e.slot));
+            }
+            m_.note_var_write(e.slot);
             return root;
           }
           case NameRef::Local:
@@ -263,8 +266,13 @@ class Exec {
         if (p.is_undefined()) {
           throw RuntimeFault(e.loc, "dereference of undefined pointer");
         }
+        // Capture the cache entry before deref(): the non-const cell
+        // lookup bumps the heap epoch for the write about to happen.
+        const CompCache heap_prior = m_.heap_cache_entry();
         Value* cell = deref(p, e.loc);
-        if (trail_ != nullptr) trail_->log_heap_write(p.address(), *cell);
+        if (trail_ != nullptr) {
+          trail_->log_heap_write(p.address(), *cell, heap_prior);
+        }
         return cell;
       }
       default:
@@ -305,6 +313,21 @@ class Exec {
       throw RuntimeFault(loc, "nil pointer dereference");
     }
     Value* cell = m_.heap.cell(p.address());
+    if (cell == nullptr) {
+      throw RuntimeFault(loc, "dangling pointer (cell was disposed)");
+    }
+    return cell;
+  }
+
+  /// Read-side deref: const cell lookup, so evaluating `p^` does not bump
+  /// the heap epoch (which would dirty the incremental hash's heap
+  /// component on every pointer read).
+  const Value* deref_const(const Value& p, SourceLoc loc) {
+    if (p.address() == 0) {
+      throw RuntimeFault(loc, "nil pointer dereference");
+    }
+    const Heap& heap = m_.heap;
+    const Value* cell = heap.cell(p.address());
     if (cell == nullptr) {
       throw RuntimeFault(loc, "dangling pointer (cell was disposed)");
     }
@@ -484,8 +507,9 @@ class Exec {
       check_writable(s.loc, "dynamic memory");
       Value* p = lvalue(*s.args[0], f);
       const Type* pt = s.args[0]->type;  // pointer type
+      const CompCache heap_prior = m_.heap_cache_entry();  // pre-alloc
       const std::uint32_t addr = m_.heap.allocate(default_value(pt->pointee));
-      if (trail_ != nullptr) trail_->log_heap_alloc(addr);
+      if (trail_ != nullptr) trail_->log_heap_alloc(addr, heap_prior);
       *p = Value::make_pointer(addr);
       return;
     }
@@ -499,6 +523,7 @@ class Exec {
         throw RuntimeFault(s.loc, "dispose of nil");
       }
       const std::uint32_t addr = p->address();
+      const CompCache heap_prior = m_.heap_cache_entry();  // pre-release
       Value* cell = m_.heap.cell(addr);
       if (cell == nullptr) {
         // The analyzer surfaces this fault as an Invalid verdict with the
@@ -509,7 +534,9 @@ class Exec {
                                " was already released (dispose of a dangling "
                                "pointer)");
       }
-      if (trail_ != nullptr) trail_->log_heap_release(addr, std::move(*cell));
+      if (trail_ != nullptr) {
+        trail_->log_heap_release(addr, std::move(*cell), heap_prior);
+      }
       m_.heap.release(addr);
       *p = Value{};  // Pascal leaves the pointer undefined
       return;

@@ -1,21 +1,109 @@
 #include "runtime/machine.hpp"
 
-#include <map>
+#include "support/hash.hpp"
 
 namespace tango::rt {
 
 namespace {
 
+using support::mix64;
+using support::place64;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
 void mix(std::uint64_t& h, std::uint64_t x) {
   h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+/// Pointer-canonicalization table for the reachability walk: live heap
+/// address -> canonical id in first-visit order. A flat open-addressing
+/// table reused across calls through a thread_local instance — clear() is
+/// an O(1) stamp bump, so neither the full-hash oracle nor the heap-dirty
+/// rehash path allocates per node (the std::map this replaces did).
+class CanonTable {
+ public:
+  /// Canonical id of `addr`, inserting a fresh id on first visit.
+  std::uint32_t canon(std::uint32_t addr, bool& fresh) {
+    grow_if_loaded();
+    std::size_t i = probe(addr);
+    if (slots_[i].stamp == stamp_ && slots_[i].key == addr) {
+      fresh = false;
+      return slots_[i].id;
+    }
+    fresh = true;
+    slots_[i] = Slot{addr, ++count_, stamp_};
+    return count_;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t addr) const {
+    if (slots_.empty()) return false;
+    const std::size_t i = probe(addr);
+    return slots_[i].stamp == stamp_ && slots_[i].key == addr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// O(1): entries from earlier generations just stop matching the stamp.
+  void clear() {
+    count_ = 0;
+    if (++stamp_ == 0) {  // stamp wrapped: really wipe once per 2^32 clears
+      for (Slot& s : slots_) s.stamp = 0;
+      stamp_ = 1;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t key = 0;
+    std::uint32_t id = 0;
+    std::uint32_t stamp = 0;
+  };
+
+  /// First slot that holds `addr` in the current generation, or the empty
+  /// slot where it belongs (linear probing; capacity is a power of two).
+  [[nodiscard]] std::size_t probe(std::uint32_t addr) const {
+    const std::size_t msk = slots_.size() - 1;
+    std::size_t i = (static_cast<std::size_t>(addr) * 0x9e3779b9u) & msk;
+    while (slots_[i].stamp == stamp_ && slots_[i].key != addr) {
+      i = (i + 1) & msk;
+    }
+    return i;
+  }
+
+  void grow_if_loaded() {
+    if (slots_.empty()) {
+      slots_.resize(64);
+      stamp_ = 1;
+      return;
+    }
+    if ((count_ + 1) * 4 < slots_.size() * 3) return;  // < 75% load
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.stamp != stamp_) continue;
+      const std::size_t msk = slots_.size() - 1;
+      std::size_t i = (static_cast<std::size_t>(s.key) * 0x9e3779b9u) & msk;
+      while (slots_[i].stamp == stamp_) i = (i + 1) & msk;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t stamp_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+CanonTable& canon_table() {
+  thread_local CanonTable table;
+  return table;
 }
 
 // Hashes `v`, renumbering pointer targets by first-visit order so the hash
 // is invariant under allocation-address shifts. `canon` maps live heap
 // address -> canonical id; a cell's contents are hashed only on first
 // visit, which also terminates cyclic structures.
-void hash_value(const Value& v, const Heap& heap,
-                std::map<std::uint32_t, std::uint32_t>& canon,
+void hash_value(const Value& v, const Heap& heap, CanonTable& canon,
                 std::uint64_t& h) {
   mix(h, static_cast<std::uint64_t>(v.kind()));
   switch (v.kind()) {
@@ -32,9 +120,8 @@ void hash_value(const Value& v, const Heap& heap,
         mix(h, 0x64616e67ULL);  // dangling
         break;
       }
-      auto [it, fresh] = canon.emplace(
-          addr, static_cast<std::uint32_t>(canon.size() + 1));
-      mix(h, it->second);
+      bool fresh = false;
+      mix(h, canon.canon(addr, fresh));
       if (fresh) hash_value(*cell, heap, canon, h);
       break;
     }
@@ -52,13 +139,53 @@ void hash_value(const Value& v, const Heap& heap,
   }
 }
 
+/// Component of one pointer-free slot: a pure value-tree hash.
+std::uint64_t slot_component(const Value& v) {
+  std::uint64_t h = kFnvOffset;
+  v.hash_into(h);
+  return h;
+}
+
+/// acc covers the variables and the heap; the FSM ordinal is mixed fresh
+/// at the end so engines may overwrite fsm_state without a hook (§2.4.1
+/// root enumeration does exactly that).
+std::uint64_t combine(std::uint64_t acc, int fsm_state) {
+  return mix64(acc ^
+               mix64(static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(fsm_state))));
+}
+
+bool type_contains_pointer(const est::Type* t) {
+  if (t == nullptr) return false;
+  switch (t->kind) {
+    case est::TypeKind::Pointer:
+      return true;
+    case est::TypeKind::Array:
+      return type_contains_pointer(t->element);
+    case est::TypeKind::Record:
+      for (const est::RecordField& f : t->fields) {
+        if (type_contains_pointer(f.type)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
-std::uint64_t MachineState::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  h ^= static_cast<std::uint64_t>(fsm_state) * 0x100000001b3ULL;
-  std::map<std::uint32_t, std::uint32_t> canon;
-  for (const Value& v : vars) hash_value(v, heap, canon, h);
+std::uint64_t MachineState::heap_component() const {
+  // Every pointer-bearing root in ascending slot order through ONE canon
+  // pass: first-visit numbering is then a pure function of the reachable
+  // shape, and two roots aliasing a cell hash differently from two roots
+  // owning isomorphic copies (DESIGN.md §4).
+  std::uint64_t h = kFnvOffset;
+  CanonTable& canon = canon_table();
+  canon.clear();
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (!pointer_bearing(i)) continue;
+    hash_value(vars[i], heap, canon, h);
+  }
   // Cells no root reaches (leaked memory) still distinguish states: a
   // leaked cell changes what future allocations may alias, and the paper's
   // state is the whole memory. Hash them after the reachable region, in
@@ -66,19 +193,131 @@ std::uint64_t MachineState::hash() const {
   if (canon.size() != heap.live_cells()) {
     mix(h, 0x6c65616bULL);  // leaked-region separator
     for (const auto& [addr, value] : heap.cells()) {
-      if (canon.find(addr) != canon.end()) continue;
+      if (canon.contains(addr)) continue;
       hash_value(value, heap, canon, h);
     }
   }
   return h;
 }
 
+std::uint64_t MachineState::hash() const {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (pointer_bearing(i)) continue;
+    acc ^= place64(i, slot_component(vars[i]));
+  }
+  acc ^= place64(vars.size(), heap_component());
+  return combine(acc, fsm_state);
+}
+
+std::uint64_t MachineState::hash_cached() const {
+  if (!cache_live()) {
+    rebuild_cache();
+  } else {
+    while (!cache_.dirty.empty()) {
+      const std::uint32_t i = cache_.dirty.back();
+      cache_.dirty.pop_back();
+      if (cache_.slot[i].valid) continue;  // restored or duplicate entry
+      set_slot_cache(i, CompCache{slot_component(vars[i]), true});
+    }
+    if (!cache_.heap.valid || cache_.heap_epoch_seen != heap.epoch()) {
+      set_heap_cache(CompCache{heap_component(), true});
+    }
+  }
+  return combine(cache_.acc, fsm_state);
+}
+
+void MachineState::rebuild_cache() const {
+  cache_.slot.assign(vars.size(), CompCache{});
+  cache_.dirty.clear();
+  cache_.acc = 0;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (pointer_bearing(i)) continue;
+    cache_.slot[i] = CompCache{slot_component(vars[i]), true};
+    cache_.acc ^= place64(i, cache_.slot[i].hash);
+  }
+  cache_.heap = CompCache{heap_component(), true};
+  cache_.heap_epoch_seen = heap.epoch();
+  cache_.acc ^= place64(vars.size(), cache_.heap.hash);
+  cache_.ready = true;
+}
+
+void MachineState::set_slot_cache(std::size_t slot, CompCache next) const {
+  cache_.acc ^= place64(slot, cache_.slot[slot].hash) ^
+                place64(slot, next.hash);
+  cache_.slot[slot] = next;
+}
+
+void MachineState::set_heap_cache(CompCache next) const {
+  cache_.acc ^= place64(vars.size(), cache_.heap.hash) ^
+                place64(vars.size(), next.hash);
+  cache_.heap = next;
+  cache_.heap_epoch_seen = heap.epoch();
+}
+
+void MachineState::set_pointer_flags(std::vector<char> flags) {
+  pointer_flags_ = std::move(flags);
+  cache_.ready = false;  // classification changed; cache layout with it
+}
+
+void MachineState::note_var_write(int slot) {
+  if (!cache_live()) return;
+  const auto i = static_cast<std::size_t>(slot);
+  if (pointer_bearing(i)) {
+    // The store can change which cells are reachable even though no heap
+    // cell's content moved (and the heap epoch therefore did not).
+    cache_.heap.valid = false;
+    return;
+  }
+  if (cache_.slot[i].valid) {
+    cache_.slot[i].valid = false;
+    cache_.dirty.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+CompCache MachineState::var_cache_entry(int slot) const {
+  if (!cache_live()) return CompCache{};
+  const auto i = static_cast<std::size_t>(slot);
+  if (pointer_bearing(i)) return heap_cache_entry();
+  return cache_.slot[i];
+}
+
+void MachineState::restore_var_cache(int slot, const CompCache& prior) {
+  if (!cache_live()) return;
+  const auto i = static_cast<std::size_t>(slot);
+  if (pointer_bearing(i)) {
+    restore_heap_cache(prior);
+    return;
+  }
+  set_slot_cache(i, prior);
+  if (!prior.valid) cache_.dirty.push_back(static_cast<std::uint32_t>(i));
+}
+
+CompCache MachineState::heap_cache_entry() const {
+  if (!cache_live()) return CompCache{};
+  return CompCache{cache_.heap.hash,
+                   cache_.heap.valid &&
+                       cache_.heap_epoch_seen == heap.epoch()};
+}
+
+void MachineState::restore_heap_cache(const CompCache& prior) {
+  if (!cache_live()) return;
+  // Re-syncs heap_epoch_seen: the undone heap matches `prior` again (an
+  // invalid prior just forces the recompute it already forced at log
+  // time).
+  set_heap_cache(prior);
+}
+
 MachineState make_initial_machine(const est::Spec& spec) {
   MachineState m;
   m.vars.reserve(spec.module_vars.size());
+  std::vector<char> flags;
+  flags.reserve(spec.module_vars.size());
   for (const est::ModuleVarInfo& var : spec.module_vars) {
     m.vars.push_back(default_value(var.type));
+    flags.push_back(type_contains_pointer(var.type) ? 1 : 0);
   }
+  m.set_pointer_flags(std::move(flags));
   return m;
 }
 

@@ -2,6 +2,34 @@
 // as an ordinal, the module variables, and the dynamic memory. Trace-queue
 // cursors live in core/search_state.hpp; together they form the full
 // composite search state.
+//
+// State hashing comes in two bit-identical flavours:
+//
+//   hash()        — the full recursive walk (the differential oracle).
+//   hash_cached() — the incremental path: per-component hashes kept
+//                   current by the same mutation hooks that feed
+//                   rt::Trail, combined in O(dirty) instead of O(state).
+//
+// The state decomposes into independent components, XOR-folded under a
+// position salt (support/hash.hpp):
+//
+//   * one component per pointer-free module variable (a pure value-tree
+//     hash — no heap access, so a store to slot i dirties only slot i);
+//   * ONE joint component for every pointer-bearing variable plus the
+//     heap, hashed by pointer reachability with addresses renumbered in
+//     first-visit order (DESIGN.md §4). Pointer roots must share one
+//     canonicalization pass or cross-root aliasing would stop being
+//     observable, so they degrade together: any heap mutation (tracked by
+//     Heap::epoch()) or store to a pointer-bearing root rehashes the
+//     whole component;
+//   * the FSM ordinal, mixed fresh at combine time (O(1), never cached —
+//     engines overwrite fsm_state directly for §2.4.1 root enumeration).
+//
+// The cache invariant: once built, `acc` always equals the XOR-fold of
+// the *cached* component values, valid or stale. Mutation hooks only flip
+// validity; everything that changes a cached value (recompute, trail
+// restore) patches `acc` in the same step. Trail entries snapshot the
+// component entry they clobber, so Checkpointer::restore is hash-free.
 #pragma once
 
 #include <cstdint>
@@ -13,17 +41,88 @@
 
 namespace tango::rt {
 
+/// One cached component hash. `valid` false means the value is stale and
+/// the component must be rehashed before the next combine.
+struct CompCache {
+  std::uint64_t hash = 0;
+  bool valid = false;
+};
+
 struct MachineState {
   int fsm_state = -1;  // -1 before the initialize transition has fired
   std::vector<Value> vars;
   Heap heap;
 
-  /// Canonical state hash for §4.2 visited-state pruning. Heap cells are
-  /// hashed in pointer-reachability order from the module variables, with
-  /// addresses renumbered by first-visit order, so two runs that reach
-  /// structurally identical states through different new/dispose
-  /// interleavings hash equal even though their absolute addresses differ.
+  /// Canonical state hash for §4.2 visited-state pruning, computed by a
+  /// full recursive walk. Heap cells are hashed in pointer-reachability
+  /// order from the module variables, with addresses renumbered by
+  /// first-visit order, so two runs that reach structurally identical
+  /// states through different new/dispose interleavings hash equal even
+  /// though their absolute addresses differ. Never touches the cache —
+  /// this is the oracle the incremental path is asserted against.
   [[nodiscard]] std::uint64_t hash() const;
+
+  /// Incremental hash: identical value to hash(), but untouched
+  /// components reuse their cached subhash. First call builds the cache
+  /// (one full walk); later calls rehash only what the mutation hooks
+  /// dirtied since.
+  [[nodiscard]] std::uint64_t hash_cached() const;
+
+  /// Per-slot pointer classification (true = the slot's type can reach
+  /// the heap). Filled from the spec by make_initial_machine; when the
+  /// flags are absent (hand-built states), every slot is conservatively
+  /// treated as pointer-bearing.
+  void set_pointer_flags(std::vector<char> flags);
+
+  // --- mutation hooks (the interpreter and trail call these) ---
+
+  /// Module variable `slot` is about to be (or may be) written. Dirties
+  /// the slot's component — or the joint heap component when the slot is
+  /// pointer-bearing, since the store can change reachability.
+  void note_var_write(int slot);
+
+  /// Cache entry a Trail var entry for `slot` must restore (the heap
+  /// component's entry when the slot is pointer-bearing). Capture BEFORE
+  /// the mutation dirties anything.
+  [[nodiscard]] CompCache var_cache_entry(int slot) const;
+
+  /// Undo of note_var_write + the write itself: reinstates the entry
+  /// captured by var_cache_entry (the restored value matches it again).
+  void restore_var_cache(int slot, const CompCache& prior);
+
+  /// Cache entry a Trail heap entry must restore. Validity accounts for
+  /// the current Heap::epoch(), so capture BEFORE the mutation bumps it.
+  [[nodiscard]] CompCache heap_cache_entry() const;
+
+  /// Undo of one heap mutation: reinstates the captured entry and re-syncs
+  /// the cached epoch (the heap content matches the entry again).
+  void restore_heap_cache(const CompCache& prior);
+
+ private:
+  struct HashCache {
+    std::vector<CompCache> slot;  // pointer-free slots only; others unused
+    CompCache heap;               // joint pointer-roots + heap component
+    std::uint64_t heap_epoch_seen = 0;
+    std::uint64_t acc = 0;        // XOR-fold of place64()-mapped components
+    std::vector<std::uint32_t> dirty;  // pointer-free slots to rehash
+    bool ready = false;
+  };
+
+  [[nodiscard]] bool pointer_bearing(std::size_t slot) const {
+    return slot >= pointer_flags_.size() || pointer_flags_[slot] != 0;
+  }
+  /// Hooks no-op until the first hash_cached() builds the cache (and
+  /// after structural changes a hand-built test state may make).
+  [[nodiscard]] bool cache_live() const {
+    return cache_.ready && cache_.slot.size() == vars.size();
+  }
+  [[nodiscard]] std::uint64_t heap_component() const;
+  void rebuild_cache() const;
+  void set_slot_cache(std::size_t slot, CompCache next) const;
+  void set_heap_cache(CompCache next) const;
+
+  std::vector<char> pointer_flags_;
+  mutable HashCache cache_;
 };
 
 /// Fresh machine: every module variable gets its type's default value

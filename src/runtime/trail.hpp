@@ -36,16 +36,24 @@ class Trail {
   /// feeds the Stats trail-entry counter.
   [[nodiscard]] std::uint64_t total_logged() const { return total_logged_; }
 
-  /// The FSM state ordinal is about to change.
+  /// The FSM state ordinal is about to change. (No cache entry: the FSM
+  /// component is never cached — machine.hpp.)
   void log_fsm(int old_state);
   /// Module variable `slot` is about to be written (whole-slot old value).
-  void log_var(int slot, const Value& old_value);
-  /// Heap cell `addr` is about to be written.
-  void log_heap_write(std::uint32_t addr, const Value& old_value);
-  /// Heap cell `addr` was just allocated.
-  void log_heap_alloc(std::uint32_t addr);
+  /// `prior` is the hash-cache entry the write clobbers
+  /// (MachineState::var_cache_entry, captured before the mutation);
+  /// undo_to hands it back so backtracking never rehashes.
+  void log_var(int slot, const Value& old_value, CompCache prior = {});
+  /// Heap cell `addr` is about to be written. `prior` is
+  /// MachineState::heap_cache_entry() captured before the epoch bump.
+  void log_heap_write(std::uint32_t addr, const Value& old_value,
+                      CompCache prior = {});
+  /// Heap cell `addr` was just allocated (`prior` from before the
+  /// allocation).
+  void log_heap_alloc(std::uint32_t addr, CompCache prior = {});
   /// Heap cell `addr` is about to be released (its last value moves in).
-  void log_heap_release(std::uint32_t addr, Value old_value);
+  void log_heap_release(std::uint32_t addr, Value old_value,
+                        CompCache prior = {});
 
   /// Reverts every mutation logged after `m`, newest first.
   void undo_to(Mark m, MachineState& state);
@@ -69,6 +77,7 @@ class Trail {
     int fsm_old = 0;         // Fsm only
     std::uint32_t index = 0; // var slot or heap address
     Value old;               // previous contents (unused for Fsm/HeapAlloc)
+    CompCache cache;         // hash-cache entry clobbered by the mutation
   };
 
   std::vector<Entry> entries_;

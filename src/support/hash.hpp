@@ -1,0 +1,31 @@
+// Shared 64-bit mixing primitives for the state-hashing layer. Both the
+// full-walk hash and the incremental per-component scheme are built from
+// these, so the two paths stay bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace tango::support {
+
+inline constexpr std::uint64_t kGolden64 = 0x9e3779b97f4a7c15ULL;
+
+/// splitmix64 finalizer: a cheap full-avalanche bijection on 64 bits.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Position-salted component fold: maps (component index, component hash)
+/// to one well-mixed word. Components combine with XOR, so a fold over
+/// them can be *patched* — XOR the old placement out and the new one in —
+/// which is what makes the incremental hash an O(dirty) update.
+[[nodiscard]] inline std::uint64_t place64(std::uint64_t index,
+                                           std::uint64_t component) {
+  return mix64(component ^ (kGolden64 * (index + 1)));
+}
+
+}  // namespace tango::support

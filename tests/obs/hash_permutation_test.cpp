@@ -5,6 +5,11 @@
 // contents, different absolute addresses from different new/dispose
 // interleavings — must hash equal, while any observable difference
 // (contents, aliasing, a leaked cell) must still be distinguished.
+//
+// Every property is asserted for BOTH implementations: the full recursive
+// walk hash() and the incremental hash_cached() (which, on these
+// hand-built states without spec-derived pointer flags, conservatively
+// routes every variable through the joint heap component).
 #include "runtime/machine.hpp"
 
 #include <gtest/gtest.h>
@@ -16,6 +21,13 @@
 
 namespace tango::rt {
 namespace {
+
+/// The incremental path must agree with the full walk on any state, and
+/// two hash-equal states must also be hash_cached-equal (the permutation
+/// contract extends to the cached path).
+void expect_incremental_agrees(const MachineState& m) {
+  EXPECT_EQ(m.hash_cached(), m.hash());
+}
 
 Value list_cell(std::int64_t payload, std::uint32_t next_addr) {
   return Value::make_record(
@@ -43,6 +55,9 @@ TEST(HashPermutation, AllocationOrderDoesNotChangeHash) {
 
   ASSERT_NE(a1, b7);  // the absolute addresses really do differ
   EXPECT_EQ(a.hash(), b.hash());
+  expect_incremental_agrees(a);
+  expect_incremental_agrees(b);
+  EXPECT_EQ(a.hash_cached(), b.hash_cached());
 }
 
 TEST(HashPermutation, LinkedListBuildDirectionDoesNotChangeHash) {
@@ -75,6 +90,9 @@ TEST(HashPermutation, LinkedListBuildDirectionDoesNotChangeHash) {
   }
 
   EXPECT_EQ(fwd.hash(), bwd.hash());
+  expect_incremental_agrees(fwd);
+  expect_incremental_agrees(bwd);
+  EXPECT_EQ(fwd.hash_cached(), bwd.hash_cached());
 }
 
 TEST(HashPermutation, ReachableContentsStillDistinguish) {
@@ -87,6 +105,8 @@ TEST(HashPermutation, ReachableContentsStillDistinguish) {
   b.vars = {Value::make_pointer(b.heap.allocate(Value::make_int(8)))};
 
   EXPECT_NE(a.hash(), b.hash());
+  expect_incremental_agrees(a);
+  expect_incremental_agrees(b);
 }
 
 TEST(HashPermutation, AliasingIsObservable) {
@@ -105,6 +125,9 @@ TEST(HashPermutation, AliasingIsObservable) {
       Value::make_pointer(distinct.heap.allocate(Value::make_int(5)))};
 
   EXPECT_NE(shared.hash(), distinct.hash());
+  expect_incremental_agrees(shared);
+  expect_incremental_agrees(distinct);
+  EXPECT_NE(shared.hash_cached(), distinct.hash_cached());
 }
 
 TEST(HashPermutation, LeakedCellsStillDistinguish) {
@@ -121,6 +144,9 @@ TEST(HashPermutation, LeakedCellsStillDistinguish) {
   (void)leaky.heap.allocate(Value::make_int(99));  // no root reaches it
 
   EXPECT_NE(clean.hash(), leaky.hash());
+  expect_incremental_agrees(clean);
+  expect_incremental_agrees(leaky);
+  EXPECT_NE(clean.hash_cached(), leaky.hash_cached());
 }
 
 std::uint32_t next_rand(std::uint32_t& state) {
@@ -211,6 +237,8 @@ TEST(HashPermutation, RandomGraphsWithCyclesAndAliases) {
           build_graph(n, perm, payloads, left, right, roots);
       EXPECT_EQ(reference.hash(), shuffled.hash())
           << "seed " << seed << " round " << round;
+      EXPECT_EQ(reference.hash_cached(), shuffled.hash_cached())
+          << "seed " << seed << " round " << round;
     }
 
     // ...and a payload edit in the reachable region is never canonicalized
@@ -223,6 +251,8 @@ TEST(HashPermutation, RandomGraphsWithCyclesAndAliases) {
     const MachineState changed =
         build_graph(n, identity, edited, left, right, roots);
     EXPECT_NE(mutated.hash(), changed.hash()) << "seed " << seed;
+    expect_incremental_agrees(mutated);
+    expect_incremental_agrees(changed);
   }
 }
 
@@ -239,6 +269,33 @@ TEST(HashPermutation, FsmStateAndNilAreCovered) {
   c.fsm_state = 1;
   c.vars = {Value::nil()};
   EXPECT_EQ(a.hash(), c.hash());
+  expect_incremental_agrees(a);
+  expect_incremental_agrees(b);
+  EXPECT_NE(a.hash_cached(), b.hash_cached());
+  EXPECT_EQ(a.hash_cached(), c.hash_cached());
+}
+
+TEST(HashPermutation, IncrementalCacheTracksDirectHeapWrites) {
+  // Hand-built states have no mutation hooks, but a write through the
+  // non-const cell() lookup bumps the heap epoch, which must be enough
+  // for hash_cached() to notice and rehash the heap component.
+  MachineState m;
+  m.fsm_state = 0;
+  const std::uint32_t addr = m.heap.allocate(Value::make_int(1));
+  m.vars = {Value::make_pointer(addr)};
+  expect_incremental_agrees(m);  // builds the cache
+
+  *m.heap.cell(addr) = Value::make_int(2);
+  expect_incremental_agrees(m);
+
+  // An FSM flip is never cached at all.
+  m.fsm_state = 3;
+  expect_incremental_agrees(m);
+
+  // And a root rewrite announced through the hook rehashes reachability.
+  m.note_var_write(0);
+  m.vars[0] = Value::nil();
+  expect_incremental_agrees(m);
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Randomized differential test for the incremental state hash
+// (machine.hpp): drive long random mutate/undo sequences — variable
+// stores, heap alloc/write/release (with aliasing, cycles and dangling
+// pointers), FSM changes, nested Trail mark/undo_to — through exactly the
+// hook discipline the interpreter uses (capture the clobbered cache entry,
+// log to the Trail, note_var_write, then mutate), asserting after EVERY
+// step that hash_cached() equals the full-walk oracle hash(), and after
+// every undo that the state hashes equal to a deep copy taken at the mark.
+//
+// The CursorSet leg (core/search_state.hpp) gets the same treatment:
+// random advance/retreat with hash() checked against hash_full().
+#include "runtime/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/search_state.hpp"
+#include "runtime/trail.hpp"
+#include "runtime/value.hpp"
+
+namespace tango::rt {
+namespace {
+
+std::uint32_t next_rand(std::uint32_t& state) {
+  state = state * 1664525u + 1013904223u;
+  return state >> 8;
+}
+
+/// A saved checkpoint: the trail mark plus a deep-copy oracle of the
+/// machine and of the live-address bookkeeping at that point.
+struct Saved {
+  Trail::Mark mark;
+  MachineState oracle;
+  std::vector<std::uint32_t> live;
+};
+
+/// One randomized campaign over a machine with three pointer-free slots
+/// (each its own cached component) and three pointer-bearing slots (the
+/// joint heap component).
+void run_campaign(std::uint32_t seed) {
+  constexpr int kPfSlots = 3;
+  constexpr int kSlots = 6;
+
+  MachineState m;
+  m.fsm_state = 0;
+  for (int i = 0; i < kPfSlots; ++i) {
+    m.vars.push_back(Value::make_record({Value::make_int(i)}));
+  }
+  for (int i = kPfSlots; i < kSlots; ++i) m.vars.push_back(Value::nil());
+  m.set_pointer_flags({0, 0, 0, 1, 1, 1});
+
+  Trail trail;
+  std::vector<std::uint32_t> live;
+  std::vector<Saved> marks;
+  std::uint32_t rng = seed;
+
+  // Build the cache once up front; every later op must keep it current.
+  ASSERT_EQ(m.hash_cached(), m.hash());
+
+  auto random_cell_value = [&]() {
+    // Ints, pointers to live cells (aliasing, cycles once stored back into
+    // the heap) and nil, so reachability keeps changing shape.
+    const std::uint32_t pick = next_rand(rng) % 4;
+    if (pick == 0 && !live.empty()) {
+      return Value::make_pointer(live[next_rand(rng) % live.size()]);
+    }
+    if (pick == 1) return Value::nil();
+    return Value::make_int(static_cast<std::int64_t>(next_rand(rng) % 64));
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint32_t op = next_rand(rng) % 10;
+    if (op < 2) {
+      // Store to a pointer-free slot: dirties exactly that component.
+      const int slot = static_cast<int>(next_rand(rng)) % kPfSlots;
+      trail.log_var(slot, m.vars[slot], m.var_cache_entry(slot));
+      m.note_var_write(slot);
+      m.vars[slot] = Value::make_record(
+          {Value::make_int(static_cast<std::int64_t>(next_rand(rng) % 64))});
+    } else if (op < 4) {
+      // Store to a pointer-bearing root: dirties the joint heap component.
+      const int slot =
+          kPfSlots + static_cast<int>(next_rand(rng)) % (kSlots - kPfSlots);
+      trail.log_var(slot, m.vars[slot], m.var_cache_entry(slot));
+      m.note_var_write(slot);
+      m.vars[slot] = random_cell_value();
+    } else if (op < 6) {
+      // new: capture the heap entry BEFORE the allocation bumps the epoch.
+      const CompCache prior = m.heap_cache_entry();
+      const std::uint32_t addr = m.heap.allocate(random_cell_value());
+      trail.log_heap_alloc(addr, prior);
+      live.push_back(addr);
+    } else if (op == 6 && !live.empty()) {
+      // Write through a pointer: the non-const cell() bumps the epoch, so
+      // the prior entry must be captured first (interp.cpp discipline).
+      const std::uint32_t addr = live[next_rand(rng) % live.size()];
+      const CompCache prior = m.heap_cache_entry();
+      Value* cell = m.heap.cell(addr);
+      ASSERT_NE(cell, nullptr);
+      trail.log_heap_write(addr, *cell, prior);
+      *cell = random_cell_value();
+    } else if (op == 7 && !live.empty()) {
+      // dispose: old contents read through the const heap (no epoch bump
+      // before the prior entry is captured). Roots/cells that still point
+      // at the address go dangling — the hash must observe that too.
+      const std::size_t idx = next_rand(rng) % live.size();
+      const std::uint32_t addr = live[idx];
+      const CompCache prior = m.heap_cache_entry();
+      const Heap& heap = m.heap;
+      const Value* old = heap.cell(addr);
+      ASSERT_NE(old, nullptr);
+      trail.log_heap_release(addr, *old, prior);
+      ASSERT_TRUE(m.heap.release(addr));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (op == 8) {
+      trail.log_fsm(m.fsm_state);
+      m.fsm_state = static_cast<int>(next_rand(rng) % 7);
+    } else if (op == 9) {
+      if (marks.size() < 4 || next_rand(rng) % 2 == 0) {
+        marks.push_back(Saved{trail.mark(), m, live});
+      } else {
+        // Undo to a random saved mark (drops deeper marks, like a DFS
+        // backtracking past them). Restore must be hash-free AND correct:
+        // the cached hash must match the deep-copy oracle's full hash.
+        const std::size_t pick = next_rand(rng) % marks.size();
+        Saved saved = marks[pick];
+        marks.resize(pick);
+        trail.undo_to(saved.mark, m);
+        live = saved.live;
+        ASSERT_EQ(m.hash_cached(), saved.oracle.hash())
+            << "seed " << seed << " step " << step;
+      }
+    }
+    ASSERT_EQ(m.hash_cached(), m.hash())
+        << "seed " << seed << " step " << step << " op " << op;
+  }
+
+  // Unwind everything: back to the very first state.
+  const MachineState pristine_oracle = marks.empty() ? m : marks[0].oracle;
+  if (!marks.empty()) trail.undo_to(marks[0].mark, m);
+  trail.undo_to(0, m);
+  ASSERT_EQ(m.hash_cached(), m.hash());
+  (void)pristine_oracle;
+}
+
+TEST(IncrementalHash, RandomizedMutateUndoAgreesWithOracle) {
+  for (const std::uint32_t seed : {11u, 23u, 95u, 1995u, 4242u}) {
+    run_campaign(seed);
+  }
+}
+
+TEST(IncrementalHash, UndoToInitialStateRestoresInitialHash) {
+  MachineState m;
+  m.fsm_state = 1;
+  m.vars = {Value::make_int(5), Value::nil()};
+  m.set_pointer_flags({0, 1});
+  const std::uint64_t h0 = m.hash_cached();
+  ASSERT_EQ(h0, m.hash());
+
+  Trail trail;
+  const Trail::Mark mark = trail.mark();
+
+  trail.log_var(0, m.vars[0], m.var_cache_entry(0));
+  m.note_var_write(0);
+  m.vars[0] = Value::make_int(6);
+
+  const CompCache before_alloc = m.heap_cache_entry();
+  const std::uint32_t addr = m.heap.allocate(Value::make_int(7));
+  trail.log_heap_alloc(addr, before_alloc);
+
+  trail.log_var(1, m.vars[1], m.var_cache_entry(1));
+  m.note_var_write(1);
+  m.vars[1] = Value::make_pointer(addr);
+
+  EXPECT_NE(m.hash_cached(), h0);
+  EXPECT_EQ(m.hash_cached(), m.hash());
+
+  trail.undo_to(mark, m);
+  EXPECT_EQ(m.hash_cached(), h0);
+  EXPECT_EQ(m.hash_cached(), m.hash());
+}
+
+TEST(IncrementalHash, CursorSetMaintainedHashMatchesFull) {
+  constexpr int kIps = 5;
+  core::CursorSet cursors(kIps);
+  EXPECT_EQ(cursors.hash(), cursors.hash_full());
+
+  std::uint32_t rng = 0x7a0u;
+  std::vector<int> depth(2 * kIps, 0);
+  std::uint64_t initial = cursors.hash();
+  for (int step = 0; step < 500; ++step) {
+    const int ip = static_cast<int>(next_rand(rng)) % kIps;
+    const tr::Dir dir = next_rand(rng) % 2 == 0 ? tr::Dir::In : tr::Dir::Out;
+    const std::size_t j =
+        static_cast<std::size_t>(ip) +
+        (dir == tr::Dir::Out ? static_cast<std::size_t>(kIps) : 0u);
+    if (depth[j] > 0 && next_rand(rng) % 3 == 0) {
+      cursors.retreat(dir, ip);
+      --depth[j];
+    } else {
+      cursors.advance(dir, ip);
+      ++depth[j];
+    }
+    ASSERT_EQ(cursors.hash(), cursors.hash_full()) << "step " << step;
+  }
+  // Retreat everything: the maintained fold must land exactly back on the
+  // all-zero-cursor hash, not merely on *a* consistent value.
+  for (int ip = 0; ip < kIps; ++ip) {
+    while (depth[static_cast<std::size_t>(ip)] > 0) {
+      cursors.retreat(tr::Dir::In, ip);
+      --depth[static_cast<std::size_t>(ip)];
+    }
+    while (depth[static_cast<std::size_t>(ip + kIps)] > 0) {
+      cursors.retreat(tr::Dir::Out, ip);
+      --depth[static_cast<std::size_t>(ip + kIps)];
+    }
+  }
+  EXPECT_EQ(cursors.hash(), initial);
+  EXPECT_EQ(cursors.hash(), cursors.hash_full());
+}
+
+}  // namespace
+}  // namespace tango::rt
