@@ -1,5 +1,11 @@
-// Guard-solver pruning ablation. Two workloads on deliberately
-// nondeterministic specifications:
+// Static-pruning ablation. Three workloads on deliberately nondeterministic
+// specifications, each mode toggling one layer of facts:
+//
+//   off      - no static facts at all (static_prune = false);
+//   pairwise - the guard solver's skip set + mutual-exclusion matrix only
+//              (invariant_prune = false);
+//   full     - pairwise plus the whole-spec invariant facts: state-refuted
+//              candidates and doomed-output subtree cuts.
 //
 //   dup3_invalid  - three structurally identical fork transitions; an
 //                   invalid trace forces the exhaustive search to visit
@@ -10,11 +16,16 @@
 //                   arena; verdict-relevant work is identical, but the
 //                   mutual-exclusion matrix skips the doomed candidate's
 //                   guard evaluation at every node (static_skips counts
-//                   the savings).
+//                   the savings);
+//   doomed_out    - two structurally DISTINCT forks (nothing for the
+//                   pairwise solver to prove) and a trace whose only
+//                   pending output can only be emitted by an
+//                   invariant-dead transition: only the full mode can cut
+//                   the whole 2^n subtree at the root.
 //
 // Results go to stdout as a table and to BENCH_guard_prune.json (or the
-// path in argv[1]) for EXPERIMENTS.md. Pruned and unpruned rows must agree
-// on the verdict — the facts are proofs (see docs/LINT.md).
+// path in argv[1]) for EXPERIMENTS.md. All modes must agree on the verdict
+// — the facts are proofs (see docs/LINT.md).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -66,6 +77,32 @@ end;
 end.
 )";
 
+// fork_a and fork_b have different bodies, so the pairwise solver has no
+// duplicate/shadow/mutex fact about them — the 2^(n/2) branching survives
+// pairwise pruning. `emit_err` is the only output site for err, and the
+// invariant engine proves it dead (x is pinned to 0), so in full mode a
+// complete trace still expecting `out p.err` is cut at the root.
+constexpr const char* kDoomedSpec = R"(
+specification bench_doomed;
+channel C(Env, Sys);
+  by Env: go;
+  by Sys: done; err;
+module M systemprocess;
+  ip P: C(Sys);
+end;
+body MB for M;
+var x: integer;
+state S1, S2;
+initialize to S1 begin x := 0; end;
+trans
+from S1 to S2 when P.go name fork_a: begin x := 0; end;
+from S1 to S2 when P.go name fork_b: begin end;
+from S2 to S1 when P.go name back: begin end;
+from S1 to S1 when P.go provided x = 1 name emit_err: begin output P.err; end;
+end;
+end.
+)";
+
 // n fork/back cycles; when `valid` is false the final done is missing, so
 // the search must exhaust every path to conclude Invalid.
 std::string dup_trace(int n, bool valid) {
@@ -85,9 +122,29 @@ std::string mutex_trace(int n) {
   return t;
 }
 
+// n inputs (the search branches fork_a/fork_b at every S1 node), then one
+// pending output only the dead transition could produce.
+std::string doomed_trace(int n) {
+  std::string t;
+  for (int i = 0; i < n; ++i) t += "in p.go\n";
+  t += "out p.err\neof\n";
+  return t;
+}
+
+enum class Mode { Off, Pairwise, Full };
+
+constexpr const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::Off: return "off";
+    case Mode::Pairwise: return "pairwise";
+    case Mode::Full: return "full";
+  }
+  return "?";
+}
+
 struct Row {
   int n = 0;
-  bool pruned = false;
+  Mode mode = Mode::Off;
   tango::core::DfsResult result;
 };
 
@@ -97,24 +154,25 @@ struct Workload {
 };
 
 Workload run(const char* name, const char* spec_text,
-             const std::vector<int>& sizes, bool valid) {
+             const std::vector<int>& sizes,
+             const std::string (*make_trace)(int)) {
   using namespace tango;
   est::Spec spec = est::compile_spec(spec_text);
   Workload w;
   w.name = name;
   std::printf("%s\n", name);
-  std::printf("%-6s %5s  %8s  %9s  %9s  %12s  %s\n", "prune", "n", "CPUT",
+  std::printf("%-8s %5s  %8s  %9s  %9s  %12s  %s\n", "mode", "n", "CPUT",
               "TE", "GE", "static_skip", "verdict");
   for (int n : sizes) {
-    tr::Trace trace = tr::parse_trace(
-        spec, name[0] == 'd' ? dup_trace(n, valid) : mutex_trace(n));
-    for (bool prune : {false, true}) {
+    tr::Trace trace = tr::parse_trace(spec, make_trace(n));
+    for (Mode mode : {Mode::Off, Mode::Pairwise, Mode::Full}) {
       core::Options opts = core::Options::none();
-      opts.static_prune = prune;
+      opts.static_prune = mode != Mode::Off;
+      opts.invariant_prune = mode == Mode::Full;
       opts.max_transitions = 30'000'000;
-      Row row{n, prune, core::analyze(spec, trace, opts)};
-      std::printf("%-6s %5d  %8.3f  %9llu  %9llu  %12llu  %s\n",
-                  prune ? "on" : "off", n, row.result.stats.cpu_seconds,
+      Row row{n, mode, core::analyze(spec, trace, opts)};
+      std::printf("%-8s %5d  %8.3f  %9llu  %9llu  %12llu  %s\n",
+                  to_string(mode), n, row.result.stats.cpu_seconds,
                   static_cast<unsigned long long>(
                       row.result.stats.transitions_executed),
                   static_cast<unsigned long long>(row.result.stats.generates),
@@ -128,15 +186,24 @@ Workload run(const char* name, const char* spec_text,
   return w;
 }
 
+const std::string make_dup_trace(int n) { return dup_trace(n, false); }
+const std::string make_mutex_trace(int n) { return mutex_trace(n); }
+const std::string make_doomed_trace(int n) { return doomed_trace(n); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* json_path = argc > 1 ? argv[1] : "BENCH_guard_prune.json";
 
-  std::printf("Guard-solver pruning ablation (skip set + mutex matrix)\n\n");
+  std::printf(
+      "Static pruning ablation (off / pairwise guard facts / "
+      "+ whole-spec invariants)\n\n");
   std::vector<Workload> all;
-  all.push_back(run("dup3_invalid", kDupSpec, {3, 5, 7}, /*valid=*/false));
-  all.push_back(run("mutex_toggle", kMutexSpec, {64, 256}, /*valid=*/true));
+  all.push_back(run("dup3_invalid", kDupSpec, {3, 5, 7}, make_dup_trace));
+  all.push_back(run("mutex_toggle", kMutexSpec, {64, 256},
+                    make_mutex_trace));
+  all.push_back(run("doomed_out", kDoomedSpec, {8, 12, 16},
+                    make_doomed_trace));
 
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"guard_prune\",\n  \"workloads\": [\n";
@@ -144,8 +211,12 @@ int main(int argc, char** argv) {
     json << "    {\"name\": \"" << all[i].name << "\", \"rows\": [\n";
     for (std::size_t j = 0; j < all[i].rows.size(); ++j) {
       const Row& row = all[i].rows[j];
-      json << "      {\"n\": " << row.n << ", \"static_prune\": "
-           << (row.pruned ? "true" : "false") << ", \"verdict\": \""
+      json << "      {\"n\": " << row.n << ", \"mode\": \""
+           << to_string(row.mode) << "\", \"static_prune\": "
+           << (row.mode != Mode::Off ? "true" : "false")
+           << ", \"invariant_prune\": "
+           << (row.mode == Mode::Full ? "true" : "false")
+           << ", \"verdict\": \""
            << tango::core::to_string(row.result.verdict)
            << "\", \"stats\": " << row.result.stats.to_json() << "}"
            << (j + 1 < all[i].rows.size() ? "," : "") << "\n";

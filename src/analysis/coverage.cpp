@@ -3,21 +3,30 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/invariants.hpp"
+
 namespace tango::analysis {
 
 std::string CoverageReport::render() const {
-  char head[128];
+  std::set<std::string> dead;
+  for (const Row& row : rows) {
+    if (row.statically_dead) dead.insert(row.name);
+  }
+  char head[160];
   std::snprintf(head, sizeof(head),
-                "coverage: %zu/%zu transitions (%.0f%%), %zu/%zu traces "
+                "coverage: %zu/%zu live transitions (%.0f%%), %zu/%zu traces "
                 "valid\n",
-                hits.size(), hits.size() + uncovered.size(), ratio() * 100.0,
-                traces_valid, traces_total);
+                hits.size(), hits.size() + uncovered.size() - dead_uncovered,
+                ratio() * 100.0, traces_valid, traces_total);
   std::string out = head;
   for (const auto& [name, count] : hits) {
     out += "  " + name + ": " + std::to_string(count) + "\n";
   }
   for (const std::string& name : uncovered) {
-    out += "  " + name + ": NEVER COVERED\n";
+    out += dead.count(name) != 0
+               ? "  " + name + ": STATICALLY DEAD (can never fire; excluded "
+                 "from coverage)\n"
+               : "  " + name + ": NEVER COVERED\n";
   }
   for (const std::string& note : invalid_notes) {
     out += "  (non-valid trace: " + note + ")\n";
@@ -34,12 +43,17 @@ std::string CoverageReport::render_json() const {
     }
     return out;
   };
-  char head[160];
+  char head[200];
+  // `declared` counts every transition; `live` excludes the statically
+  // dead ones, and `ratio` is covered/live (the old covered/declared was
+  // unreachable-penalized — see docs/LINT.md).
   std::snprintf(head, sizeof(head),
-                "{\"covered\":%zu,\"declared\":%zu,\"ratio\":%.4f,"
+                "{\"covered\":%zu,\"declared\":%zu,\"live\":%zu,"
+                "\"ratio\":%.4f,"
                 "\"traces_valid\":%zu,\"traces_total\":%zu,"
                 "\"transitions\":[",
-                hits.size(), hits.size() + uncovered.size(), ratio(),
+                hits.size(), hits.size() + uncovered.size(),
+                hits.size() + uncovered.size() - dead_uncovered, ratio(),
                 traces_valid, traces_total);
   std::string out = head;
   bool first = true;
@@ -48,7 +62,9 @@ std::string CoverageReport::render_json() const {
     first = false;
     out += "{\"name\":\"" + escape(row.name) +
            "\",\"line\":" + std::to_string(row.loc.line) +
-           ",\"count\":" + std::to_string(row.count) + "}";
+           ",\"count\":" + std::to_string(row.count) +
+           ",\"statically_dead\":" +
+           (row.statically_dead ? "true" : "false") + "}";
   }
   out += "],\"invalid_notes\":[";
   first = true;
@@ -72,6 +88,24 @@ CoverageReport coverage(const est::Spec& spec,
     declared.insert(tr.name);
   }
 
+  // Statically-dead transitions (invariant engine): provably unfireable,
+  // so they are annotated and excluded from the headline ratio rather than
+  // held against the campaign as missed coverage.
+  std::set<std::string> dead_names;
+  {
+    const std::vector<RoutineEffects> effects =
+        compute_routine_effects(spec);
+    const StateInvariants inv = compute_state_invariants(spec, effects);
+    if (inv.valid) {
+      const auto& trs = spec.body().transitions;
+      for (std::size_t ti = 0; ti < trs.size(); ++ti) {
+        if (inv.is_dead(static_cast<int>(ti))) {
+          dead_names.insert(trs[ti].name);
+        }
+      }
+    }
+  }
+
   for (const tr::Trace& trace : traces) {
     core::DfsResult r = core::analyze(spec, trace, options);
     if (r.verdict != core::Verdict::Valid) {
@@ -88,13 +122,17 @@ CoverageReport coverage(const est::Spec& spec,
   }
 
   for (const std::string& name : declared) {
-    if (!report.hits.count(name)) report.uncovered.push_back(name);
+    if (!report.hits.count(name)) {
+      report.uncovered.push_back(name);
+      if (dead_names.count(name) != 0) ++report.dead_uncovered;
+    }
   }
 
   for (const est::Transition& tr : spec.body().transitions) {
     const auto it = report.hits.find(tr.name);
-    report.rows.push_back(
-        {tr.name, tr.loc, it == report.hits.end() ? 0 : it->second});
+    report.rows.push_back({tr.name, tr.loc,
+                           it == report.hits.end() ? 0 : it->second,
+                           dead_names.count(tr.name) != 0});
   }
   std::sort(report.rows.begin(), report.rows.end(),
             [](const CoverageReport::Row& a, const CoverageReport::Row& b) {

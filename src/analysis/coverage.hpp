@@ -22,14 +22,22 @@ struct CoverageReport {
     std::string name;
     SourceLoc loc;
     std::size_t count = 0;
+    /// The invariant engine (analysis/invariants.hpp) proved the
+    /// transition can never fire — no test campaign could ever cover it.
+    bool statically_dead = false;
   };
   std::vector<Row> rows;
   std::size_t traces_total = 0;
   std::size_t traces_valid = 0;
+  /// Uncovered transitions that are statically dead. These no longer count
+  /// as missed coverage: the headline ratio is over live transitions only
+  /// (covering a provably-unfireable transition is impossible, so holding
+  /// it against the campaign was noise — see docs/LINT.md).
+  std::size_t dead_uncovered = 0;
   std::vector<std::string> invalid_notes;  // one per non-valid trace
 
   [[nodiscard]] double ratio() const {
-    const std::size_t total = hits.size() + uncovered.size();
+    const std::size_t total = hits.size() + uncovered.size() - dead_uncovered;
     return total == 0 ? 0.0
                       : static_cast<double>(hits.size()) /
                             static_cast<double>(total);

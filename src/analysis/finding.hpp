@@ -15,7 +15,7 @@ namespace tango::analysis {
 
 struct Finding : Diagnostic {
   /// Pass identifier (reach, cycles, interactions, assign, intervals,
-  /// unreachable, purity, guards) — the SARIF rule id.
+  /// unreachable, purity, guards, invariants) — the SARIF rule id.
   std::string pass;
   /// Enclosing declaration: "transition 't1'", "procedure 'enq'", ….
   std::string unit;

@@ -636,6 +636,16 @@ int shared_state(const Transition& a, const Transition& b) {
 
 }  // namespace
 
+std::vector<char> trusted_module_slots(
+    const est::Spec& spec, const std::vector<RoutineEffects>& effects) {
+  return compute_trusted(spec, effects);
+}
+
+bool provided_clause_pure(const est::Expr* guard,
+                          const std::vector<RoutineEffects>& effects) {
+  return guard_pure(guard, effects);
+}
+
 // ---------------------------------------------------------------------------
 // Solver driver
 // ---------------------------------------------------------------------------

@@ -17,8 +17,10 @@
 // matrix, so pruning cannot change verdicts (see docs/LINT.md).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/finding.hpp"
 #include "estelle/spec.hpp"
 
@@ -47,6 +49,65 @@ struct GuardMatrix {
   /// the search may skip it without changing verdicts or witnesses.
   std::vector<char> skip;
 
+  // ---- v2: whole-spec invariant facts (analysis/invariants.hpp) ---------
+  //
+  // Filled by augment_guard_matrix from a valid StateInvariants fixpoint;
+  // empty (zero-sized vectors, n_states == 0) when the engine bailed (an
+  // impure provided clause) or invariant pruning is off. The same proof
+  // discipline applies: a fact is a whole-spec PROOF under the engine's
+  // over-approximating semantics, so consuming it cannot change verdicts
+  // or witnesses.
+
+  int n_states = 0;
+  int n_module_vars = 0;
+  int n_ips = 0;
+  int n_interactions = 0;
+  /// Flattened n_states*n: transition j's provided clause is definitely
+  /// false whenever control state i is entered (evaluated under the state's
+  /// invariant bounds), so a candidate at that state can be skipped before
+  /// its when-queue or guard is consulted. Only recorded for pure guards —
+  /// the whole v2 layer is absent otherwise.
+  std::vector<char> state_refuted_;
+  /// Per control state: reachable in the fixpoint. The search can never
+  /// occupy an unreachable state (debug-assert material; generate() never
+  /// consults it for pruning).
+  std::vector<char> state_reachable_;
+  /// Flattened n_ips*n_interactions: interaction can NEVER be emitted on
+  /// that ip by any live transition, initializer or callee. A pending
+  /// output event matching a never-out entry dooms the whole subtree.
+  std::vector<char> never_out_;
+  /// Flattened n_states*n_module_vars invariant bounds — the debug-mode
+  /// soundness oracle: every concrete scalar module value reached during
+  /// search must lie inside its state's interval.
+  std::vector<std::int64_t> inv_lo_, inv_hi_;
+
+  [[nodiscard]] bool has_state_facts() const {
+    for (char c : state_refuted_) {
+      if (c != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool has_never_out() const {
+    for (char c : never_out_) {
+      if (c != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool has_invariants() const { return !inv_lo_.empty(); }
+  [[nodiscard]] bool state_refuted(int s, int t) const {
+    return state_refuted_[static_cast<std::size_t>(s) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(t)] != 0;
+  }
+  [[nodiscard]] bool state_reachable(int s) const {
+    return state_reachable_[static_cast<std::size_t>(s)] != 0;
+  }
+  [[nodiscard]] bool never_out(int ip, int interaction) const {
+    return never_out_[static_cast<std::size_t>(ip) *
+                          static_cast<std::size_t>(n_interactions) +
+                      static_cast<std::size_t>(interaction)] != 0;
+  }
+
   [[nodiscard]] bool mutex(int i, int j) const {
     return mutex_rt[static_cast<std::size_t>(i) *
                         static_cast<std::size_t>(n) +
@@ -65,7 +126,9 @@ struct GuardMatrix {
     for (char c : mutex_rt) {
       if (c != 0) return true;
     }
-    return false;
+    // v2: invariant bounds alone keep the matrix alive — they change no
+    // Release-mode behavior but feed the debug soundness assert.
+    return has_state_facts() || has_never_out() || has_invariants();
   }
 };
 
@@ -77,5 +140,19 @@ struct GuardAnalysis {
 /// Runs the solver over every transition pair. Pure function of the spec;
 /// cost is O(n^2 * atoms), negligible beside any search.
 [[nodiscard]] GuardAnalysis analyze_guards(const est::Spec& spec);
+
+/// Subrange-typed module slots whose declared bounds CANNOT be trusted
+/// (passed by reference to a routine that writes the parameter: stores
+/// range-check against the parameter's type, not the actual's) get 0;
+/// every other slot gets 1. Shared with the invariant engine, which must
+/// widen untrusted slots to top instead of their declared bounds.
+[[nodiscard]] std::vector<char> trusted_module_slots(
+    const est::Spec& spec, const std::vector<RoutineEffects>& effects);
+
+/// Whether skipping this provided clause's evaluation is unobservable:
+/// every call it reaches must be effect-free, including var-parameter
+/// write-back. Null guards are pure.
+[[nodiscard]] bool provided_clause_pure(
+    const est::Expr* guard, const std::vector<RoutineEffects>& effects);
 
 }  // namespace tango::analysis

@@ -1,0 +1,288 @@
+#include "analysis/interval_domain.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace tango::analysis {
+
+using est::BinOp;
+using est::Expr;
+using est::ExprKind;
+using est::Routine;
+using est::Spec;
+using est::Type;
+using est::TypeKind;
+
+// ---------------------------------------------------------------------------
+// Analysis units and frame layouts
+// ---------------------------------------------------------------------------
+
+std::vector<Unit> collect_units(const Spec& spec) {
+  std::vector<Unit> units;
+  const est::BodyDef& body = spec.body();
+  for (std::size_t i = 0; i < body.initializers.size(); ++i) {
+    const est::Initializer& init = body.initializers[i];
+    Unit u;
+    u.label = body.initializers.size() == 1
+                  ? "initializer"
+                  : "initializer #" + std::to_string(i + 1);
+    u.loc = init.loc;
+    u.block = init.block.get();
+    u.provided = init.provided.get();
+    u.locals = &init.locals;
+    u.frame_size = init.frame_size;
+    units.push_back(std::move(u));
+  }
+  for (const est::Transition& t : body.transitions) {
+    Unit u;
+    u.label = "transition '" + t.name + "'";
+    u.loc = t.loc;
+    u.block = t.block.get();
+    u.provided = t.provided.get();
+    u.locals = &t.locals;
+    u.frame_size = t.frame_size;
+    u.transition = &t;
+    units.push_back(std::move(u));
+  }
+  for (const Routine& r : body.routines) {
+    Unit u;
+    u.label = (r.is_function ? "function '" : "procedure '") + r.name + "'";
+    u.loc = r.loc;
+    u.block = r.body.get();
+    u.locals = &r.locals;
+    u.frame_size = r.frame_size;
+    u.routine = &r;
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+FrameInfo frame_info(const Unit& u) {
+  FrameInfo fi;
+  fi.types.assign(static_cast<std::size_t>(u.frame_size), nullptr);
+  fi.names.assign(static_cast<std::size_t>(u.frame_size), "");
+  fi.is_param.assign(static_cast<std::size_t>(u.frame_size), false);
+  if (u.routine != nullptr) {
+    int slot = 0;
+    for (const est::ParamGroup& g : u.routine->params) {
+      for (const std::string& n : g.names) {
+        const auto s = static_cast<std::size_t>(slot);
+        if (s < fi.types.size()) {
+          fi.types[s] = u.routine->param_types[s];
+          fi.names[s] = n;
+          fi.is_param[s] = true;
+        }
+        ++slot;
+      }
+    }
+    fi.result_slot = u.routine->result_slot;
+    if (fi.result_slot >= 0 &&
+        static_cast<std::size_t>(fi.result_slot) < fi.types.size()) {
+      fi.types[static_cast<std::size_t>(fi.result_slot)] =
+          u.routine->result_type ? u.routine->result_type->resolved : nullptr;
+      fi.names[static_cast<std::size_t>(fi.result_slot)] = u.routine->name;
+    }
+  }
+  if (u.locals != nullptr) {
+    for (const est::VarDecl& vd : *u.locals) {
+      for (std::size_t i = 0; i < vd.names.size(); ++i) {
+        const auto s = static_cast<std::size_t>(vd.first_slot) + i;
+        if (s < fi.types.size()) {
+          fi.types[s] = vd.type ? vd.type->resolved : nullptr;
+          fi.names[s] = vd.names[i];
+        }
+      }
+    }
+  }
+  return fi;
+}
+
+const Expr* chain_root(const Expr& e, bool* through_deref) {
+  const Expr* cur = &e;
+  while (true) {
+    switch (cur->kind) {
+      case ExprKind::Field:
+      case ExprKind::Index:
+        cur = cur->children[0].get();
+        break;
+      case ExprKind::Deref:
+        if (through_deref != nullptr) *through_deref = true;
+        cur = cur->children[0].get();
+        break;
+      case ExprKind::Name:
+        return cur;
+      default:
+        return nullptr;
+    }
+  }
+}
+
+bool is_aggregate(const Type* t) {
+  return t != nullptr &&
+         (t->kind == TypeKind::Record || t->kind == TypeKind::Array);
+}
+
+// ---------------------------------------------------------------------------
+// The interval lattice
+// ---------------------------------------------------------------------------
+
+std::int64_t clamp_wide(__int128 v) {
+  if (v < -static_cast<__int128>(kInf)) return -kInf;
+  if (v > static_cast<__int128>(kInf)) return kInf;
+  return static_cast<std::int64_t>(v);
+}
+
+Interval hull(Interval a, Interval b) {
+  if (a.bot()) return b;
+  if (b.bot()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(Interval a, Interval b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+bool disjoint(Interval a, Interval b) {
+  return !a.bot() && !b.bot() && (a.hi < b.lo || a.lo > b.hi);
+}
+
+Interval arith(BinOp op, Interval a, Interval b) {
+  if (a.bot() || b.bot()) return {};
+  const auto wa_lo = static_cast<__int128>(a.lo);
+  const auto wa_hi = static_cast<__int128>(a.hi);
+  const auto wb_lo = static_cast<__int128>(b.lo);
+  const auto wb_hi = static_cast<__int128>(b.hi);
+  switch (op) {
+    case BinOp::Add:
+      return {clamp_wide(wa_lo + wb_lo), clamp_wide(wa_hi + wb_hi)};
+    case BinOp::Sub:
+      return {clamp_wide(wa_lo - wb_hi), clamp_wide(wa_hi - wb_lo)};
+    case BinOp::Mul: {
+      const __int128 c[4] = {wa_lo * wb_lo, wa_lo * wb_hi, wa_hi * wb_lo,
+                             wa_hi * wb_hi};
+      __int128 lo = c[0], hi = c[0];
+      for (__int128 v : c) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return {clamp_wide(lo), clamp_wide(hi)};
+    }
+    case BinOp::IntDiv: {
+      if (b.lo <= 0 && b.hi >= 0) return Interval::top();  // may divide by 0
+      const __int128 c[4] = {wa_lo / wb_lo, wa_lo / wb_hi, wa_hi / wb_lo,
+                             wa_hi / wb_hi};
+      __int128 lo = c[0], hi = c[0];
+      for (__int128 v : c) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return {clamp_wide(lo), clamp_wide(hi)};
+    }
+    case BinOp::Mod: {
+      const std::int64_t m =
+          std::max(std::abs(a.lo) < kInf ? std::int64_t{0} : kInf,
+                   std::max(std::abs(b.lo), std::abs(b.hi)));
+      if (m == 0) return Interval::top();
+      const std::int64_t span = m - 1;
+      return {a.lo >= 0 ? 0 : -span, span};
+    }
+    default:
+      return Interval::top();
+  }
+}
+
+Interval compare(BinOp op, Interval a, Interval b) {
+  if (a.bot() || b.bot()) return {};
+  bool may_true = true, may_false = true;
+  switch (op) {
+    case BinOp::Eq:
+      may_true = !disjoint(a, b);
+      may_false = !(a.singleton() && b.singleton() && a.lo == b.lo);
+      break;
+    case BinOp::Neq:
+      may_true = !(a.singleton() && b.singleton() && a.lo == b.lo);
+      may_false = !disjoint(a, b);
+      break;
+    case BinOp::Lt:
+      may_true = a.lo < b.hi;
+      may_false = a.hi >= b.lo;
+      break;
+    case BinOp::Leq:
+      may_true = a.lo <= b.hi;
+      may_false = a.hi > b.lo;
+      break;
+    case BinOp::Gt:
+      may_true = a.hi > b.lo;
+      may_false = a.lo <= b.hi;
+      break;
+    case BinOp::Geq:
+      may_true = a.hi >= b.lo;
+      may_false = a.lo < b.hi;
+      break;
+    default:
+      break;
+  }
+  return {may_false ? 0 : 1, may_true ? 1 : 0};
+}
+
+std::optional<Interval> type_bounds(const Type* t) {
+  if (t == nullptr) return std::nullopt;
+  switch (t->kind) {
+    case TypeKind::Integer:
+      return Interval::top();
+    case TypeKind::Boolean:
+      return Interval{0, 1};
+    case TypeKind::Char:
+      return Interval{0, 255};
+    case TypeKind::Enum:
+      return Interval{0,
+                      static_cast<std::int64_t>(t->enum_values.size()) - 1};
+    case TypeKind::Subrange:
+      return Interval{t->lo, t->hi};
+    default:
+      return std::nullopt;
+  }
+}
+
+Interval bounds_or_top(const Type* t) {
+  return type_bounds(t).value_or(Interval::top());
+}
+
+// ---------------------------------------------------------------------------
+// The CFG worklist solver
+// ---------------------------------------------------------------------------
+
+std::vector<IntervalEnv> solve_intervals(const Cfg& cfg, IntervalPass& pass,
+                                         const IntervalEnv& entry,
+                                         const IntervalEnv& widen_to) {
+  std::vector<IntervalEnv> in(cfg.size());
+  in[static_cast<std::size_t>(cfg.entry)] = entry;
+  std::vector<int> merges(cfg.size(), 0);
+  std::deque<int> wl{cfg.entry};
+  std::vector<char> queued(cfg.size(), 0);
+  queued[static_cast<std::size_t>(cfg.entry)] = 1;
+  while (!wl.empty()) {
+    const int id = wl.front();
+    wl.pop_front();
+    queued[static_cast<std::size_t>(id)] = 0;
+    const IntervalEnv env = in[static_cast<std::size_t>(id)];
+    if (env.bot) continue;
+    const CfgNode& n = cfg.node(id);
+    for (const CfgEdge& e : n.succs) {
+      if (!pass.feasible(n, env, e)) continue;
+      IntervalEnv out = pass.transfer(n, env, e);
+      IntervalEnv& dst = in[static_cast<std::size_t>(e.to)];
+      const bool widen = ++merges[static_cast<std::size_t>(e.to)] >
+                         kWidenAfter;
+      if (dst.merge(out, widen, widen_to.frame, widen_to.module,
+                    widen_to.when) &&
+          queued[static_cast<std::size_t>(e.to)] == 0) {
+        queued[static_cast<std::size_t>(e.to)] = 1;
+        wl.push_back(e.to);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace tango::analysis

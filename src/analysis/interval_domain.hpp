@@ -1,0 +1,850 @@
+// Shared interval-domain machinery: analysis units and frame layouts, the
+// saturating interval lattice, and the per-CFG abstract interpreter with
+// branch refinement and widening. Two clients drive it:
+//
+//   * dataflow.cpp runs one unit at a time with declared-type entry bounds
+//     (the `intervals` / `unreachable` lint passes);
+//   * invariants.cpp re-runs each transition's transfer function inside a
+//     whole-spec fixpoint over the control-state graph, seeding the module
+//     environment from the current state invariant instead (and overriding
+//     the module widen/clobber bounds with trusted-aware ones, see
+//     set_module_bounds).
+//
+// The domain direction is over-approximation: every interval covers every
+// value the concrete execution can produce, so "definitely false" /
+// "definitely out of range" conclusions are proofs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/finding.hpp"
+#include "estelle/spec.hpp"
+
+namespace tango::analysis {
+
+// ---------------------------------------------------------------------------
+// Analysis units and frame layouts
+// ---------------------------------------------------------------------------
+
+/// One analyzable block: an initializer, a transition or a routine.
+struct Unit {
+  std::string label;
+  SourceLoc loc;
+  const est::Stmt* block = nullptr;     // may be null (initializer without one)
+  const est::Expr* provided = nullptr;  // transitions / initializers
+  const std::vector<est::VarDecl>* locals = nullptr;
+  int frame_size = 0;
+  const est::Routine* routine = nullptr;
+  const est::Transition* transition = nullptr;
+};
+
+std::vector<Unit> collect_units(const est::Spec& spec);
+
+/// Per-slot frame metadata for one unit.
+struct FrameInfo {
+  std::vector<const est::Type*> types;  // null where unknown
+  std::vector<std::string> names;
+  std::vector<bool> is_param;  // defined on entry
+  int result_slot = -1;
+};
+
+FrameInfo frame_info(const Unit& u);
+
+/// Follows Field/Index/Deref bases down to the root Name, noting whether the
+/// chain passes through a pointer dereference (writes then land on the heap,
+/// not on the root variable).
+const est::Expr* chain_root(const est::Expr& e, bool* through_deref);
+
+bool is_aggregate(const est::Type* t);
+
+// ---------------------------------------------------------------------------
+// The interval lattice
+// ---------------------------------------------------------------------------
+
+/// Saturation bound: wide enough for any program value, small enough that
+/// sums/products of two in-range bounds cannot overflow __int128 paths.
+constexpr std::int64_t kInf = std::int64_t{1} << 62;
+
+struct Interval {
+  std::int64_t lo = 1;
+  std::int64_t hi = 0;  // lo > hi encodes bottom (no value)
+
+  [[nodiscard]] bool bot() const { return lo > hi; }
+  [[nodiscard]] bool singleton() const { return lo == hi; }
+  static Interval top() { return {-kInf, kInf}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+};
+
+std::int64_t clamp_wide(__int128 v);
+Interval hull(Interval a, Interval b);
+Interval meet(Interval a, Interval b);
+bool disjoint(Interval a, Interval b);
+Interval arith(est::BinOp op, Interval a, Interval b);
+/// Three-valued comparison outcome as a boolean interval.
+Interval compare(est::BinOp op, Interval a, Interval b);
+std::optional<Interval> type_bounds(const est::Type* t);
+Interval bounds_or_top(const est::Type* t);
+
+struct IntervalEnv {
+  std::vector<Interval> frame, module, when;
+  bool bot = true;
+
+  bool merge(const IntervalEnv& o, bool widen,
+             const std::vector<Interval>& frame_b,
+             const std::vector<Interval>& module_b,
+             const std::vector<Interval>& when_b) {
+    if (o.bot) return false;
+    if (bot) {
+      *this = o;
+      return true;
+    }
+    bool grown = false;
+    auto join = [&](std::vector<Interval>& dst,
+                    const std::vector<Interval>& src,
+                    const std::vector<Interval>& wide) {
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        Interval h = hull(dst[i], src[i]);
+        if (widen && (h.lo < dst[i].lo || h.hi > dst[i].hi)) {
+          if (h.lo < dst[i].lo) h.lo = wide[i].lo;
+          if (h.hi > dst[i].hi) h.hi = wide[i].hi;
+        }
+        if (h.lo != dst[i].lo || h.hi != dst[i].hi) {
+          dst[i] = h;
+          grown = true;
+        }
+      }
+    };
+    join(frame, o.frame, frame_b);
+    join(module, o.module, module_b);
+    join(when, o.when, when_b);
+    return grown;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The per-CFG abstract interpreter
+// ---------------------------------------------------------------------------
+
+class IntervalPass {
+ public:
+  IntervalPass(const est::Spec& spec, const Unit& unit, const FrameInfo& frame,
+               const std::vector<RoutineEffects>& effects)
+      : spec_(spec), unit_(unit), frame_(frame), effects_(effects) {
+    frame_bounds_.reserve(frame.types.size());
+    for (const est::Type* t : frame.types) {
+      frame_bounds_.push_back(bounds_or_top(t));
+    }
+    for (const est::ModuleVarInfo& mv : spec.module_vars) {
+      module_bounds_.push_back(bounds_or_top(mv.type));
+    }
+    if (unit.transition != nullptr && unit.transition->when) {
+      for (const est::Type* t : unit.transition->when->param_types) {
+        when_bounds_.push_back(bounds_or_top(t));
+      }
+    }
+  }
+
+  /// Declared-bounds environment, provided clause NOT yet assumed. The
+  /// invariant engine starts here, overwrites the module leg with the
+  /// current state invariant, and only then decides whether the clause can
+  /// hold at all.
+  IntervalEnv entry_env_raw() const {
+    IntervalEnv env;
+    env.bot = false;
+    env.frame = frame_bounds_;
+    env.module = module_bounds_;
+    env.when = when_bounds_;
+    return env;
+  }
+
+  IntervalEnv entry_env() const {
+    IntervalEnv env = entry_env_raw();
+    if (unit_.provided != nullptr) {
+      refine(env, *unit_.provided, true);
+    }
+    return env;
+  }
+
+  /// Overrides the module-variable bounds used for entry envs, assignment
+  /// clamping, callee clobbers and widening. The invariant engine passes
+  /// trusted-aware bounds (top for subrange slots a var-parameter store can
+  /// push out of range) so the clobber reset stays an over-approximation.
+  void set_module_bounds(std::vector<Interval> b) {
+    module_bounds_ = std::move(b);
+  }
+
+  /// Drops the declared-type assumption on when parameters: invariant facts
+  /// must hold for whatever binding the trace supplies.
+  void set_when_bounds_top() {
+    for (Interval& w : when_bounds_) w = Interval::top();
+  }
+
+  // ---- evaluation -------------------------------------------------------
+
+  Interval eval(const est::Expr& e, const IntervalEnv& env) {
+    using est::BinOp;
+    using est::Builtin;
+    using est::ExprKind;
+    using est::NameRef;
+    using est::UnOp;
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+      case ExprKind::CharLit:
+        return Interval::point(e.int_value);
+      case ExprKind::NilLit:
+        return Interval::top();
+      case ExprKind::Name:
+        switch (e.ref) {
+          case NameRef::ConstInt:
+          case NameRef::ConstBool:
+          case NameRef::ConstChar:
+          case NameRef::EnumConst:
+            return Interval::point(e.int_value);
+          case NameRef::ModuleVar:
+            return slot_of(env.module, e.slot);
+          case NameRef::Local:
+            return slot_of(env.frame, e.slot);
+          case NameRef::WhenParam:
+            return slot_of(env.when, e.slot);
+          default:
+            return bounds_or_top(e.type);
+        }
+      case ExprKind::Field:
+        eval(*e.children[0], env);
+        return bounds_or_top(e.type);
+      case ExprKind::Index: {
+        eval(*e.children[0], env);
+        const Interval ix = eval(*e.children[1], env);
+        check_index(e, ix);
+        return bounds_or_top(e.type);
+      }
+      case ExprKind::Deref:
+        eval(*e.children[0], env);
+        return bounds_or_top(e.type);
+      case ExprKind::Unary: {
+        const Interval v = eval(*e.children[0], env);
+        if (v.bot()) return v;
+        switch (e.un_op) {
+          case UnOp::Plus:
+            return v;
+          case UnOp::Neg:
+            return {clamp_wide(-static_cast<__int128>(v.hi)),
+                    clamp_wide(-static_cast<__int128>(v.lo))};
+          case UnOp::Not:
+            return {1 - std::min<std::int64_t>(v.hi, 1),
+                    1 - std::max<std::int64_t>(v.lo, 0)};
+        }
+        return Interval::top();
+      }
+      case ExprKind::Binary: {
+        const Interval a = eval(*e.children[0], env);
+        const Interval b = eval(*e.children[1], env);
+        switch (e.bin_op) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+            return arith(e.bin_op, a, b);
+          case BinOp::IntDiv:
+          case BinOp::Mod:
+            check_divisor(e, b);
+            return arith(e.bin_op, a, b);
+          case BinOp::And: {
+            if (a.bot() || b.bot()) return {};
+            const bool f = a.hi <= 0 || b.hi <= 0;
+            const bool t = a.lo >= 1 && b.lo >= 1;
+            return {t ? 1 : 0, f ? 0 : 1};
+          }
+          case BinOp::Or: {
+            if (a.bot() || b.bot()) return {};
+            const bool t = a.lo >= 1 || b.lo >= 1;
+            const bool f = a.hi <= 0 && b.hi <= 0;
+            return {t ? 1 : 0, f ? 0 : 1};
+          }
+          default:
+            return compare(e.bin_op, a, b);
+        }
+      }
+      case ExprKind::Call: {
+        for (const est::ExprPtr& a : e.children) {
+          if (a) eval(*a, env);
+        }
+        switch (e.builtin) {
+          case Builtin::Ord:
+            return child_interval(e, env, 0);
+          case Builtin::Chr:
+            return meet(child_interval(e, env, 0), {0, 255});
+          case Builtin::Abs: {
+            const Interval v = child_interval(e, env, 0);
+            if (v.bot()) return v;
+            if (v.lo >= 0) return v;
+            if (v.hi <= 0) return {-v.hi, -v.lo};
+            return {0, std::max(clamp_wide(-static_cast<__int128>(v.lo)),
+                                v.hi)};
+          }
+          case Builtin::Succ:
+            return arith(est::BinOp::Add, child_interval(e, env, 0),
+                         Interval::point(1));
+          case Builtin::Pred:
+            return arith(est::BinOp::Sub, child_interval(e, env, 0),
+                         Interval::point(1));
+          case Builtin::Odd:
+            return {0, 1};
+          default:
+            return bounds_or_top(e.type);
+        }
+      }
+    }
+    return Interval::top();
+  }
+
+  // ---- branch refinement ------------------------------------------------
+
+  void refine(IntervalEnv& env, const est::Expr& cond, bool want_true) const {
+    using est::BinOp;
+    using est::ExprKind;
+    using est::UnOp;
+    switch (cond.kind) {
+      case ExprKind::Unary:
+        if (cond.un_op == UnOp::Not) {
+          refine(env, *cond.children[0], !want_true);
+        }
+        return;
+      case ExprKind::Binary:
+        switch (cond.bin_op) {
+          case BinOp::And:
+            if (want_true) {
+              refine(env, *cond.children[0], true);
+              refine(env, *cond.children[1], true);
+            }
+            return;
+          case BinOp::Or:
+            if (!want_true) {
+              refine(env, *cond.children[0], false);
+              refine(env, *cond.children[1], false);
+            }
+            return;
+          case BinOp::Eq:
+          case BinOp::Neq:
+          case BinOp::Lt:
+          case BinOp::Leq:
+          case BinOp::Gt:
+          case BinOp::Geq:
+            refine_cmp(env, cond, want_true);
+            return;
+          default:
+            return;
+        }
+      case ExprKind::Name:
+        // Bare boolean guard: x / not x.
+        constrain(env, cond, want_true ? Interval{1, 1} : Interval{0, 0});
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- per-node transfer ------------------------------------------------
+
+  /// Out-env of `n` along `edge`, given the in-env. `self` must outlive the
+  /// call (envs copied in).
+  IntervalEnv transfer(const CfgNode& n, const IntervalEnv& in,
+                       const CfgEdge& edge) {
+    using est::ExprKind;
+    IntervalEnv out = in;
+    switch (n.kind) {
+      case CfgNodeKind::Entry:
+      case CfgNodeKind::Exit:
+      case CfgNodeKind::ForTest:
+        break;
+      case CfgNodeKind::Simple:
+        simple(*n.stmt, out);
+        break;
+      case CfgNodeKind::CondIf:
+      case CfgNodeKind::CondWhile:
+      case CfgNodeKind::CondRepeat:
+        clobber_calls(*n.cond, out);
+        if (edge.kind == EdgeKind::True) refine(out, *n.cond, true);
+        if (edge.kind == EdgeKind::False) refine(out, *n.cond, false);
+        break;
+      case CfgNodeKind::CondCase:
+        clobber_calls(*n.cond, out);
+        if (edge.kind == EdgeKind::CaseArm && edge.arm != nullptr) {
+          refine_case_arm(out, *n.cond, *edge.arm);
+        }
+        break;
+      case CfgNodeKind::ForInit: {
+        const est::Stmt& s = *n.stmt;
+        if (s.e1) clobber_calls(*s.e1, out);
+        if (!s.args.empty() && s.args[0]) clobber_calls(*s.args[0], out);
+        const Interval from = s.e1 ? eval(*s.e1, out) : Interval::top();
+        const Interval to = (!s.args.empty() && s.args[0])
+                                ? eval(*s.args[0], out)
+                                : Interval::top();
+        if (s.e0 && s.e0->kind == ExprKind::Name) {
+          // The control variable keeps its old value when the loop body
+          // never runs, so widen with the incoming interval.
+          Interval range = meet(hull(from, to), bounds_for(*s.e0));
+          constrain_set(out, *s.e0, hull(slot_interval(out, *s.e0), range));
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// May control flow leave `n` along `edge` under `in`? Monotone in the
+  /// envs (intervals only grow), so reachability never shrinks.
+  bool feasible(const CfgNode& n, const IntervalEnv& in,
+                const CfgEdge& edge) {
+    switch (n.kind) {
+      case CfgNodeKind::CondIf:
+      case CfgNodeKind::CondWhile:
+      case CfgNodeKind::CondRepeat: {
+        if (edge.kind != EdgeKind::True && edge.kind != EdgeKind::False) {
+          return true;
+        }
+        const Interval c = eval(*n.cond, in);
+        if (c.bot()) return true;
+        if (edge.kind == EdgeKind::True) return c.hi >= 1;
+        return c.lo <= 0;
+      }
+      case CfgNodeKind::CondCase: {
+        if (edge.kind != EdgeKind::CaseArm || edge.arm == nullptr) {
+          return true;
+        }
+        const Interval sel = eval(*n.cond, in);
+        if (sel.bot()) return true;
+        for (std::int64_t label : edge.arm->label_values) {
+          if (label >= sel.lo && label <= sel.hi) return true;
+        }
+        return false;
+      }
+      case CfgNodeKind::ForTest: {
+        if (edge.kind != EdgeKind::True) return true;
+        const est::Stmt& s = *n.stmt;
+        const Interval from = s.e1 ? eval(*s.e1, in) : Interval::top();
+        const Interval to = (!s.args.empty() && s.args[0])
+                                ? eval(*s.args[0], in)
+                                : Interval::top();
+        if (from.bot() || to.bot()) return true;
+        return s.downto ? from.hi >= to.lo : from.lo <= to.hi;
+      }
+      default:
+        return true;
+    }
+  }
+
+  // ---- reporting --------------------------------------------------------
+
+  void report_node(const CfgNode& n, const IntervalEnv& in,
+                   std::vector<Finding>& findings) {
+    findings_ = &findings;
+    switch (n.kind) {
+      case CfgNodeKind::Entry:
+      case CfgNodeKind::Exit:
+        break;
+      case CfgNodeKind::Simple:
+        report_simple(*n.stmt, in);
+        break;
+      case CfgNodeKind::CondIf:
+      case CfgNodeKind::CondWhile:
+      case CfgNodeKind::CondRepeat:
+        eval(*n.cond, in);
+        break;
+      case CfgNodeKind::CondCase:
+        report_case(n, in);
+        break;
+      case CfgNodeKind::ForInit: {
+        const est::Stmt& s = *n.stmt;
+        if (s.e1) eval(*s.e1, in);
+        if (!s.args.empty() && s.args[0]) eval(*s.args[0], in);
+        break;
+      }
+      case CfgNodeKind::ForTest:
+        break;
+    }
+    findings_ = nullptr;
+  }
+
+ private:
+  static Interval slot_of(const std::vector<Interval>& v, int slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    return s < v.size() ? v[s] : Interval::top();
+  }
+
+  Interval child_interval(const est::Expr& e, const IntervalEnv& env,
+                          std::size_t i) {
+    if (i >= e.children.size() || !e.children[i]) return Interval::top();
+    return eval(*e.children[i], env);
+  }
+
+  Interval bounds_for(const est::Expr& name) const {
+    switch (name.ref) {
+      case est::NameRef::ModuleVar:
+        return slot_of(module_bounds_, name.slot);
+      case est::NameRef::Local:
+        return slot_of(frame_bounds_, name.slot);
+      case est::NameRef::WhenParam:
+        return slot_of(when_bounds_, name.slot);
+      default:
+        return Interval::top();
+    }
+  }
+
+  Interval slot_interval(const IntervalEnv& env,
+                         const est::Expr& name) const {
+    switch (name.ref) {
+      case est::NameRef::ModuleVar:
+        return slot_of(env.module, name.slot);
+      case est::NameRef::Local:
+        return slot_of(env.frame, name.slot);
+      case est::NameRef::WhenParam:
+        return slot_of(env.when, name.slot);
+      default:
+        return Interval::top();
+    }
+  }
+
+  void constrain_set(IntervalEnv& env, const est::Expr& name,
+                     Interval v) const {
+    std::vector<Interval>* vec = nullptr;
+    switch (name.ref) {
+      case est::NameRef::ModuleVar:
+        vec = &env.module;
+        break;
+      case est::NameRef::Local:
+        vec = &env.frame;
+        break;
+      case est::NameRef::WhenParam:
+        vec = &env.when;
+        break;
+      default:
+        return;
+    }
+    const auto s = static_cast<std::size_t>(name.slot);
+    if (s < vec->size()) (*vec)[s] = v;
+  }
+
+  void constrain(IntervalEnv& env, const est::Expr& name,
+                 Interval with) const {
+    const Interval cur = slot_interval(env, name);
+    Interval m = meet(cur, with);
+    if (m.bot()) m = with;  // contradictory path; keep it harmless
+    constrain_set(env, name, m);
+  }
+
+  /// const-ish interval of an expr without env mutation, used by refine
+  /// (const): conservative wrapper around eval.
+  Interval peek(const est::Expr& e, const IntervalEnv& env) const {
+    return const_cast<IntervalPass*>(this)->eval(e, env);
+  }
+
+  void refine_cmp(IntervalEnv& env, const est::Expr& cmp,
+                  bool want_true) const {
+    using est::BinOp;
+    BinOp op = cmp.bin_op;
+    if (!want_true) {
+      switch (op) {
+        case BinOp::Eq: op = BinOp::Neq; break;
+        case BinOp::Neq: op = BinOp::Eq; break;
+        case BinOp::Lt: op = BinOp::Geq; break;
+        case BinOp::Leq: op = BinOp::Gt; break;
+        case BinOp::Gt: op = BinOp::Leq; break;
+        case BinOp::Geq: op = BinOp::Lt; break;
+        default: return;
+      }
+    }
+    const est::Expr& lhs = *cmp.children[0];
+    const est::Expr& rhs = *cmp.children[1];
+    apply_cmp(env, lhs, op, peek(rhs, env));
+    apply_cmp(env, rhs, mirror(op), peek(lhs, env));
+  }
+
+  static est::BinOp mirror(est::BinOp op) {
+    using est::BinOp;
+    switch (op) {
+      case BinOp::Lt: return BinOp::Gt;
+      case BinOp::Leq: return BinOp::Geq;
+      case BinOp::Gt: return BinOp::Lt;
+      case BinOp::Geq: return BinOp::Leq;
+      default: return op;  // Eq / Neq are symmetric
+    }
+  }
+
+  void apply_cmp(IntervalEnv& env, const est::Expr& side, est::BinOp op,
+                 Interval other) const {
+    using est::BinOp;
+    using est::ExprKind;
+    if (side.kind != ExprKind::Name || other.bot()) return;
+    switch (op) {
+      case BinOp::Eq:
+        constrain(env, side, other);
+        return;
+      case BinOp::Neq: {
+        // Only bound-trimming exclusions are expressible as an interval.
+        if (!other.singleton()) return;
+        Interval cur = slot_interval(env, side);
+        if (cur.bot()) return;
+        if (other.lo == cur.lo) {
+          constrain_set(env, side, {cur.lo + 1, cur.hi});
+        } else if (other.lo == cur.hi) {
+          constrain_set(env, side, {cur.lo, cur.hi - 1});
+        }
+        return;
+      }
+      case BinOp::Lt:
+        constrain(env, side, {-kInf, clamp_wide(
+            static_cast<__int128>(other.hi) - 1)});
+        return;
+      case BinOp::Leq:
+        constrain(env, side, {-kInf, other.hi});
+        return;
+      case BinOp::Gt:
+        constrain(env, side, {clamp_wide(
+            static_cast<__int128>(other.lo) + 1), kInf});
+        return;
+      case BinOp::Geq:
+        constrain(env, side, {other.lo, kInf});
+        return;
+      default:
+        return;
+    }
+  }
+
+  void refine_case_arm(IntervalEnv& env, const est::Expr& sel,
+                       const est::CaseArm& arm) const {
+    if (sel.kind != est::ExprKind::Name || arm.label_values.empty()) return;
+    const Interval cur = slot_interval(env, sel);
+    Interval span{kInf, -kInf};
+    for (std::int64_t label : arm.label_values) {
+      if (label >= cur.lo && label <= cur.hi) {
+        span.lo = std::min(span.lo, label);
+        span.hi = std::max(span.hi, label);
+      }
+    }
+    if (!span.bot()) constrain(env, sel, span);
+  }
+
+  // ---- statement transfer ----------------------------------------------
+
+  void simple(const est::Stmt& s, IntervalEnv& env) {
+    using est::ExprKind;
+    using est::StmtKind;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        if (s.e0) clobber_calls(*s.e0, env);
+        if (s.e1) clobber_calls(*s.e1, env);
+        const Interval v = s.e1 ? eval(*s.e1, env) : Interval::top();
+        if (s.e0 && s.e0->kind == ExprKind::Name) {
+          Interval stored = meet(v, bounds_for(*s.e0));
+          if (stored.bot()) stored = bounds_for(*s.e0);
+          constrain_set(env, *s.e0, stored);
+        }
+        break;
+      }
+      case StmtKind::Call: {
+        clobber_call_stmt(s, env);
+        break;
+      }
+      case StmtKind::Output:
+        for (const est::ExprPtr& a : s.args) {
+          if (a) clobber_calls(*a, env);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void clobber_call_stmt(const est::Stmt& s, IntervalEnv& env) {
+    if (s.builtin != est::Builtin::None) {
+      return;  // new/dispose: nothing tracked
+    }
+    const est::Routine* callee = routine_at(s.routine_index);
+    if (callee == nullptr) return;
+    apply_callee_clobber(s.routine_index, s.args, env);
+    for (const est::ExprPtr& a : s.args) {
+      if (a) clobber_calls(*a, env);
+    }
+  }
+
+  const est::Routine* routine_at(int index) const {
+    if (index < 0 ||
+        static_cast<std::size_t>(index) >= spec_.body().routines.size()) {
+      return nullptr;
+    }
+    return &spec_.body().routines[static_cast<std::size_t>(index)];
+  }
+
+  void apply_callee_clobber(int routine_index,
+                            const std::vector<est::ExprPtr>& args,
+                            IntervalEnv& env) {
+    if (routine_index < 0 ||
+        static_cast<std::size_t>(routine_index) >= effects_.size()) {
+      return;
+    }
+    const RoutineEffects& eff = effects_[static_cast<std::size_t>(
+        routine_index)];
+    if (eff.writes_module) {
+      // Stored values conform to the declared type on direct writes; reset
+      // every module slot to its declared bounds.
+      env.module = module_bounds_;
+    }
+    for (std::size_t i = 0;
+         i < std::min(eff.writes_param.size(), args.size()); ++i) {
+      if (!eff.writes_param[i] || !args[i]) continue;
+      bool deref = false;
+      const est::Expr* root = chain_root(*args[i], &deref);
+      if (root != nullptr && !deref) {
+        // Var-parameter stores bypass the actual's subrange check, so the
+        // post-call value may exceed the declared bounds.
+        constrain_set(env, *root, Interval::top());
+      }
+    }
+  }
+
+  /// Resets whatever a function call reachable from `e` may overwrite.
+  void clobber_calls(const est::Expr& e, IntervalEnv& env) {
+    using est::ExprKind;
+    if (e.kind == ExprKind::Call && e.builtin == est::Builtin::None) {
+      apply_callee_clobber(e.routine_index, e.children, env);
+    }
+    if (e.kind == ExprKind::Name && e.ref == est::NameRef::Call0) {
+      apply_callee_clobber(e.slot, {}, env);
+    }
+    for (const est::ExprPtr& c : e.children) {
+      if (c) clobber_calls(*c, env);
+    }
+  }
+
+  // ---- checks (reporting pass only) -------------------------------------
+
+  void report(Severity sev, SourceLoc loc, std::string msg) {
+    if (findings_ != nullptr) {
+      findings_->emplace_back(sev, "intervals", loc, unit_.label,
+                              std::move(msg));
+    }
+  }
+
+  static std::string range_str(Interval v) {
+    auto one = [](std::int64_t x) {
+      if (x <= -kInf) return std::string("-inf");
+      if (x >= kInf) return std::string("+inf");
+      return std::to_string(x);
+    };
+    return one(v.lo) + ".." + one(v.hi);
+  }
+
+  void check_index(const est::Expr& e, Interval ix) {
+    const est::Type* at = e.children[0]->type;
+    if (at == nullptr || at->kind != est::TypeKind::Array || ix.bot()) return;
+    if (ix.hi < at->lo || ix.lo > at->hi) {
+      report(Severity::Error, e.loc,
+             "array index is always out of bounds " +
+                 std::to_string(at->lo) + ".." + std::to_string(at->hi) +
+                 " (index is " + range_str(ix) + ")");
+    }
+  }
+
+  void check_divisor(const est::Expr& e, Interval b) {
+    if (!b.bot() && b.lo == 0 && b.hi == 0) {
+      report(Severity::Error, e.loc, e.bin_op == est::BinOp::Mod
+                                         ? "modulus is always zero"
+                                         : "divisor is always zero");
+    }
+  }
+
+  void report_simple(const est::Stmt& s, const IntervalEnv& in) {
+    using est::ExprKind;
+    using est::StmtKind;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const Interval v = s.e1 ? eval(*s.e1, in) : Interval::top();
+        if (s.e0) {
+          eval_lvalue(*s.e0, in);
+          const std::optional<Interval> b = type_bounds(s.e0->type);
+          if (b && disjoint(v, *b)) {
+            std::string what =
+                s.e0->kind == ExprKind::Name
+                    ? "assignment to '" + s.e0->name + "'"
+                    : "assignment";
+            report(Severity::Error, s.e0->loc,
+                   what + " is always out of range " + range_str(*b) +
+                       " (value is " + range_str(v) + ")");
+          }
+        }
+        break;
+      }
+      case StmtKind::Call:
+        for (const est::ExprPtr& a : s.args) {
+          if (a) eval(*a, in);
+        }
+        break;
+      case StmtKind::Output:
+        for (const est::ExprPtr& a : s.args) {
+          if (a) eval(*a, in);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Walks an assignment target for checks without treating the root name
+  /// read as a value use.
+  void eval_lvalue(const est::Expr& e, const IntervalEnv& in) {
+    using est::ExprKind;
+    switch (e.kind) {
+      case ExprKind::Index: {
+        eval_lvalue(*e.children[0], in);
+        const Interval ix = eval(*e.children[1], in);
+        check_index(e, ix);
+        return;
+      }
+      case ExprKind::Field:
+      case ExprKind::Deref:
+        eval_lvalue(*e.children[0], in);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void report_case(const CfgNode& n, const IntervalEnv& in) {
+    const Interval sel = eval(*n.cond, in);
+    if (sel.bot() || n.stmt == nullptr || n.stmt->has_otherwise) return;
+    for (const est::CaseArm& arm : n.stmt->arms) {
+      for (std::int64_t label : arm.label_values) {
+        if (label >= sel.lo && label <= sel.hi) return;
+      }
+    }
+    report(Severity::Error, n.loc,
+           "case selector (range " + range_str(sel) +
+               ") matches no label and there is no otherwise part");
+  }
+
+  const est::Spec& spec_;
+  const Unit& unit_;
+  const FrameInfo& frame_;
+  const std::vector<RoutineEffects>& effects_;
+  std::vector<Interval> frame_bounds_, module_bounds_, when_bounds_;
+  std::vector<Finding>* findings_ = nullptr;
+};
+
+constexpr int kWidenAfter = 3;
+
+/// Worklist fixpoint over one CFG: seeds `entry` at cfg.entry, pushes
+/// transfer along feasible edges, joins at targets and widens toward
+/// `widen_to` after kWidenAfter merges per node. Returns the per-node
+/// in-environments (index = node id; bot = unreachable).
+std::vector<IntervalEnv> solve_intervals(const Cfg& cfg, IntervalPass& pass,
+                                         const IntervalEnv& entry,
+                                         const IntervalEnv& widen_to);
+
+}  // namespace tango::analysis

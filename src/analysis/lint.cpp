@@ -7,6 +7,7 @@
 
 #include "analysis/dataflow.hpp"
 #include "analysis/guard_solver.hpp"
+#include "analysis/invariants.hpp"
 
 namespace tango::analysis {
 
@@ -212,7 +213,8 @@ void check_dead_interactions(const Spec& spec, LintReport& report) {
 
 constexpr const char* kPassNames[] = {"reach",       "cycles",  "interactions",
                                       "assign",      "intervals",
-                                      "unreachable", "purity",  "guards"};
+                                      "unreachable", "purity",  "guards",
+                                      "invariants"};
 
 std::set<std::string> parse_passes(const std::string& passes) {
   std::set<std::string> on;
@@ -233,7 +235,8 @@ std::set<std::string> parse_passes(const std::string& passes) {
         throw CompileError({}, "unknown lint pass '" + name +
                                    "' (expected a comma-separated subset of "
                                    "reach,cycles,interactions,assign,"
-                                   "intervals,unreachable,purity,guards)");
+                                   "intervals,unreachable,purity,guards,"
+                                   "invariants)");
       }
       on.insert(name);
     }
@@ -385,6 +388,14 @@ LintReport lint(const est::Spec& spec, const LintOptions& options) {
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(ga.findings.begin()),
                            std::make_move_iterator(ga.findings.end()));
+  }
+  if (on.count("invariants")) {
+    const std::vector<RoutineEffects> effects = compute_routine_effects(spec);
+    const StateInvariants inv = compute_state_invariants(spec, effects);
+    std::vector<Finding> facts = invariant_findings(spec, effects, inv);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(facts.begin()),
+                           std::make_move_iterator(facts.end()));
   }
   sort_findings(report.findings);
   return report;

@@ -9,7 +9,11 @@
 //  - unreachable:  statements no execution can reach;
 //  - purity:       provided clauses reaching a side effect through a call;
 //  - guards:       guard implication — duplicates, priority shadowing,
-//                  nondeterministic overlap (see guard_solver.hpp).
+//                  nondeterministic overlap (see guard_solver.hpp);
+//  - invariants:   whole-spec control-state invariants — semantically dead
+//                  transitions, states unreachable in the interval
+//                  fixpoint, interactions only output from dead code,
+//                  cross-transition provable faults (see invariants.hpp).
 // Exposed through `tango lint [--passes=...] [--format=text|json|sarif]`.
 #pragma once
 

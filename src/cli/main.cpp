@@ -108,10 +108,13 @@ commands:
                                     progress cycles, dead interactions,
                                     definite assignment, value ranges,
                                     unreachable statements, provided-clause
-                                    purity, guard implication (docs/LINT.md);
+                                    purity, guard implication, whole-spec
+                                    control-state invariants (docs/LINT.md);
                                     exit 1 iff any error-level finding
   coverage <spec> <trace...> [--format=text|json]
-                                    transition coverage over valid traces
+                                    transition coverage over valid traces;
+                                    statically-dead transitions are
+                                    annotated and excluded from the ratio
   print <spec>                      parse and pretty-print
   specs                             list built-in specifications
   cat <builtin>                     print a built-in specification
@@ -147,6 +150,12 @@ analysis options:
   --no-static-prune                 do not consume guard-solver facts during
                                     generate (on by default; pruning never
                                     changes verdicts — see docs/LINT.md)
+  --no-invariant-prune              keep the pairwise guard-solver facts but
+                                    drop the whole-spec invariant facts
+                                    (state-refuted candidates, doomed-output
+                                    cuts) — for ablation/differential runs;
+                                    implied off by --no-static-prune and
+                                    under --initial-state-search
   --batch <dir>                     analyze every *.tr file in <dir>,
                                     scheduling whole traces across --jobs
                                     workers; exit 0 iff all are valid. One
@@ -263,6 +272,59 @@ struct Cli {
   std::vector<std::string> positional;
 };
 
+/// Levenshtein distance, for unknown-flag suggestions. Flag names are
+/// short, so the O(n*m) table is nothing.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// A typo'd flag ("--no-static-prun", "--invariant-prune") dies with the
+/// nearest real flag named instead of a bare "unknown option".
+[[noreturn]] void unknown_option(const std::string& a) {
+  static const char* kFlags[] = {
+      "--verbose",         "--all-orders",       "--invalid",
+      "--size=",           "--order=",           "--disable-ip=",
+      "--unobservable-ip=", "--partial",         "--initial-state-search",
+      "--hash-states",     "--checkpoint=",      "--hash-impl=",
+      "--no-reorder",      "--max-transitions=", "--max-depth=",
+      "--deadline=",       "--max-memory=",      "--item-retries=",
+      "--jobs=",           "--deterministic",    "--no-static-prune",
+      "--no-invariant-prune", "--passes=",       "--format=",
+      "--visited-max=",    "--batch",            "--script",
+      "--seed=",           "--iterations=",      "--engines=",
+      "--chunk=",          "--stats",            "--out-dir",
+      "--events-dir",      "--events",           "--ignore="};
+  const std::string name = a.substr(0, a.find('='));
+  std::string best;
+  std::size_t best_d = std::string::npos;
+  for (const char* f : kFlags) {
+    std::string candidate = f;
+    if (!candidate.empty() && candidate.back() == '=') candidate.pop_back();
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_d) {
+      best_d = d;
+      best = f;
+    }
+  }
+  std::string msg = "unknown option '" + a + "'";
+  // Suggest only when the typo is close enough to be a plausible slip.
+  if (best_d <= std::max<std::size_t>(2, name.size() / 4)) {
+    msg += " (did you mean '" + best + "'?)";
+  }
+  throw CompileError({}, msg);
+}
+
 Cli parse_cli(int argc, char** argv, int first) {
   Cli cli;
   for (int i = first; i < argc; ++i) {
@@ -339,6 +401,8 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.options.deterministic = true;
     } else if (a == "--no-static-prune") {
       cli.options.static_prune = false;
+    } else if (a == "--no-invariant-prune") {
+      cli.options.invariant_prune = false;
     } else if (starts_with(a, "--passes=")) {
       cli.passes = value("--passes=");
     } else if (starts_with(a, "--format=")) {
@@ -395,7 +459,7 @@ Cli parse_cli(int argc, char** argv, int first) {
       if (i + 1 >= argc) throw CompileError({}, "-o needs a file name");
       cli.output = argv[++i];
     } else if (starts_with(a, "--")) {
-      throw CompileError({}, "unknown option '" + a + "'");
+      unknown_option(a);
     } else {
       cli.positional.push_back(a);
     }

@@ -93,6 +93,7 @@ std::string options_flags_json(const Options& o) {
   flag_list(out, "disabled_ips", o.disabled_ips);
   flag_bool(out, "hash_states", o.hash_states);
   flag_bool(out, "initial_state_search", o.initial_state_search);
+  flag_bool(out, "invariant_prune", o.invariant_prune);
   flag_u64(out, "jobs", static_cast<std::uint64_t>(o.jobs));
   flag_u64(out, "max_depth", static_cast<std::uint64_t>(o.max_depth));
   flag_u64(out, "max_memory", o.max_memory);
@@ -131,6 +132,8 @@ void options_from_flags(const obs::JsonValue& flags, Options& out) {
   out.hash_states = read_bool(flags, "hash_states", out.hash_states);
   out.initial_state_search =
       read_bool(flags, "initial_state_search", out.initial_state_search);
+  out.invariant_prune =
+      read_bool(flags, "invariant_prune", out.invariant_prune);
   out.jobs = static_cast<int>(read_int(flags, "jobs", out.jobs));
   out.max_depth = static_cast<int>(read_int(flags, "max_depth", out.max_depth));
   out.max_memory = static_cast<std::uint64_t>(

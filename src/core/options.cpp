@@ -1,5 +1,7 @@
 #include "core/options.hpp"
 
+#include "analysis/invariants.hpp"
+
 namespace tango::core {
 
 std::string Options::order_mode_name() const {
@@ -22,6 +24,17 @@ ResolvedOptions::ResolvedOptions(const est::Spec& spec, const Options& opts)
   // are in play; an empty matrix isn't worth the per-generate() checks.
   if (opts.static_prune && !opts.partial && opts.unobservable_ips.empty()) {
     analysis::GuardAnalysis ga = analysis::analyze_guards(spec);
+    // Whole-spec invariant facts ride on the same matrix (v2 fields).
+    // Initial-state search re-enters arbitrary FSM states after the
+    // initializer, which breaks the fixpoint's "seeded from initializers"
+    // premise — the per-state facts would be unsound there.
+    if (opts.invariant_prune && !opts.initial_state_search) {
+      const std::vector<analysis::RoutineEffects> effects =
+          analysis::compute_routine_effects(spec);
+      const analysis::StateInvariants inv =
+          analysis::compute_state_invariants(spec, effects);
+      analysis::augment_guard_matrix(spec, inv, ga.matrix);
+    }
     if (ga.matrix.any_facts()) {
       guard_matrix = std::make_shared<const analysis::GuardMatrix>(
           std::move(ga.matrix));

@@ -140,6 +140,16 @@ struct Options {
   /// Automatically disabled in partial mode and with unobservable ips,
   /// where undefined-tolerant semantics break the proofs.
   bool static_prune = true;
+  /// Additionally consume the whole-spec invariant facts
+  /// (analysis/invariants.hpp) during generate(): skip candidates whose
+  /// guard is refuted by the current control state's invariant, and cut
+  /// subtrees whose remaining trace demands an output no live code can
+  /// emit. Same proof discipline as static_prune (which gates it: the
+  /// facts ride on the same GuardMatrix); `--no-invariant-prune` isolates
+  /// the pairwise solver for differential and ablation runs. Also
+  /// disabled under initial-state search, whose non-initializer entry
+  /// states invalidate the fixpoint's seeding assumption.
+  bool invariant_prune = true;
   /// Structured search-event sink (src/obs/). Null — the default — records
   /// nothing; engines guard every emission behind one branch. Non-owning:
   /// the sink must outlive the analysis. Every engine emits the same typed

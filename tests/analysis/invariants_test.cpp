@@ -1,0 +1,255 @@
+// Whole-spec invariant engine tests: fixpoint tables over the seeded-defect
+// fixtures (dead-after-init transition, fixpoint-unreachable control state,
+// never-emittable interaction, cross-transition subrange fault), the
+// `invariants` lint pass wired through LintOptions::passes, GuardMatrix v2
+// augmentation, and the debug-mode soundness campaign — analyzing every
+// committed golden trace with the matrix installed drives the generate()
+// assert that every concrete state satisfies its control-state invariant.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "analysis/lint.hpp"
+#include "core/dfs.hpp"
+#include "specs/builtin_specs.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tango::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(TANGO_ANALYSIS_FIXTURES) + "/" + name);
+}
+
+StateInvariants invariants_of(const est::Spec& spec) {
+  return compute_state_invariants(spec, compute_routine_effects(spec));
+}
+
+int transition_index(const est::Spec& spec, const std::string& name) {
+  const auto& trs = spec.body().transitions;
+  for (std::size_t i = 0; i < trs.size(); ++i) {
+    if (trs[i].name == name) return static_cast<int>(i);
+  }
+  ADD_FAILURE() << "no transition named " << name;
+  return -1;
+}
+
+bool any_finding(const std::vector<Finding>& findings,
+                 const std::string& needle) {
+  for (const Finding& f : findings) {
+    if (f.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint tables
+// ---------------------------------------------------------------------------
+
+TEST(Invariants, DeadAfterInitFixpoint) {
+  est::Spec spec = est::compile_spec(fixture("dead_after_init.est"));
+  const StateInvariants inv = invariants_of(spec);
+  ASSERT_TRUE(inv.valid);
+  const int s = spec.state_ordinal("s");
+  ASSERT_GE(s, 0);
+  EXPECT_TRUE(inv.is_reachable(s));
+  // x only ever holds 0 or 1 at S.
+  const Interval& x = inv.bound(s, 0);
+  EXPECT_EQ(x.lo, 0);
+  EXPECT_EQ(x.hi, 1);
+  // ghost (provided x = 5) is refuted at S and therefore dead; the live
+  // pair is not.
+  EXPECT_TRUE(inv.is_refuted(s, transition_index(spec, "ghost")));
+  EXPECT_TRUE(inv.is_dead(transition_index(spec, "ghost")));
+  EXPECT_FALSE(inv.is_dead(transition_index(spec, "step")));
+  EXPECT_FALSE(inv.is_dead(transition_index(spec, "back")));
+}
+
+TEST(Invariants, SemanticallyUnreachableState) {
+  est::Spec spec = est::compile_spec(fixture("unreachable_state_sem.est"));
+  const StateInvariants inv = invariants_of(spec);
+  ASSERT_TRUE(inv.valid);
+  EXPECT_TRUE(inv.is_reachable(spec.state_ordinal("s1")));
+  EXPECT_FALSE(inv.is_reachable(spec.state_ordinal("s2")));
+  EXPECT_TRUE(inv.is_dead(transition_index(spec, "jump")));
+  EXPECT_TRUE(inv.is_dead(transition_index(spec, "spin")));
+  EXPECT_FALSE(inv.is_dead(transition_index(spec, "loop")));
+}
+
+TEST(Invariants, ChannelFlowNeverSent) {
+  est::Spec spec = est::compile_spec(fixture("never_sent.est"));
+  const StateInvariants inv = invariants_of(spec);
+  ASSERT_TRUE(inv.valid);
+  const int p = spec.ip_index("p");
+  ASSERT_GE(p, 0);
+  const int done = spec.output_id(p, "done");
+  const int err = spec.output_id(p, "err");
+  ASSERT_GE(done, 0);
+  ASSERT_GE(err, 0);
+  // done is output by the live `ok`; err only by the dead `bad`.
+  EXPECT_TRUE(inv.is_emittable(p, done));
+  EXPECT_FALSE(inv.is_emittable(p, err));
+  EXPECT_TRUE(inv.is_dead(transition_index(spec, "bad")));
+}
+
+// ---------------------------------------------------------------------------
+// The `invariants` lint pass
+// ---------------------------------------------------------------------------
+
+LintReport lint_invariants(const est::Spec& spec) {
+  LintOptions lo;
+  lo.passes = "invariants";
+  return lint(spec, lo);
+}
+
+TEST(Invariants, LintReportsSemanticallyDeadTransition) {
+  est::Spec spec = est::compile_spec(fixture("dead_after_init.est"));
+  LintReport report = lint_invariants(spec);
+  EXPECT_TRUE(any_finding(report.findings, "semantically dead"));
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.pass, "invariants");
+    EXPECT_EQ(f.severity, Severity::Warning);
+  }
+}
+
+TEST(Invariants, LintReportsFixpointUnreachableState) {
+  est::Spec spec = est::compile_spec(fixture("unreachable_state_sem.est"));
+  LintReport report = lint_invariants(spec);
+  EXPECT_TRUE(
+      any_finding(report.findings, "unreachable in the interval fixpoint"));
+  EXPECT_TRUE(any_finding(report.findings, "no source state is reachable"));
+  // The syntactic `reach` pass must stay silent on this spec: the defect
+  // is only visible semantically.
+  LintOptions reach_only;
+  reach_only.passes = "reach";
+  EXPECT_TRUE(lint(spec, reach_only).findings.empty());
+}
+
+TEST(Invariants, LintReportsNeverEmittedInteraction) {
+  est::Spec spec = est::compile_spec(fixture("never_sent.est"));
+  LintReport report = lint_invariants(spec);
+  EXPECT_TRUE(any_finding(report.findings, "can never be output"));
+  // The syntactic `interactions` pass is satisfied — err has a site.
+  LintOptions inter_only;
+  inter_only.passes = "interactions";
+  EXPECT_FALSE(
+      any_finding(lint(spec, inter_only).findings, "never produced"));
+}
+
+TEST(Invariants, LintReportsCrossTransitionFault) {
+  est::Spec spec = est::compile_spec(fixture("cross_state_fault.est"));
+  LintReport report = lint_invariants(spec);
+  EXPECT_TRUE(
+      any_finding(report.findings, "provable only across transitions"));
+  // The per-transition intervals pass cannot decide it (x is a plain
+  // integer under declared-type entry bounds).
+  LintOptions intervals_only;
+  intervals_only.passes = "intervals";
+  EXPECT_TRUE(lint(spec, intervals_only).findings.empty());
+}
+
+TEST(Invariants, UnknownPassNamesInvariantsInTheList) {
+  est::Spec spec = est::compile_spec(fixture("dead_after_init.est"));
+  LintOptions lo;
+  lo.passes = "invariantz";
+  try {
+    (void)lint(spec, lo);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown lint pass"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("invariants"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proof discipline
+// ---------------------------------------------------------------------------
+
+TEST(Invariants, ImpureProvidedClauseBailsWholesale) {
+  est::Spec spec = est::compile_spec(fixture("impure_provided_bad.est"));
+  const StateInvariants inv = invariants_of(spec);
+  EXPECT_FALSE(inv.valid);
+  GuardMatrix gm;
+  gm.n = static_cast<int>(spec.body().transitions.size());
+  augment_guard_matrix(spec, inv, gm);
+  EXPECT_FALSE(gm.has_state_facts());
+  EXPECT_FALSE(gm.has_never_out());
+  EXPECT_FALSE(gm.has_invariants());
+}
+
+TEST(Invariants, AugmentedMatrixCarriesFacts) {
+  est::Spec spec = est::compile_spec(fixture("never_sent.est"));
+  const StateInvariants inv = invariants_of(spec);
+  ASSERT_TRUE(inv.valid);
+  GuardMatrix gm;
+  gm.n = static_cast<int>(spec.body().transitions.size());
+  augment_guard_matrix(spec, inv, gm);
+  EXPECT_TRUE(gm.has_state_facts());
+  EXPECT_TRUE(gm.has_never_out());
+  EXPECT_TRUE(gm.has_invariants());
+  const int p = spec.ip_index("p");
+  EXPECT_TRUE(gm.never_out(p, spec.output_id(p, "err")));
+  EXPECT_FALSE(gm.never_out(p, spec.output_id(p, "done")));
+  const int s = spec.state_ordinal("s");
+  EXPECT_TRUE(gm.state_refuted(s, transition_index(spec, "bad")));
+  EXPECT_FALSE(gm.state_refuted(s, transition_index(spec, "ok")));
+}
+
+// Builtin specifications must keep analyzing cleanly with the engine on:
+// no error-level findings (the fuzzer's lint gate), and a valid fixpoint
+// or a clean wholesale bail — never a crash or a poisoned table.
+TEST(Invariants, BuiltinSpecsLintCleanAtErrorLevel) {
+  for (const char* name :
+       {"ack", "ip3", "ip3prime", "abp", "inres", "tp0", "lapd"}) {
+    est::Spec spec = est::compile_spec(specs::builtin_spec(name));
+    LintReport report = lint_invariants(spec);
+    EXPECT_FALSE(report.has_errors()) << name << ":\n" << report.render();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Soundness campaign: the generate() debug assert checks every concrete
+// state reached during search against the invariant table. Any unsound
+// interval would abort the test binary here.
+// ---------------------------------------------------------------------------
+
+TEST(Invariants, SoundnessOverGoldenTraces) {
+  struct Golden {
+    const char* trace;
+    const char* spec;
+  };
+  const Golden goldens[] = {
+      {"abp_valid.tr", "abp"},   {"abp_invalid.tr", "abp"},
+      {"ack_paper.tr", "ack"},   {"inres_valid.tr", "inres"},
+      {"tp0_valid.tr", "tp0"},   {"lapd_midstream.tr", "lapd"},
+  };
+  for (const Golden& g : goldens) {
+    est::Spec spec = est::compile_spec(specs::builtin_spec(g.spec));
+    const std::string text =
+        read_file(std::string(TANGO_TRACES_DIR) + "/" + g.trace);
+    for (core::Options base : {core::Options::none(), core::Options::io(),
+                               core::Options::full()}) {
+      base.max_transitions = 200'000;
+      ASSERT_TRUE(base.invariant_prune);  // default on
+      const core::DfsResult r = core::analyze_text(spec, text, base);
+      (void)r;  // verdicts are pinned by prune_diff_test; here the debug
+                // assert inside generate() is the oracle
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tango::analysis

@@ -156,6 +156,116 @@ TEST(PruneDiff, ShadowedTransitionSkipPreservesVerdict) {
   EXPECT_GT(p.pruned.stats.static_skips, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Invariant-prune differential: three levels — no static facts at all,
+// pairwise guard-solver facts only, and full (pairwise + whole-spec
+// invariant facts). All three must agree on verdict and witness; the full
+// level must demonstrably do less work where only it has facts.
+// ---------------------------------------------------------------------------
+
+struct Triple {
+  core::DfsResult off;
+  core::DfsResult pairwise;
+  core::DfsResult full;
+};
+
+Triple all_levels(const est::Spec& spec, const std::string& trace_text,
+                  core::Options base) {
+  Triple t;
+  base.static_prune = false;
+  t.off = core::analyze_text(spec, trace_text, base);
+  EXPECT_EQ(t.off.stats.static_skips, 0u);
+  base.static_prune = true;
+  base.invariant_prune = false;
+  t.pairwise = core::analyze_text(spec, trace_text, base);
+  base.invariant_prune = true;
+  t.full = core::analyze_text(spec, trace_text, base);
+  return t;
+}
+
+void expect_identical(const Triple& t) {
+  EXPECT_EQ(t.off.verdict, t.pairwise.verdict);
+  EXPECT_EQ(t.off.verdict, t.full.verdict);
+  EXPECT_EQ(t.off.solution, t.pairwise.solution);
+  EXPECT_EQ(t.off.solution, t.full.solution);
+}
+
+// Every stored golden trace at every pruning level, under both presets.
+TEST(InvariantPruneDiff, GoldenTracesAgreeAcrossAllLevels) {
+  struct Golden {
+    const char* trace;
+    const char* spec;
+    bool initial_state_search;
+  };
+  const Golden goldens[] = {
+      {"abp_valid.tr", "abp", false},   {"abp_invalid.tr", "abp", false},
+      {"ack_paper.tr", "ack", false},   {"inres_valid.tr", "inres", false},
+      {"tp0_valid.tr", "tp0", false},   {"lapd_midstream.tr", "lapd", true},
+  };
+  for (const Golden& g : goldens) {
+    est::Spec spec = est::compile_spec(specs::builtin_spec(g.spec));
+    const std::string text =
+        read_file(std::string(TANGO_TRACES_DIR) + "/" + g.trace);
+    for (core::Options base :
+         {core::Options::none(), core::Options::io()}) {
+      base.max_transitions = 200'000;
+      base.initial_state_search = g.initial_state_search;
+      Triple t = all_levels(spec, text, base);
+      expect_identical(t);
+    }
+  }
+}
+
+// `ghost` is declared first and its guard (x = 5) is only refutable from
+// the state invariant: the pairwise mutex can't skip it (no guard has
+// held yet when it is considered), so the full level must record strictly
+// more static skips while verdict and witness stay identical.
+TEST(InvariantPruneDiff, StateRefutedCandidateSkippedBeforeEvaluation) {
+  est::Spec spec = est::compile_spec(fixture("dead_after_init.est"));
+  Triple t = all_levels(spec,
+                        "in p.go\n"
+                        "in p.go\n"
+                        "out p.done\n"
+                        "eof\n",
+                        core::Options::none());
+  expect_identical(t);
+  EXPECT_EQ(t.full.verdict, core::Verdict::Valid);
+  EXPECT_GT(t.full.stats.static_skips, t.pairwise.stats.static_skips);
+}
+
+// The only transition that could output err is invariant-dead, so a
+// complete trace still expecting `out p.err` dooms the whole subtree: the
+// full level cuts at the root (strictly fewer TE) while all levels agree
+// the trace is invalid.
+TEST(InvariantPruneDiff, DoomedOutputCutsSubtree) {
+  est::Spec spec = est::compile_spec(fixture("never_sent.est"));
+  Triple t = all_levels(spec,
+                        "in p.go\n"
+                        "in p.go\n"
+                        "out p.err\n"
+                        "eof\n",
+                        core::Options::none());
+  EXPECT_EQ(t.off.verdict, core::Verdict::Invalid);
+  EXPECT_EQ(t.pairwise.verdict, core::Verdict::Invalid);
+  EXPECT_EQ(t.full.verdict, core::Verdict::Invalid);
+  EXPECT_GT(t.full.stats.static_skips, 0u);
+  EXPECT_LT(t.full.stats.transitions_executed,
+            t.off.stats.transitions_executed);
+}
+
+// Cross-transition provable fault: the invariant facts carry bounds but
+// the seeded fault surfaces at run time either way — all levels must agree
+// on the verdict for a trace that drives through it.
+TEST(InvariantPruneDiff, CrossStateFaultVerdictParity) {
+  est::Spec spec = est::compile_spec(fixture("cross_state_fault.est"));
+  Triple t = all_levels(spec,
+                        "in p.go\n"
+                        "out p.done\n"
+                        "eof\n",
+                        core::Options::none());
+  expect_identical(t);
+}
+
 // Same-seed fuzz campaigns with pruning toggled: both must be clean (every
 // oracle invariant holds either way) and cover the same trace variants.
 TEST(PruneDiff, SameSeedFuzzCampaignsAgree) {
