@@ -16,10 +16,16 @@
 //   tango print <spec>                      parse + pretty-print round trip
 //   tango specs                             list built-in specifications
 //   tango cat <builtin>                     dump a built-in specification
+//   tango serve --listen <host:port>        on-line analysis server (TCP,
+//                                           framed sessions; docs/SERVER.md)
+//   tango submit <trace> --connect <h:p>    run one session against a server
+//   tango --version                         build / protocol / schema info
 //
 // <spec> is a file path or `builtin:<name>` (see `tango specs`).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -45,11 +51,15 @@
 #include "obs/sink.hpp"
 #include "obs/stream.hpp"
 #include "estelle/printer.hpp"
+#include "server/client.hpp"
+#include "server/framing.hpp"
+#include "server/server.hpp"
 #include "sim/mutate.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workloads.hpp"
 #include "specs/builtin_specs.hpp"
 #include "support/text.hpp"
+#include "support/version.hpp"
 #include "trace/dynamic_source.hpp"
 #include "trace/trace_io.hpp"
 #include "transform/normal_form.hpp"
@@ -59,10 +69,18 @@ namespace {
 using namespace tango;
 
 int usage() {
-  std::cerr << "usage: tango <check|analyze|online|simulate|normal-form|"
-               "print|specs|cat> ...\n"
-               "run `tango help` for details\n";
+  std::cerr << "usage: tango <check|analyze|online|serve|submit|simulate|"
+               "normal-form|print|specs|cat> ...\n"
+               "run `tango help` for details, `tango --version` for build "
+               "info\n";
   return 2;
+}
+
+int print_version() {
+  std::cout << "tango " << kTangoVersion << " (" << kTangoBuildType
+            << ", server protocol " << srv::kProtocolVersion
+            << ", events schema " << obs::kEventSchemaVersion << ")\n";
+  return 0;
 }
 
 int help() {
@@ -118,6 +136,24 @@ commands:
   print <spec>                      parse and pretty-print
   specs                             list built-in specifications
   cat <builtin>                     print a built-in specification
+  serve [spec...] --listen=<host:port> [--workers=N] [--queue-max=N]
+        [--max-sessions=N] [--events-dir=<dir>] [analysis options]
+                                    long-running on-line analysis server:
+                                    framed TCP sessions drive MDFS from
+                                    network streams (docs/SERVER.md). All
+                                    built-ins are preloaded; extra spec
+                                    files are preloaded under their path.
+                                    Analysis options set the per-session
+                                    defaults; hello frames override them
+  submit <trace> --connect=<host:port> --spec=<ref> [--order=...]
+         [--static] [--chunk-size=N] [--chunk-delay=<ms>]
+                                    run one session against a server.
+                                    <trace> may be - (stdin). --chunk-size
+                                    trickles N events per chunk (0 = whole
+                                    trace at once); --static buffers at the
+                                    server and runs the one-shot DFS engine
+  --version                         print build, protocol and event-schema
+                                    versions
 
 <spec> is a file path or builtin:<name> (ack, ip3, ip3prime, abp, inres, tp0, lapd).
 
@@ -269,6 +305,17 @@ struct Cli {
   // lint / coverage
   std::string passes;              // --passes=a,b,... (empty = all)
   std::string format = "text";     // --format=text|json|sarif
+  // serve / submit
+  std::string listen;              // serve --listen=<host:port>
+  std::string connect;             // submit --connect=<host:port>
+  std::string spec_ref;            // submit --spec=<registry ref>
+  std::string order_name = "io";   // --order token, for the hello frame
+  bool static_mode = false;        // submit --static
+  int workers = 4;                 // serve --workers=N
+  std::size_t queue_max = 16;      // serve --queue-max=N
+  std::uint64_t max_sessions = 0;  // serve --max-sessions=N (0 = forever)
+  std::size_t chunk_size = 0;      // submit --chunk-size=N (0 = one chunk)
+  std::uint64_t chunk_delay_ms = 0;  // submit --chunk-delay=<ms>
   std::vector<std::string> positional;
 };
 
@@ -304,7 +351,11 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
       "--visited-max=",    "--batch",            "--script",
       "--seed=",           "--iterations=",      "--engines=",
       "--chunk=",          "--stats",            "--out-dir",
-      "--events-dir",      "--events",           "--ignore="};
+      "--events-dir",      "--events",           "--ignore=",
+      "--listen=",         "--connect=",         "--spec=",
+      "--static",          "--workers=",         "--queue-max=",
+      "--max-sessions=",   "--chunk-size=",      "--chunk-delay=",
+      "--version"};
   const std::string name = a.substr(0, a.find('='));
   std::string best;
   std::size_t best_d = std::string::npos;
@@ -347,6 +398,7 @@ Cli parse_cli(int argc, char** argv, int first) {
       else if (m == "ip") cli.options = core::Options::ip();
       else if (m == "full") cli.options = core::Options::full();
       else throw CompileError({}, "bad --order value '" + m + "'");
+      cli.order_name = m;
     } else if (starts_with(a, "--disable-ip=")) {
       cli.options.disabled_ips.push_back(to_lower(value("--disable-ip=")));
     } else if (starts_with(a, "--unobservable-ip=")) {
@@ -455,6 +507,28 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.events_path = a == "--events" ? argv[++i] : value("--events=");
     } else if (starts_with(a, "--ignore=")) {
       cli.ignore_keys = value("--ignore=");
+    } else if (starts_with(a, "--listen=")) {
+      cli.listen = value("--listen=");
+    } else if (starts_with(a, "--connect=")) {
+      cli.connect = value("--connect=");
+    } else if (starts_with(a, "--spec=")) {
+      cli.spec_ref = value("--spec=");
+    } else if (a == "--static") {
+      cli.static_mode = true;
+    } else if (starts_with(a, "--workers=")) {
+      cli.workers = parse_int_flag("--workers", value("--workers="));
+    } else if (starts_with(a, "--queue-max=")) {
+      cli.queue_max = static_cast<std::size_t>(
+          parse_u64_flag("--queue-max", value("--queue-max=")));
+    } else if (starts_with(a, "--max-sessions=")) {
+      cli.max_sessions =
+          parse_u64_flag("--max-sessions", value("--max-sessions="));
+    } else if (starts_with(a, "--chunk-size=")) {
+      cli.chunk_size = static_cast<std::size_t>(
+          parse_u64_flag("--chunk-size", value("--chunk-size=")));
+    } else if (starts_with(a, "--chunk-delay=")) {
+      cli.chunk_delay_ms =
+          parse_u64_flag("--chunk-delay", value("--chunk-delay="));
     } else if (a == "-o") {
       if (i + 1 >= argc) throw CompileError({}, "-o needs a file name");
       cli.output = argv[++i];
@@ -491,6 +565,7 @@ int cmd_check(const Cli& cli) {
 /// the raw path when no relative form exists (different filesystem root).
 std::string trace_ref_for(const std::string& stream_path,
                           const std::string& trace_path) {
+  if (trace_path == "-") return "<stdin>";  // not a replayable file
   std::filesystem::path base =
       std::filesystem::path(stream_path).parent_path();
   if (base.empty()) base = ".";
@@ -628,7 +703,10 @@ int cmd_analyze(const Cli& cli) {
   if (!cli.batch_dir.empty()) return cmd_analyze_batch(cli);
   if (cli.positional.size() < 2) return usage();
   est::Spec spec = compile_with_warnings(load_spec_text(cli.positional[0]));
-  tr::Trace trace = tr::parse_trace(spec, read_file(cli.positional[1]));
+  // `tango analyze <spec> -` reads the trace from stdin — the same
+  // tr::load_trace path `tango submit` uses, so pipelines compose:
+  //   tango workload tp0 | tango analyze builtin:tp0 -
+  tr::Trace trace = tr::load_trace(spec, cli.positional[1]);
   if (cli.all_orders) {
     std::printf("%-6s %-12s %10s %10s %10s %10s %8s\n", "mode", "verdict",
                 "TE", "GE", "RE", "SA", "cpu(ms)");
@@ -1094,6 +1172,127 @@ int cmd_cat(const Cli& cli) {
   return 0;
 }
 
+/// serve's signal flag: the handler only stores; the main thread watches
+/// and runs the actual drain (signal-safe by construction).
+std::atomic<int> g_stop_signal{0};
+
+void on_stop_signal(int sig) { g_stop_signal.store(sig); }
+
+/// Splits "host:port" ("" host = wildcard, port 0 = ephemeral). The last
+/// ':' separates, so a future IPv6 "[::1]:0" parse has somewhere to grow.
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& s,
+                                                      const char* flag) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    throw CompileError({}, std::string(flag) + " expects <host:port>, got '" +
+                               s + "'");
+  }
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      parse_u64_flag(flag, s.substr(colon + 1), 65535));
+  return {s.substr(0, colon), port};
+}
+
+int cmd_serve(const Cli& cli) {
+  auto registry = std::make_shared<srv::SpecRegistry>(
+      srv::SpecRegistry::with_builtins());
+  // Extra specs are preloaded under the path as typed — that's the ref
+  // clients put in their hello frames.
+  for (const std::string& path : cli.positional) {
+    registry->preload(path, load_spec_text(path));
+  }
+
+  srv::ServerConfig cfg;
+  if (!cli.listen.empty()) {
+    const auto [host, port] = parse_host_port(cli.listen, "--listen");
+    if (!host.empty()) cfg.host = host;
+    cfg.port = port;
+  }
+  cfg.workers = cli.workers;
+  cfg.queue_max = cli.queue_max;
+  cfg.max_sessions = cli.max_sessions;
+  cfg.session.default_options = cli.options;
+  if (!cli.events_dir.empty()) {
+    std::filesystem::create_directories(cli.events_dir);
+    cfg.session.events_dir = cli.events_dir;
+  }
+
+  srv::Server server(registry, cfg);
+  g_stop_signal.store(0);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  server.start();
+  // Tests and scripts parse this line for the ephemeral port; keep the
+  // "listening on host:port" shape stable and flush it immediately.
+  std::cout << "tango " << kTangoVersion << " listening on " << cfg.host
+            << ":" << server.port() << " (" << registry->size()
+            << " specs, " << cfg.workers << " workers, protocol "
+            << srv::kProtocolVersion << ")" << std::endl;
+
+  while (g_stop_signal.load() == 0 && !server.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  const int sig = g_stop_signal.load();
+  if (sig != 0) {
+    std::cerr << "tango: received "
+              << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+              << ", draining sessions\n";
+  }
+  server.shutdown();
+  std::cout << "served " << server.sessions_completed()
+            << " session(s), rejected " << server.sessions_rejected()
+            << " overloaded\n";
+  return 0;
+}
+
+int cmd_submit(const Cli& cli) {
+  if (cli.positional.empty()) return usage();
+  if (cli.connect.empty()) {
+    throw CompileError({}, "submit needs --connect=<host:port>");
+  }
+  if (cli.spec_ref.empty()) {
+    throw CompileError({}, "submit needs --spec=<ref> (e.g. builtin:abp)");
+  }
+  srv::SubmitOptions so;
+  const auto [host, port] = parse_host_port(cli.connect, "--connect");
+  if (!host.empty()) so.host = host;
+  so.port = port;
+  so.spec = cli.spec_ref;
+  so.order = cli.order_name;
+  so.mode = cli.static_mode ? "static" : "online";
+  so.chunk_size = cli.chunk_size;
+  so.chunk_delay_ms = cli.chunk_delay_ms;
+  so.hash_states = cli.options.hash_states;
+  so.max_transitions = cli.options.max_transitions;
+  so.deadline_ms = cli.options.deadline_ms;
+  so.max_memory = cli.options.max_memory;
+  so.max_depth = cli.options.max_depth;
+  so.jobs = cli.options.jobs;
+
+  const std::string text = tr::read_trace_text(cli.positional[0]);
+  const srv::SubmitResult r = srv::submit_trace(text, so);
+
+  if (r.overloaded) {
+    std::cerr << "tango: server overloaded: " << r.error << "\n";
+    return 3;
+  }
+  if (!r.completed) {
+    std::cerr << "tango: " << (r.error.empty() ? "session failed" : r.error)
+              << "\n";
+    return 2;
+  }
+  if (cli.verbose) {
+    std::cerr << "server:  " << r.server_version << " (session "
+              << r.session_id << ")\n";
+    for (const std::string& s : r.interim) {
+      std::cout << "interim: " << s << "\n";
+    }
+  }
+  std::cout << "verdict: " << r.final_status << "\n";
+  if (!r.reason.empty()) std::cout << "reason:  " << r.reason << "\n";
+  if (cli.verbose) std::cout << "stats:   " << r.stats_json << "\n";
+  return r.final_status == "valid" ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1102,6 +1301,9 @@ int main(int argc, char** argv) {
   try {
     Cli cli = parse_cli(argc, argv, 2);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") return help();
+    if (cmd == "--version" || cmd == "version") return print_version();
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "submit") return cmd_submit(cli);
     if (cmd == "check") return cmd_check(cli);
     if (cmd == "analyze") return cmd_analyze(cli);
     if (cmd == "online") return cmd_online(cli);

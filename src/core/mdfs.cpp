@@ -87,6 +87,11 @@ void OnlineAnalyzer::conclude(OnlineStatus status, std::uint64_t witness,
   }
 }
 
+void OnlineAnalyzer::abort(InconclusiveReason reason) {
+  if (concluded_) return;
+  conclude(OnlineStatus::Inconclusive, 0, reason);
+}
+
 void OnlineAnalyzer::finalize_stream() {
   if (sink_ == nullptr || verdict_emitted_) return;
   verdict_emitted_ = true;

@@ -71,6 +71,12 @@ class OnlineAnalyzer {
   [[nodiscard]] OnlineStatus status() const;
   [[nodiscard]] bool conclusive() const;
 
+  /// Concludes Inconclusive with `reason` unless already conclusive — the
+  /// cancellation path for externally driven sessions (client `cancel`
+  /// frames, server drain on SIGTERM). Call between step_round rounds; a
+  /// sink gets the usual `verdict` event.
+  void abort(InconclusiveReason reason);
+
   /// Emits a `verdict` event for the current status if the stream has none
   /// yet — an on-line run can end quiescent ("valid so far", "likely
   /// invalid") without ever concluding. No-op without a sink; idempotent.

@@ -1,0 +1,59 @@
+// Re-entrant analysis sessions (docs/SERVER.md §lifecycle). A session wraps
+// the on-line analyzer in the shape a long-running host needs: pump a
+// bounded number of search steps, observe interim-assessment *edges* (the
+// paper's §3.1.2 "valid so far" / "likely invalid" signals, reported once
+// per change rather than once per poll), and abort cooperatively when the
+// host drains (SIGTERM) or the client cancels. The trace side stays a
+// tr::TraceSource, so the same session runs against a growing file, a
+// memory feed, or the server's socket-fed tr::ChunkSource.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mdfs.hpp"
+
+namespace tango::core {
+
+class AnalysisSession {
+ public:
+  AnalysisSession(const est::Spec& spec, tr::TraceSource& source,
+                  OnlineConfig config)
+      : analyzer_(spec, source, std::move(config)) {}
+
+  /// Runs up to `steps` search steps (one OnlineAnalyzer round), polling
+  /// the source as usual. Conclusive statuses are sticky.
+  OnlineStatus pump(std::uint64_t steps) {
+    return analyzer_.step_round(steps);
+  }
+
+  /// Concludes Inconclusive(`reason`) unless already conclusive. Use
+  /// InconclusiveReason::Shutdown for drain/cancel.
+  void abort(InconclusiveReason reason) { analyzer_.abort(reason); }
+
+  /// Reports an assessment edge: true (and fills `now`) when the status
+  /// differs from the one this method last reported. The first call
+  /// reports the current status unless it is still Searching — callers
+  /// forward these edges as interim `verdict` frames.
+  [[nodiscard]] bool take_status_change(OnlineStatus& now) {
+    const OnlineStatus s = analyzer_.status();
+    if (s == last_reported_) return false;
+    last_reported_ = s;
+    now = s;
+    return true;
+  }
+
+  [[nodiscard]] OnlineStatus status() const { return analyzer_.status(); }
+  [[nodiscard]] bool conclusive() const { return analyzer_.conclusive(); }
+  [[nodiscard]] const Stats& stats() const { return analyzer_.stats(); }
+  [[nodiscard]] const tr::Trace& trace() const { return analyzer_.trace(); }
+  [[nodiscard]] std::size_t pg_count() const { return analyzer_.pg_count(); }
+
+  /// See OnlineAnalyzer::finalize_stream — idempotent, no-op without sink.
+  void finalize_stream() { analyzer_.finalize_stream(); }
+
+ private:
+  OnlineAnalyzer analyzer_;
+  OnlineStatus last_reported_ = OnlineStatus::Searching;
+};
+
+}  // namespace tango::core

@@ -38,6 +38,7 @@ enum class InconclusiveReason : std::uint8_t {
   Depth,        // --max-depth clipped at least one path
   Deadline,     // --deadline wall-clock expired
   Memory,       // --max-memory checkpoint/heap budget exceeded
+  Shutdown,     // session terminated early: server drain or client cancel
 };
 
 [[nodiscard]] constexpr std::string_view to_string(InconclusiveReason r) {
@@ -47,6 +48,7 @@ enum class InconclusiveReason : std::uint8_t {
     case InconclusiveReason::Depth: return "depth";
     case InconclusiveReason::Deadline: return "deadline";
     case InconclusiveReason::Memory: return "memory";
+    case InconclusiveReason::Shutdown: return "shutdown";
   }
   return "";
 }
@@ -57,7 +59,7 @@ enum class InconclusiveReason : std::uint8_t {
   for (const InconclusiveReason r :
        {InconclusiveReason::None, InconclusiveReason::Transitions,
         InconclusiveReason::Depth, InconclusiveReason::Deadline,
-        InconclusiveReason::Memory}) {
+        InconclusiveReason::Memory, InconclusiveReason::Shutdown}) {
     if (to_string(r) == name) {
       out = r;
       return true;

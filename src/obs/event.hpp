@@ -104,8 +104,8 @@ struct Event {
   // --- verdict only ---
   std::string verdict;     // core::to_string(Verdict)
   /// Exhausted resource behind an inconclusive verdict: one of
-  /// "transitions" | "depth" | "deadline" | "memory"; "" otherwise.
-  /// Serialized only when non-empty (schema v2).
+  /// "transitions" | "depth" | "deadline" | "memory" | "shutdown";
+  /// "" otherwise. Serialized only when non-empty (schema v2).
   std::string reason;
   std::string stats_json;  // Stats::to_json_counters(): no timing fields
 };

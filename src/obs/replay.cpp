@@ -340,6 +340,10 @@ class Replayer {
           case core::InconclusiveReason::Memory:
             armed = options_.max_memory != 0;
             break;
+          case core::InconclusiveReason::Shutdown:
+            // An operator/drain decision, not a budget — no flag arms it.
+            armed = true;
+            break;
           case core::InconclusiveReason::None:
             break;
         }

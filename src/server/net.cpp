@@ -1,0 +1,132 @@
+#include "server/net.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tango::srv {
+
+namespace {
+
+/// getaddrinfo over a numeric port; the first result that opens wins.
+/// `op` is bind-and-listen or connect.
+template <typename Op>
+int resolve_and(const std::string& host, std::uint16_t port, bool passive,
+                std::string& err, Op op) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port_s = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_s.c_str(), &hints, &res);
+  if (rc != 0) {
+    err = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    return -1;
+  }
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (op(fd, ai)) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  err = "cannot reach '" + host + ":" + port_s +
+        "': " + std::strerror(last_errno != 0 ? last_errno : EINVAL);
+  return -1;
+}
+
+}  // namespace
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+void set_nodelay(int fd) {
+  // Framed request/response traffic: Nagle + delayed ACK otherwise adds
+  // ~40ms to small-frame exchanges (visible as a p95 cliff in the
+  // throughput bench).
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int listen_on(const std::string& host, std::uint16_t port, std::string& err) {
+  return resolve_and(host, port, /*passive=*/true, err,
+                     [](int fd, const addrinfo* ai) {
+                       const int one = 1;
+                       ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                                    sizeof(one));
+                       return ::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+                              ::listen(fd, SOMAXCONN) == 0;
+                     });
+}
+
+int connect_to(const std::string& host, std::uint16_t port, std::string& err) {
+  const int fd = resolve_and(
+      host, port, /*passive=*/false, err, [](int fd2, const addrinfo* ai) {
+        return ::connect(fd2, ai->ai_addr, ai->ai_addrlen) == 0;
+      });
+  if (fd >= 0) set_nodelay(fd);
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+int recv_some(int fd, char* buf, std::size_t cap, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr < 0) return errno == EINTR ? kRecvTimeout : kRecvError;
+  if (pr == 0) return kRecvTimeout;
+  const ssize_t n = ::recv(fd, buf, cap, 0);
+  if (n < 0) return errno == EINTR ? kRecvTimeout : kRecvError;
+  if (n == 0) return kRecvClosed;
+  return static_cast<int>(n);
+}
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace tango::srv

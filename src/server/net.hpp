@@ -1,0 +1,80 @@
+// Thin POSIX socket helpers shared by the server, the submit client and
+// the tests. Everything here is blocking-with-timeout: callers poll(2)
+// before reading, sends use MSG_NOSIGNAL (plus an ignored SIGPIPE for the
+// write paths poll cannot cover), and errors are return values — a trace
+// analysis server must shrug off any peer behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tango::srv {
+
+/// Process-wide: ignore SIGPIPE so a vanished peer surfaces as EPIPE from
+/// send() instead of killing the daemon. Idempotent.
+void ignore_sigpipe();
+
+/// Binds and listens on host:port (port 0 picks an ephemeral port; read it
+/// back with local_port). Returns the listening fd, or -1 with `err` set.
+[[nodiscard]] int listen_on(const std::string& host, std::uint16_t port,
+                            std::string& err);
+
+/// Connects to host:port. Returns the fd (TCP_NODELAY set), or -1 with
+/// `err` set.
+[[nodiscard]] int connect_to(const std::string& host, std::uint16_t port,
+                             std::string& err);
+
+/// Disables Nagle on `fd`; small framed exchanges otherwise pay the
+/// Nagle/delayed-ACK round trip (~40ms). Applied to both connect_to fds
+/// and the server's accepted fds.
+void set_nodelay(int fd);
+
+/// The locally bound port of `fd` (0 on error).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Sends all of `data`; false on any error (peer gone, EPIPE, ...).
+bool send_all(int fd, std::string_view data);
+
+enum : int {
+  kRecvClosed = 0,    // orderly peer close
+  kRecvTimeout = -1,  // nothing readable within timeout_ms
+  kRecvError = -2,    // connection error
+};
+
+/// Waits up to `timeout_ms` for readability, then reads at most `cap`
+/// bytes. Returns the byte count, or one of the kRecv* codes above.
+int recv_some(int fd, char* buf, std::size_t cap, int timeout_ms);
+
+/// RAII close.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tango::srv

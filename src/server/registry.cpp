@@ -1,0 +1,48 @@
+#include "server/registry.hpp"
+
+#include <utility>
+
+#include "analysis/invariants.hpp"
+#include "specs/builtin_specs.hpp"
+
+namespace tango::srv {
+
+void SpecRegistry::preload(std::string ref, std::string_view text) {
+  PreparedSpec prepared;
+  prepared.ref = std::move(ref);
+  prepared.spec = est::compile_spec(text);
+
+  analysis::GuardAnalysis ga = analysis::analyze_guards(prepared.spec);
+  if (ga.matrix.any_facts()) {
+    prepared.matrix_pairwise =
+        std::make_shared<const analysis::GuardMatrix>(ga.matrix);
+  }
+  const std::vector<analysis::RoutineEffects> effects =
+      analysis::compute_routine_effects(prepared.spec);
+  const analysis::StateInvariants inv =
+      analysis::compute_state_invariants(prepared.spec, effects);
+  analysis::augment_guard_matrix(prepared.spec, inv, ga.matrix);
+  if (ga.matrix.any_facts()) {
+    prepared.matrix_full = std::make_shared<const analysis::GuardMatrix>(
+        std::move(ga.matrix));
+  }
+
+  storage_.push_back(std::move(prepared));
+  const PreparedSpec& stored = storage_.back();
+  index_[stored.ref] = &stored;
+}
+
+const PreparedSpec* SpecRegistry::find(std::string_view ref) const {
+  const auto it = index_.find(ref);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+SpecRegistry SpecRegistry::with_builtins() {
+  SpecRegistry reg;
+  for (const auto& [name, text] : specs::all_builtin_specs()) {
+    reg.preload("builtin:" + std::string(name), text);
+  }
+  return reg;
+}
+
+}  // namespace tango::srv

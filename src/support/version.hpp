@@ -1,0 +1,25 @@
+// Build identity, reported by `tango --version`, the server's `accepted`
+// frame, and docs. Header-only so every layer (support upward) can name the
+// version without a link dependency; the full human-readable line is
+// composed by the consumer because the obs schema version lives above this
+// layer (obs::kEventSchemaVersion) and the wire protocol version in
+// src/server/framing.hpp.
+#pragma once
+
+namespace tango {
+
+/// Semantic version of the tango toolchain as a whole. Bump the minor on
+/// every feature PR; the server hands this to clients so mixed-version
+/// deployments are diagnosable from the `accepted` frame alone.
+inline constexpr const char* kTangoVersion = "0.10.0";
+
+/// Compiled-in build flavor: fault injection and the incremental==full
+/// hash oracle are live in debug builds only, which matters when reading
+/// numbers off a deployment.
+#ifndef NDEBUG
+inline constexpr const char* kTangoBuildType = "debug";
+#else
+inline constexpr const char* kTangoBuildType = "release";
+#endif
+
+}  // namespace tango

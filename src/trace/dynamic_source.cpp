@@ -30,6 +30,40 @@ bool MemoryFeed::poll(Trace& trace) {
   return delivered;
 }
 
+bool ChunkSource::poll(Trace& trace) {
+  if (eof_delivered_) return false;
+  bool delivered = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    if (buffer_[i] != '\n') continue;
+    std::string_view line =
+        trim(std::string_view(buffer_).substr(start, i - start));
+    start = i + 1;
+    ++line_no_;
+    if (line.empty() || line.front() == '#') continue;
+    if (iequals(line, "eof")) {
+      eof_ = true;
+      continue;
+    }
+    trace.append(parse_event_line(spec_, line, line_no_));
+    delivered = true;
+  }
+  buffer_.erase(0, start);  // keep the incomplete tail for the next chunk
+  if (eof_) {
+    // An eof frame can race a final unterminated line; flush it first.
+    std::string_view tail = trim(buffer_);
+    if (!tail.empty() && tail.front() != '#' && !iequals(tail, "eof")) {
+      trace.append(parse_event_line(spec_, tail, ++line_no_));
+      delivered = true;
+    }
+    buffer_.clear();
+    trace.mark_eof();
+    eof_delivered_ = true;
+    delivered = true;
+  }
+  return delivered;
+}
+
 FileFollower::FileFollower(const est::Spec& spec, std::string path)
     : spec_(spec), path_(std::move(path)) {}
 

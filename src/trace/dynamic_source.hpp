@@ -8,6 +8,7 @@
 #include <deque>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include "estelle/spec.hpp"
 #include "trace/trace_io.hpp"
@@ -39,6 +40,33 @@ class MemoryFeed final : public TraceSource {
  private:
   const est::Spec& spec_;
   std::deque<TraceEvent> pending_;
+  std::uint32_t line_no_ = 0;
+  bool eof_ = false;
+  bool eof_delivered_ = false;
+};
+
+/// Transport-fed source for the analysis server (docs/SERVER.md): a
+/// network session pushes raw chunk text exactly as it arrived on the wire
+/// — chunks may split an event line anywhere — and the analyzer polls the
+/// complete lines like a growing file. The eof marker comes either as an
+/// `eof` protocol frame (push_eof) or as an `eof` line inside a chunk;
+/// either way the next poll makes every partially generated node fully
+/// generated (§3.1.2). Single-threaded by design: the session worker that
+/// pushes chunks is the thread that runs the analyzer.
+class ChunkSource final : public TraceSource {
+ public:
+  explicit ChunkSource(const est::Spec& spec) : spec_(spec) {}
+
+  /// Appends raw trace text (need not end on a line boundary).
+  void push_chunk(std::string_view text) { buffer_.append(text); }
+  void push_eof() { eof_ = true; }
+  [[nodiscard]] bool eof_pushed() const { return eof_; }
+
+  bool poll(Trace& trace) override;
+
+ private:
+  const est::Spec& spec_;
+  std::string buffer_;  // undelivered text; may end mid-line
   std::uint32_t line_no_ = 0;
   bool eof_ = false;
   bool eof_delivered_ = false;

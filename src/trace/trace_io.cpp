@@ -1,5 +1,9 @@
 #include "trace/trace_io.hpp"
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
 #include "estelle/lexer.hpp"
 #include "support/text.hpp"
 
@@ -231,6 +235,24 @@ Trace parse_trace(const est::Spec& spec, std::string_view text,
   }
   if (saw_eof || assume_eof) trace.mark_eof();
   return trace;
+}
+
+std::string read_trace_text(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CompileError({}, "cannot open trace '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Trace load_trace(const est::Spec& spec, const std::string& path,
+                 bool assume_eof) {
+  return parse_trace(spec, read_trace_text(path), assume_eof);
 }
 
 }  // namespace tango::tr

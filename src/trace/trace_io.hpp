@@ -39,4 +39,14 @@ namespace tango::tr {
 [[nodiscard]] Trace parse_trace(const est::Spec& spec, std::string_view text,
                                 bool assume_eof = true);
 
+/// Reads a whole trace text from `path`, or from standard input when
+/// `path` is "-". The one load path `tango analyze -`, `tango submit` and
+/// shell pipelines share. Throws CompileError when the file cannot be
+/// opened.
+[[nodiscard]] std::string read_trace_text(const std::string& path);
+
+/// read_trace_text + parse_trace.
+[[nodiscard]] Trace load_trace(const est::Spec& spec, const std::string& path,
+                               bool assume_eof = true);
+
 }  // namespace tango::tr

@@ -1,0 +1,209 @@
+// Wire-protocol framing (src/server/framing.hpp): serialize/parse round
+// trips for every frame type, the incremental decoder over arbitrary byte
+// splits, and the garbage negatives — zero/oversized length prefixes,
+// malformed JSON, unknown types and missing required members must all be
+// FramingError, never a crash or a silent mis-parse.
+#include "server/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tango::srv {
+namespace {
+
+Frame round_trip(const Frame& f) { return parse_frame(serialize(f)); }
+
+TEST(Framing, HelloRoundTripCarriesEveryOption) {
+  Frame f;
+  f.type = FrameType::Hello;
+  f.spec = "builtin:abp";
+  f.order = "full";
+  f.mode = "static";
+  f.version = "0.10.0";
+  f.hash_states = true;
+  f.max_transitions = 123'456;
+  f.deadline_ms = 9'000;
+  f.max_memory = 1'000'000;
+  f.max_depth = 77;
+  f.jobs = 4;
+  const Frame g = round_trip(f);
+  EXPECT_EQ(g.type, FrameType::Hello);
+  EXPECT_EQ(g.spec, "builtin:abp");
+  EXPECT_EQ(g.order, "full");
+  EXPECT_EQ(g.mode, "static");
+  EXPECT_EQ(g.version, "0.10.0");
+  EXPECT_TRUE(g.hash_states);
+  EXPECT_EQ(g.max_transitions, 123'456u);
+  EXPECT_EQ(g.deadline_ms, 9'000u);
+  EXPECT_EQ(g.max_memory, 1'000'000u);
+  EXPECT_EQ(g.max_depth, 77);
+  EXPECT_EQ(g.jobs, 4);
+}
+
+TEST(Framing, HelloDefaultsApplyWhenMembersAreOmitted) {
+  const Frame g = parse_frame(R"({"type":"hello","spec":"builtin:ack"})");
+  EXPECT_EQ(g.spec, "builtin:ack");
+  EXPECT_EQ(g.order, "io");
+  EXPECT_EQ(g.mode, "online");
+  EXPECT_FALSE(g.hash_states);
+  EXPECT_EQ(g.jobs, 1);
+}
+
+TEST(Framing, ChunkRoundTripPreservesArbitraryText) {
+  Frame f;
+  f.type = FrameType::Chunk;
+  f.text = "in u.send(0)\nout n.dt(0, \"x\\\"y\")\n\teof \x01 tail";
+  const Frame g = round_trip(f);
+  EXPECT_EQ(g.type, FrameType::Chunk);
+  EXPECT_EQ(g.text, f.text);
+}
+
+TEST(Framing, EofAndCancelRoundTrip) {
+  Frame eof;
+  eof.type = FrameType::Eof;
+  EXPECT_EQ(round_trip(eof).type, FrameType::Eof);
+  Frame cancel;
+  cancel.type = FrameType::Cancel;
+  EXPECT_EQ(round_trip(cancel).type, FrameType::Cancel);
+}
+
+TEST(Framing, AcceptedRoundTripCarriesVersionInfo) {
+  Frame f;
+  f.type = FrameType::Accepted;
+  f.version = "0.10.0";
+  f.protocol = kProtocolVersion;
+  f.schema = 2;
+  f.session = 41;
+  const Frame g = round_trip(f);
+  EXPECT_EQ(g.type, FrameType::Accepted);
+  EXPECT_EQ(g.version, "0.10.0");
+  EXPECT_EQ(g.protocol, kProtocolVersion);
+  EXPECT_EQ(g.schema, 2u);
+  EXPECT_EQ(g.session, 41u);
+}
+
+TEST(Framing, VerdictRoundTripInterimAndFinal) {
+  Frame interim;
+  interim.type = FrameType::Verdict;
+  interim.status = "valid so far";
+  interim.final_verdict = false;
+  Frame g = round_trip(interim);
+  EXPECT_EQ(g.status, "valid so far");
+  EXPECT_FALSE(g.final_verdict);
+
+  Frame fin;
+  fin.type = FrameType::Verdict;
+  fin.status = "inconclusive";
+  fin.final_verdict = true;
+  fin.reason = "shutdown";
+  g = round_trip(fin);
+  EXPECT_EQ(g.status, "inconclusive");
+  EXPECT_TRUE(g.final_verdict);
+  EXPECT_EQ(g.reason, "shutdown");
+}
+
+TEST(Framing, StatsRoundTripEmbedsTheObject) {
+  Frame f;
+  f.type = FrameType::Stats;
+  f.stats_json = R"({"te":12,"ge":3})";
+  const Frame g = round_trip(f);
+  EXPECT_EQ(g.type, FrameType::Stats);
+  EXPECT_NE(g.stats_json.find("\"te\""), std::string::npos);
+}
+
+TEST(Framing, ErrorAndOverloadedRoundTripTheirMessage) {
+  Frame f;
+  f.type = FrameType::Error;
+  f.message = "unknown spec 'x'";
+  EXPECT_EQ(round_trip(f).message, "unknown spec 'x'");
+  f.type = FrameType::Overloaded;
+  f.message = "session queue full; retry later";
+  const Frame g = round_trip(f);
+  EXPECT_EQ(g.type, FrameType::Overloaded);
+  EXPECT_EQ(g.message, "session queue full; retry later");
+}
+
+// --- negatives ------------------------------------------------------------
+
+TEST(Framing, MalformedJsonIsAFramingError) {
+  EXPECT_THROW((void)parse_frame("not json at all"), FramingError);
+  EXPECT_THROW((void)parse_frame("{\"type\":"), FramingError);
+  EXPECT_THROW((void)parse_frame(""), FramingError);
+}
+
+TEST(Framing, UnknownTypeIsAFramingError) {
+  EXPECT_THROW((void)parse_frame(R"({"type":"warp-core-breach"})"),
+               FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"spec":"builtin:abp"})"), FramingError);
+}
+
+TEST(Framing, MissingRequiredMembersAreFramingErrors) {
+  // hello without spec, chunk without text, verdict without status/final.
+  EXPECT_THROW((void)parse_frame(R"({"type":"hello"})"), FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"type":"chunk"})"), FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"type":"verdict"})"), FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"type":"verdict","status":"valid"})"),
+               FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"type":"stats"})"), FramingError);
+}
+
+TEST(Framing, IllTypedMembersAreFramingErrors) {
+  EXPECT_THROW((void)parse_frame(R"({"type":"hello","spec":7})"),
+               FramingError);
+  EXPECT_THROW((void)parse_frame(R"({"type":"hello","spec":"a","jobs":"x"})"),
+               FramingError);
+  EXPECT_THROW(
+      (void)parse_frame(R"({"type":"hello","spec":"a","mode":"psychic"})"),
+      FramingError);
+}
+
+TEST(FramingDecoder, ReassemblesFramesFromSingleByteFeeds) {
+  Frame f;
+  f.type = FrameType::Chunk;
+  f.text = "in u.send(0)\n";
+  const std::string wire = encode_frame(f) + encode_frame(f);
+  FrameDecoder d;
+  std::string payload;
+  int got = 0;
+  for (char byte : wire) {
+    d.feed(&byte, 1);
+    while (d.next(payload)) {
+      ++got;
+      EXPECT_EQ(parse_frame(payload).text, f.text);
+    }
+  }
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(FramingDecoder, PartialFrameStaysPendingUntilComplete) {
+  Frame f;
+  f.type = FrameType::Eof;
+  const std::string wire = encode_frame(f);
+  FrameDecoder d;
+  std::string payload;
+  d.feed(wire.data(), wire.size() - 1);
+  EXPECT_FALSE(d.next(payload));
+  EXPECT_GT(d.pending(), 0u);
+  d.feed(wire.data() + wire.size() - 1, 1);
+  EXPECT_TRUE(d.next(payload));
+  EXPECT_EQ(parse_frame(payload).type, FrameType::Eof);
+}
+
+TEST(FramingDecoder, ZeroLengthPrefixIsAFramingError) {
+  FrameDecoder d;
+  d.feed("\x00\x00\x00\x00", 4);
+  std::string payload;
+  EXPECT_THROW((void)d.next(payload), FramingError);
+}
+
+TEST(FramingDecoder, OversizedLengthPrefixIsAFramingError) {
+  FrameDecoder d;
+  d.feed("\x7f\xff\xff\xff", 4);  // ~2 GiB claimed: reject before allocating
+  std::string payload;
+  EXPECT_THROW((void)d.next(payload), FramingError);
+}
+
+}  // namespace
+}  // namespace tango::srv

@@ -1,0 +1,365 @@
+// End-to-end loopback coverage of the analysis server (docs/SERVER.md):
+// verdict parity between served sessions and one-shot analysis for every
+// golden x order preset, in single-chunk, trickled and static modes; the
+// interim-assessment stream on a slow trickle; overload backpressure;
+// cancel; mid-chunk disconnects (clean teardown, checked by the sanitizer
+// jobs via label `server`); and per-session fault injection. The server
+// runs in-process on an ephemeral port, so tests control the registry,
+// session ids and the fault injector directly.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dfs.hpp"
+#include "core/fault.hpp"
+#include "server/client.hpp"
+#include "server/framing.hpp"
+#include "server/net.hpp"
+
+namespace tango::srv {
+namespace {
+
+struct Golden {
+  const char* trace_file;
+  const char* spec_ref;
+  const char* spec_name;
+  const char* expected;  // verdict token, identical across presets
+};
+
+constexpr Golden kGoldens[] = {
+    {"abp_valid.tr", "builtin:abp", "abp", "valid"},
+    {"abp_invalid.tr", "builtin:abp", "abp", "invalid"},
+    {"ack_paper.tr", "builtin:ack", "ack", "valid"},
+    {"inres_valid.tr", "builtin:inres", "inres", "valid"},
+    {"tp0_valid.tr", "builtin:tp0", "tp0", "valid"},
+};
+
+constexpr const char* kOrders[] = {"none", "io", "ip", "full"};
+
+std::string read_file(const std::string& name) {
+  std::ifstream file(std::string(TANGO_TRACES_DIR) + "/" + name);
+  EXPECT_TRUE(file.good()) << name;
+  std::stringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+/// One server shared by the whole parity suite; sessions are independent,
+/// so reuse just saves 60 startups' worth of spec compilation.
+class ServerLoopback : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    auto registry =
+        std::make_shared<const SpecRegistry>(SpecRegistry::with_builtins());
+    ServerConfig config;
+    config.workers = 4;
+    server_ = new Server(std::move(registry), config);
+    server_->start();
+  }
+  static void TearDownTestSuite() {
+    server_->shutdown();
+    delete server_;
+    server_ = nullptr;
+  }
+  static Server* server_;
+};
+
+Server* ServerLoopback::server_ = nullptr;
+
+SubmitOptions base_options(const Golden& g, const char* order) {
+  SubmitOptions o;
+  o.port = ServerLoopback::server_->port();
+  o.spec = g.spec_ref;
+  o.order = order;
+  o.max_transitions = 200'000;
+  return o;
+}
+
+TEST_F(ServerLoopback, SingleChunkOnlineMatchesOneShotVerdicts) {
+  for (const Golden& g : kGoldens) {
+    const std::string text = read_file(g.trace_file);
+    for (const char* order : kOrders) {
+      const SubmitResult r = submit_trace(text, base_options(g, order));
+      ASSERT_TRUE(r.completed) << g.trace_file << " " << order << ": "
+                               << r.error;
+      EXPECT_EQ(r.final_status, g.expected) << g.trace_file << " " << order;
+      EXPECT_EQ(r.server_version, "0.10.0");
+      EXPECT_NE(r.stats_json.find("\"te\""), std::string::npos)
+          << r.stats_json;
+    }
+  }
+}
+
+TEST_F(ServerLoopback, TrickledOnlineMatchesOneShotVerdicts) {
+  for (const Golden& g : kGoldens) {
+    const std::string text = read_file(g.trace_file);
+    for (const char* order : kOrders) {
+      SubmitOptions o = base_options(g, order);
+      o.chunk_size = 1;  // one event line per chunk frame
+      const SubmitResult r = submit_trace(text, o);
+      ASSERT_TRUE(r.completed) << g.trace_file << " " << order << ": "
+                               << r.error;
+      EXPECT_EQ(r.final_status, g.expected) << g.trace_file << " " << order;
+    }
+  }
+}
+
+TEST_F(ServerLoopback, StaticModeMatchesOneShotVerdicts) {
+  for (const Golden& g : kGoldens) {
+    const std::string text = read_file(g.trace_file);
+    for (const char* order : kOrders) {
+      SubmitOptions o = base_options(g, order);
+      o.mode = "static";
+      const SubmitResult r = submit_trace(text, o);
+      ASSERT_TRUE(r.completed) << g.trace_file << " " << order << ": "
+                               << r.error;
+      EXPECT_EQ(r.final_status, g.expected) << g.trace_file << " " << order;
+    }
+  }
+}
+
+TEST_F(ServerLoopback, StaticModeWithJobsRunsTheParallelEngine) {
+  const Golden& g = kGoldens[0];
+  SubmitOptions o = base_options(g, "io");
+  o.mode = "static";
+  o.jobs = 4;
+  const SubmitResult r = submit_trace(read_file(g.trace_file), o);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.final_status, "valid");
+}
+
+TEST_F(ServerLoopback, SlowTrickleReportsInterimAssessments) {
+  SubmitOptions o = base_options(kGoldens[0], "io");  // abp_valid
+  o.chunk_size = 1;
+  o.chunk_delay_ms = 15;  // let MDFS quiesce between growths
+  const SubmitResult r = submit_trace(read_file(kGoldens[0].trace_file), o);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.final_status, "valid");
+  ASSERT_FALSE(r.interim.empty());
+  for (const std::string& s : r.interim) {
+    EXPECT_TRUE(s == "valid so far" || s == "likely invalid") << s;
+  }
+  EXPECT_EQ(r.interim.front(), "valid so far");
+}
+
+TEST_F(ServerLoopback, UnknownSpecIsAStructuredError) {
+  SubmitOptions o = base_options(kGoldens[0], "io");
+  o.spec = "builtin:does-not-exist";
+  const SubmitResult r = submit_trace(read_file(kGoldens[0].trace_file), o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("unknown spec"), std::string::npos) << r.error;
+}
+
+TEST_F(ServerLoopback, UnknownOrderIsAStructuredError) {
+  SubmitOptions o = base_options(kGoldens[0], "io");
+  o.order = "sideways";
+  const SubmitResult r = submit_trace(read_file(kGoldens[0].trace_file), o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("order"), std::string::npos) << r.error;
+}
+
+// --- raw-socket tests (drive the wire directly) ---------------------------
+
+/// Minimal raw client for the protocol-shape tests the SubmitOptions
+/// surface cannot express (held sessions, cancels, torn chunks).
+struct RawClient {
+  OwnedFd fd;
+  FrameDecoder decoder;
+
+  explicit RawClient(std::uint16_t port) {
+    std::string err;
+    fd = OwnedFd(connect_to("127.0.0.1", port, err));
+    EXPECT_TRUE(fd.valid()) << err;
+  }
+  bool send(const Frame& f) { return send_all(fd.get(), encode_frame(f)); }
+  /// Blocks up to ~2s for the next frame; Error frame with `message` set
+  /// "connection closed" when the server hung up first.
+  Frame read() {
+    std::string payload;
+    for (int waited = 0; waited < 2'000;) {
+      if (decoder.next(payload)) return parse_frame(payload);
+      char buf[4096];
+      const int n = recv_some(fd.get(), buf, sizeof(buf), 100);
+      if (n == kRecvClosed || n == kRecvError) break;
+      if (n == kRecvTimeout) waited += 100;
+      if (n > 0) decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+    Frame f;
+    f.type = FrameType::Error;
+    f.message = "connection closed";
+    return f;
+  }
+};
+
+Frame hello_frame(const char* spec) {
+  Frame h;
+  h.type = FrameType::Hello;
+  h.spec = spec;
+  h.order = "io";
+  h.max_transitions = 200'000;
+  return h;
+}
+
+TEST_F(ServerLoopback, CancelConcludesInconclusiveShutdown) {
+  RawClient c(server_->port());
+  ASSERT_TRUE(c.send(hello_frame("builtin:abp")));
+  EXPECT_EQ(c.read().type, FrameType::Accepted);
+
+  // Feed a prefix (no in-text eof marker), then cancel mid-analysis.
+  std::string text = read_file("abp_valid.tr");
+  text = text.substr(0, text.find("eof"));
+  Frame chunk;
+  chunk.type = FrameType::Chunk;
+  chunk.text = text;
+  ASSERT_TRUE(c.send(chunk));
+  Frame cancel;
+  cancel.type = FrameType::Cancel;
+  ASSERT_TRUE(c.send(cancel));
+
+  Frame f = c.read();
+  while (f.type == FrameType::Verdict && !f.final_verdict) f = c.read();
+  ASSERT_EQ(f.type, FrameType::Verdict) << f.message;
+  EXPECT_TRUE(f.final_verdict);
+  EXPECT_EQ(f.status, "inconclusive");
+  EXPECT_EQ(f.reason, "shutdown");
+  EXPECT_EQ(c.read().type, FrameType::Stats);
+}
+
+TEST_F(ServerLoopback, MidChunkDisconnectTearsDownCleanly) {
+  const std::uint64_t before = server_->sessions_completed();
+  {
+    RawClient c(server_->port());
+    ASSERT_TRUE(c.send(hello_frame("builtin:abp")));
+    EXPECT_EQ(c.read().type, FrameType::Accepted);
+    Frame chunk;
+    chunk.type = FrameType::Chunk;
+    chunk.text = "in u.send(0)\nout n.dt(0,";  // torn mid-event
+    ASSERT_TRUE(c.send(chunk));
+  }  // ~RawClient closes the socket mid-session
+
+  // The worker must notice the dead peer, conclude and move on; a healthy
+  // session afterwards proves the pool survived.
+  for (int i = 0; i < 50 && server_->sessions_completed() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(server_->sessions_completed(), before);
+  const SubmitResult r = submit_trace(read_file("abp_valid.tr"),
+                                      base_options(kGoldens[0], "io"));
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.final_status, "valid");
+}
+
+TEST_F(ServerLoopback, GarbageBytesGetAStructuredErrorFrame) {
+  RawClient c(server_->port());
+  ASSERT_TRUE(send_all(c.fd.get(), std::string("\x00\x00\x00\x04junk", 8)));
+  const Frame f = c.read();
+  EXPECT_EQ(f.type, FrameType::Error);
+  EXPECT_NE(f.message.find("frame"), std::string::npos) << f.message;
+}
+
+TEST_F(ServerLoopback, NonHelloFirstFrameIsRejected) {
+  RawClient c(server_->port());
+  Frame eof;
+  eof.type = FrameType::Eof;
+  ASSERT_TRUE(c.send(eof));
+  const Frame f = c.read();
+  EXPECT_EQ(f.type, FrameType::Error);
+  EXPECT_NE(f.message.find("hello"), std::string::npos) << f.message;
+}
+
+// --- dedicated-server tests (need their own pool shape or session ids) ----
+
+TEST(ServerBackpressure, QueueFullAnswersOverloaded) {
+  auto registry =
+      std::make_shared<const SpecRegistry>(SpecRegistry::with_builtins());
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_max = 1;
+  Server server(std::move(registry), config);
+  server.start();
+
+  // Occupy the only worker, then the only queue slot, with held sessions.
+  RawClient busy(server.port());
+  ASSERT_TRUE(busy.send(hello_frame("builtin:abp")));
+  EXPECT_EQ(busy.read().type, FrameType::Accepted);  // a worker claimed it
+  RawClient queued(server.port());
+  ASSERT_TRUE(queued.send(hello_frame("builtin:abp")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  SubmitOptions o;
+  o.port = server.port();
+  o.spec = "builtin:abp";
+  const SubmitResult r = submit_trace("eof\n", o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.overloaded) << r.error;
+  EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
+  EXPECT_EQ(server.sessions_rejected(), 1u);
+
+  server.shutdown();
+}
+
+TEST(ServerShutdown, DrainConcludesInFlightSessionsWithShutdown) {
+  auto registry =
+      std::make_shared<const SpecRegistry>(SpecRegistry::with_builtins());
+  Server server(std::move(registry), ServerConfig{});
+  server.start();
+
+  RawClient c(server.port());
+  ASSERT_TRUE(c.send(hello_frame("builtin:abp")));
+  EXPECT_EQ(c.read().type, FrameType::Accepted);
+  // No eof: the session idles on the socket until the drain flips.
+  std::thread closer([&server] { server.shutdown(); });
+
+  Frame f = c.read();
+  while (f.type == FrameType::Verdict && !f.final_verdict) f = c.read();
+  ASSERT_EQ(f.type, FrameType::Verdict) << f.message;
+  EXPECT_EQ(f.status, "inconclusive");
+  EXPECT_EQ(f.reason, "shutdown");
+  c.fd.reset();  // let the worker's linger see the close and join fast
+  closer.join();
+}
+
+TEST(ServerFaultInjection, ScopedDeadlineFaultConcludesOneSession) {
+  if (!core::kFaultInjectionAvailable) {
+    GTEST_SKIP() << "fault injection is compiled out in NDEBUG builds";
+  }
+  core::FaultInjector::instance().configure("deadline@session:1");
+
+  auto registry =
+      std::make_shared<const SpecRegistry>(SpecRegistry::with_builtins());
+  Server server(std::move(registry), ServerConfig{});
+  server.start();
+
+  SubmitOptions o;
+  o.port = server.port();
+  o.spec = "builtin:abp";
+  o.deadline_ms = 600'000;  // arms the governor; the fault forces expiry
+  const std::string text = read_file("abp_valid.tr");
+
+  // Session 1 hits the injected deadline; session 2 (same options, out of
+  // scope) completes normally — the blast radius is exactly one session.
+  const SubmitResult faulted = submit_trace(text, o);
+  ASSERT_TRUE(faulted.completed) << faulted.error;
+  EXPECT_EQ(faulted.session_id, 1u);
+  EXPECT_EQ(faulted.final_status, "inconclusive");
+  EXPECT_EQ(faulted.reason, "deadline");
+
+  const SubmitResult healthy = submit_trace(text, o);
+  ASSERT_TRUE(healthy.completed) << healthy.error;
+  EXPECT_EQ(healthy.session_id, 2u);
+  EXPECT_EQ(healthy.final_status, "valid");
+
+  core::FaultInjector::instance().reset();
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tango::srv
